@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation A4: oracle label definitions.  Compares three fill-time
+ * label sources feeding the same sharing-aware victim filter:
+ *
+ *  - future-window oracle (the study's primary definition);
+ *  - the same oracle with a tight near-reuse qualifier (label only
+ *    blocks whose next use falls within one LLC capacity of stream
+ *    slots — trades coverage for label precision);
+ *  - residency-replay oracle (labels the k-th fill of each block with
+ *    the sharing outcome its k-th residency had in a recorded baseline
+ *    run).
+ *
+ * Usage: ablation_oracle_variant [--scale=1] [--threads=8] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "core/sharing_tracker.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/stream_sim.hh"
+
+using namespace casim;
+
+namespace {
+
+/**
+ * Record per-block residency outcomes of a plain-LRU run to feed the
+ * residency-replay labeler.
+ */
+class OutcomeRecorder : public CacheObserver
+{
+  public:
+    explicit OutcomeRecorder(ResidencyReplayLabeler &labeler)
+        : labeler_(labeler)
+    {
+    }
+
+    void
+    onResidencyEnd(const CacheBlock &block) override
+    {
+        labeler_.recordOutcome(block.addr, block.sharedThisResidency());
+    }
+
+  private:
+    ResidencyReplayLabeler &labeler_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+
+    TablePrinter table(
+        "A4: oracle label variants, sa+LRU misses / LRU misses",
+        {"app", "future_4mb", "tight_4mb", "replay_4mb", "future_8mb",
+         "tight_8mb", "replay_8mb"});
+
+    std::vector<double> cols[6];
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+        const NextUseIndex index(wl.stream);
+
+        std::vector<double> row;
+        int col = 0;
+        for (const std::uint64_t bytes :
+             {config.llcSmallBytes, config.llcLargeBytes}) {
+            const CacheGeometry geo = config.llcGeometry(bytes);
+            const SeqNo window = config.oracleWindow(bytes);
+            const auto lru = replayMisses(wl.stream, geo,
+                                          makePolicyFactory("lru"));
+            const double base =
+                lru == 0 ? 1.0 : static_cast<double>(lru);
+
+            // Primary: future window with the near-reuse qualifier.
+            OracleLabeler future = makeOracle(index, config, bytes);
+            const double f =
+                replayMissesWrapped(wl.stream, geo,
+                                    makePolicyFactory("lru"), future,
+                                    config) /
+                base;
+
+            // Variant: tight near-reuse qualifier (one capacity).
+            OracleLabeler tight(index, window, bytes / kBlockBytes);
+            const double u =
+                replayMissesWrapped(wl.stream, geo,
+                                    makePolicyFactory("lru"), tight,
+                                    config) /
+                base;
+
+            // Variant: residency outcomes replayed from a baseline
+            // LRU run at this geometry.
+            ResidencyReplayLabeler replay;
+            {
+                OutcomeRecorder recorder(replay);
+                StreamSim recording(
+                    wl.stream, geo,
+                    makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                recording.setObserver(&recorder);
+                recording.run();
+            }
+            const double r =
+                replayMissesWrapped(wl.stream, geo,
+                                    makePolicyFactory("lru"), replay,
+                                    config) /
+                base;
+
+            row.push_back(f);
+            row.push_back(u);
+            row.push_back(r);
+            cols[col++].push_back(f);
+            cols[col++].push_back(u);
+            cols[col++].push_back(r);
+        }
+        table.addRow(info.name, row, 3);
+    }
+    table.addSeparator();
+    table.addRow("mean",
+                 {mean(cols[0]), mean(cols[1]), mean(cols[2]),
+                  mean(cols[3]), mean(cols[4]), mean(cols[5])},
+                 3);
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation A1: sensitivity of the sharing-aware oracle to its two
+ * hyper-parameters — the future-window factor (how far ahead "will be
+ * shared" looks, in multiples of the LLC block capacity) and the
+ * protection rounds of the victim filter.
+ *
+ * For every (window, rounds) point the table reports the mean LLC miss
+ * ratio of sa-oracle+LRU normalised to plain LRU across all workloads,
+ * at both LLC sizes.
+ *
+ * Usage: ablation_window [--scale=1] [--threads=8]
+ *        [--windows=1,2,4,8] [--rounds=32,128,512]
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+namespace {
+
+std::vector<double>
+parseList(const std::string &text)
+{
+    std::vector<double> values;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        values.push_back(std::stod(item));
+    return values;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    StudyConfig config = StudyConfig::fromOptions(options);
+    const auto windows =
+        parseList(options.getString("windows", "1,2,4,8"));
+    const auto rounds_list =
+        parseList(options.getString("rounds", "32,128,512"));
+
+    // Capture every workload once; replays sweep the parameters.
+    const auto captured = captureAllWorkloads(config);
+
+    std::vector<std::string> headers{"window_x_capacity"};
+    for (const double r : rounds_list)
+        headers.push_back("rounds=" +
+                          std::to_string(static_cast<int>(r)));
+
+    for (const std::uint64_t bytes :
+         {config.llcSmallBytes, config.llcLargeBytes}) {
+        const CacheGeometry geo = config.llcGeometry(bytes);
+
+        // ratios[wf][rounds] accumulated across workloads; the next-use
+        // index is built once per workload and reused for every point.
+        std::vector<std::vector<std::vector<double>>> ratios(
+            windows.size(),
+            std::vector<std::vector<double>>(rounds_list.size()));
+        for (const auto &wl : captured) {
+            const NextUseIndex index(wl.stream);
+            const auto lru =
+                replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+            if (lru == 0)
+                continue;
+            for (std::size_t w = 0; w < windows.size(); ++w) {
+                const SeqNo window = static_cast<SeqNo>(
+                    windows[w] *
+                    static_cast<double>(bytes / kBlockBytes));
+                for (std::size_t r = 0; r < rounds_list.size(); ++r) {
+                    OracleLabeler oracle(index, window);
+                    StudyConfig point = config;
+                    point.protectionRounds =
+                        static_cast<unsigned>(rounds_list[r]);
+                    const auto sa = replayMissesWrapped(
+                        wl.stream, geo, makePolicyFactory("lru"),
+                        oracle, point);
+                    ratios[w][r].push_back(static_cast<double>(sa) /
+                                           static_cast<double>(lru));
+                }
+            }
+        }
+
+        TablePrinter table("A1: mean sa-oracle+LRU misses / LRU misses, "
+                           "LLC " + std::to_string(bytes >> 20) + "MB",
+                           headers);
+        for (std::size_t w = 0; w < windows.size(); ++w) {
+            std::vector<double> row;
+            for (std::size_t r = 0; r < rounds_list.size(); ++r)
+                row.push_back(mean(ratios[w][r]));
+            table.addRow("w=" + TablePrinter::fmt(windows[w], 2) + "x",
+                         row, 4);
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 3: distribution of LLC hit volume by the number of distinct
+ * cores that touch the serving block during its residency (1 / 2 /
+ * 3-4 / 5-8 sharers), per application at the small LLC.
+ *
+ * Usage: fig3_sharer_histogram [--scale=1] [--threads=8]
+ *        [--llc-small-mb=4] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+    const unsigned threads = config.workload.threads;
+
+    TablePrinter table(
+        "Figure 3: LLC hit volume by residency sharer count, " +
+            std::to_string(config.llcSmallBytes >> 20) + "MB LLC (LRU)",
+        {"app", "1_core%", "2_cores%", "3-4_cores%", "5-8_cores%"});
+
+    std::vector<double> col[4];
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+        const SharingSummary sharing = replaySharing(
+            wl.stream, config.llcGeometry(config.llcSmallBytes),
+            makePolicyFactory("lru"), threads);
+
+        double buckets[4] = {0, 0, 0, 0};
+        double total = 0;
+        for (unsigned cores = 1; cores <= threads; ++cores) {
+            const auto hits =
+                static_cast<double>(sharing.sharerHits[cores - 1]);
+            total += hits;
+            if (cores == 1)
+                buckets[0] += hits;
+            else if (cores == 2)
+                buckets[1] += hits;
+            else if (cores <= 4)
+                buckets[2] += hits;
+            else
+                buckets[3] += hits;
+        }
+        std::vector<double> row;
+        for (int b = 0; b < 4; ++b) {
+            const double pct =
+                total > 0 ? 100.0 * buckets[b] / total : 0.0;
+            row.push_back(pct);
+            col[b].push_back(pct);
+        }
+        table.addRow(info.name, row, 1);
+    }
+    table.addSeparator();
+    table.addRow("mean",
+                 {mean(col[0]), mean(col[1]), mean(col[2]),
+                  mean(col[3])},
+                 1);
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 5: LLC misses of the recent replacement proposals — NRU,
+ * SRRIP, BRRIP, DRRIP, DIP and SHiP — and of Belady's OPT, normalised
+ * to LRU on the identical captured LLC stream.  The gap between the
+ * best online policy and OPT frames how much headroom (including
+ * sharing-awareness) remains.
+ *
+ * Usage: fig5_policy_comparison [--scale=1] [--threads=8]
+ *        [--llc-mb=4] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+    const std::uint64_t llc_bytes =
+        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    const CacheGeometry geo = config.llcGeometry(llc_bytes);
+
+    const std::vector<std::string> policies{
+        "nru", "srrip", "brrip", "drrip", "dip",
+        "ship", "tadip", "tadrrip"};
+
+    std::vector<std::string> headers{"app", "lru"};
+    for (const auto &p : policies)
+        headers.push_back(p);
+    headers.push_back("opt");
+
+    TablePrinter table("Figure 5: LLC misses normalised to LRU, " +
+                           std::to_string(llc_bytes >> 20) + "MB LLC",
+                       headers);
+
+    std::vector<std::vector<double>> columns(policies.size() + 1);
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+        const auto lru =
+            replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+        if (lru == 0)
+            continue;
+        const double base = static_cast<double>(lru);
+
+        std::vector<double> row{1.0};
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto misses = replayMisses(
+                wl.stream, geo, makePolicyFactory(policies[p]));
+            row.push_back(misses / base);
+            columns[p].push_back(misses / base);
+        }
+        const NextUseIndex index(wl.stream);
+        const auto opt = replayMissesOpt(wl.stream, index, geo);
+        row.push_back(opt / base);
+        columns[policies.size()].push_back(opt / base);
+        table.addRow(info.name, row, 3);
+    }
+    table.addSeparator();
+    std::vector<double> means{1.0};
+    for (const auto &column : columns)
+        means.push_back(geomean(column));
+    table.addRow("geomean", means, 3);
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

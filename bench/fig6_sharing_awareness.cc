@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 6: sharing-awareness enjoyed by each policy relative to OPT.
+ * At every eviction the oracle checks whether the victim's residency
+ * would still have been shared (future references complete a >= 2 core
+ * sharer set) while an unshared — or fully dead — candidate sat in the
+ * same set.  The rate of such "sharing-awareness mistakes" is reported
+ * per policy; OPT's rate calibrates the floor.
+ *
+ * Usage: fig6_sharing_awareness [--scale=1] [--threads=8]
+ *        [--llc-mb=4] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "core/awareness.hh"
+#include "mem/repl/factory.hh"
+#include "mem/repl/opt.hh"
+#include "sim/experiment.hh"
+#include "sim/stream_sim.hh"
+
+using namespace casim;
+
+namespace {
+
+struct Rates
+{
+    double mistake = 0.0;
+    double shared_victim = 0.0;
+};
+
+Rates
+scorePolicy(const Trace &stream, const NextUseIndex &index,
+            const CacheGeometry &geo, SeqNo window,
+            std::unique_ptr<ReplPolicy> policy)
+{
+    StreamSim sim(stream, geo, std::move(policy));
+    AwarenessScorer scorer(index, window);
+    sim.setAwarenessScorer(&scorer);
+    sim.run();
+    return Rates{scorer.mistakeRate(), scorer.sharedVictimRate()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+    const std::uint64_t llc_bytes =
+        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    const CacheGeometry geo = config.llcGeometry(llc_bytes);
+    const SeqNo window = config.oracleWindow(llc_bytes);
+
+    const std::vector<std::string> policies{"lru",  "nru",  "srrip",
+                                            "drrip", "ship", "tadrrip"};
+    std::vector<std::string> headers{"app"};
+    for (const auto &p : policies)
+        headers.push_back(p + "%");
+    headers.push_back("opt%");
+
+    TablePrinter table(
+        "Figure 6: sharing-awareness mistakes per eviction (shared "
+        "victim while unshared candidate present), " +
+            std::to_string(llc_bytes >> 20) + "MB LLC",
+        headers);
+
+    std::vector<std::vector<double>> columns(policies.size() + 1);
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+        const NextUseIndex index(wl.stream);
+
+        std::vector<double> row;
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto factory = makePolicyFactory(policies[p]);
+            const Rates rates =
+                scorePolicy(wl.stream, index, geo, window,
+                            factory(geo.numSets(), geo.ways));
+            row.push_back(100.0 * rates.mistake);
+            columns[p].push_back(100.0 * rates.mistake);
+        }
+        const Rates opt_rates = scorePolicy(
+            wl.stream, index, geo, window,
+            std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
+                                        index));
+        row.push_back(100.0 * opt_rates.mistake);
+        columns[policies.size()].push_back(100.0 * opt_rates.mistake);
+        table.addRow(info.name, row, 2);
+    }
+    table.addSeparator();
+    std::vector<double> means;
+    for (const auto &column : columns)
+        means.push_back(mean(column));
+    table.addRow("mean", means, 2);
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

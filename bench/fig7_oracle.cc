@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 7 — the headline oracle study.  The generic sharing-aware
+ * oracle labels every fill with whether the block will be actively
+ * shared in the near future; the victim filter composed with a base
+ * policy protects those fills.  The paper reports the oracle composed
+ * with LRU cutting misses by ~6% on average at 4 MB and ~10% at 8 MB;
+ * we additionally compose it with SRRIP and DRRIP to show the wrapper
+ * is policy-generic.
+ *
+ * Usage: fig7_oracle [--scale=1] [--threads=8] [--window-factor=4]
+ *        [--protection-rounds=128] [--post-rounds=0] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+    const std::vector<std::string> bases{"lru", "srrip", "drrip"};
+
+    std::vector<std::string> headers{"app"};
+    for (const auto &base : bases) {
+        headers.push_back("sa+" + base + "_4mb");
+        headers.push_back("sa+" + base + "_8mb");
+    }
+    TablePrinter table(
+        "Figure 7: sharing-aware oracle misses normalised to the plain "
+        "base policy",
+        headers);
+
+    // columns[base][size] -> per-app ratios.
+    std::vector<std::vector<std::vector<double>>> columns(
+        bases.size(), std::vector<std::vector<double>>(2));
+
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+        const NextUseIndex index(wl.stream);
+
+        std::vector<double> row;
+        for (std::size_t b = 0; b < bases.size(); ++b) {
+            int k = 0;
+            for (const std::uint64_t bytes :
+                 {config.llcSmallBytes, config.llcLargeBytes}) {
+                const CacheGeometry geo = config.llcGeometry(bytes);
+                OracleLabeler oracle =
+                    makeOracle(index, config, bytes);
+                const auto plain = replayMisses(
+                    wl.stream, geo, makePolicyFactory(bases[b]));
+                const auto aware = replayMissesWrapped(
+                    wl.stream, geo, makePolicyFactory(bases[b]),
+                    oracle, config);
+                const double ratio =
+                    plain == 0 ? 1.0
+                               : static_cast<double>(aware) /
+                                     static_cast<double>(plain);
+                row.push_back(ratio);
+                columns[b][k].push_back(ratio);
+                ++k;
+            }
+        }
+        table.addRow(info.name, row, 3);
+    }
+    table.addSeparator();
+    std::vector<double> means;
+    std::vector<double> reductions;
+    for (std::size_t b = 0; b < bases.size(); ++b) {
+        for (int k = 0; k < 2; ++k) {
+            means.push_back(mean(columns[b][k]));
+            reductions.push_back(100.0 * (1.0 - mean(columns[b][k])));
+        }
+    }
+    table.addRow("mean", means, 3);
+    table.addRow("reduction%", reductions, 1);
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::cout
+        << "Paper headline: sharing-aware oracle over LRU reduces LLC "
+           "misses ~6% (4MB) and\n~10% (8MB) on average; lower ratios "
+           "are better.\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Figure 8 — the predictor feasibility study (the paper's largely
+ * negative result).  Two history-based fill-time sharing predictors —
+ * indexed by block address and by fill PC — are trained online from
+ * residency outcomes and scored against the oracle's fill-time label:
+ * accuracy, precision, recall, and the miss delta when each predictor
+ * replaces the oracle inside the sharing-aware victim filter.
+ *
+ * Usage: fig8_predictors [--scale=1] [--threads=8] [--llc-mb=4]
+ *        [--pred-index-bits=14] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "core/predictor.hh"
+#include "core/sharing_aware.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/stream_sim.hh"
+
+using namespace casim;
+
+namespace {
+
+struct PredictorRun
+{
+    double accuracy = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double ratio = 1.0; // misses vs plain LRU
+};
+
+PredictorRun
+runPredictor(const CapturedWorkload &wl, const NextUseIndex &index,
+             const StudyConfig &config, const CacheGeometry &geo,
+             SeqNo window, FillLabeler &predictor, std::uint64_t lru)
+{
+    OracleLabeler truth = makeOracle(index, config, geo.sizeBytes);
+    LabelerEvaluator evaluated(predictor, &truth);
+
+    auto wrapped = std::make_unique<SharingAwareWrapper>(
+        makePolicyFactory("lru")(geo.numSets(), geo.ways),
+        config.protectionRounds, config.postShareRounds,
+        config.protectionQuota, config.dueling);
+    StreamSim sim(wl.stream, geo, std::move(wrapped));
+    sim.setLabeler(&evaluated);
+    sim.run();
+
+    PredictorRun run;
+    run.accuracy = evaluated.accuracy();
+    run.precision = evaluated.precision();
+    run.recall = evaluated.recall();
+    run.ratio = lru == 0 ? 1.0
+                         : static_cast<double>(sim.misses()) /
+                               static_cast<double>(lru);
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+    const std::uint64_t llc_bytes =
+        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    const CacheGeometry geo = config.llcGeometry(llc_bytes);
+    const SeqNo window = config.oracleWindow(llc_bytes);
+
+    TablePrinter table(
+        "Figure 8: fill-time sharing predictors vs the oracle, " +
+            std::to_string(llc_bytes >> 20) +
+            "MB LLC (acc/prec/rec vs oracle label; miss ratio vs LRU)",
+        {"app", "addr_acc", "addr_prec", "addr_rec", "addr_ratio",
+         "pc_acc", "pc_prec", "pc_rec", "pc_ratio", "oracle_ratio"});
+
+    std::vector<double> addr_acc, pc_acc, addr_ratio, pc_ratio,
+        oracle_ratio;
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+        const NextUseIndex index(wl.stream);
+        const auto lru =
+            replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+
+        AddressSharingPredictor addr(config.predictor);
+        PcSharingPredictor pc(config.predictor);
+        const PredictorRun a = runPredictor(wl, index, config, geo,
+                                            window, addr, lru);
+        const PredictorRun p =
+            runPredictor(wl, index, config, geo, window, pc, lru);
+
+        OracleLabeler oracle = makeOracle(index, config, llc_bytes);
+        const auto aware = replayMissesWrapped(
+            wl.stream, geo, makePolicyFactory("lru"), oracle, config);
+        const double o_ratio = lru == 0
+                                   ? 1.0
+                                   : static_cast<double>(aware) /
+                                         static_cast<double>(lru);
+
+        table.addRow(info.name,
+                     {a.accuracy, a.precision, a.recall, a.ratio,
+                      p.accuracy, p.precision, p.recall, p.ratio,
+                      o_ratio},
+                     3);
+        addr_acc.push_back(a.accuracy);
+        pc_acc.push_back(p.accuracy);
+        addr_ratio.push_back(a.ratio);
+        pc_ratio.push_back(p.ratio);
+        oracle_ratio.push_back(o_ratio);
+    }
+    table.addSeparator();
+    table.addRow("mean",
+                 {mean(addr_acc), 0.0, 0.0, mean(addr_ratio),
+                  mean(pc_acc), 0.0, 0.0, mean(pc_ratio),
+                  mean(oracle_ratio)},
+                 3);
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::cout
+        << "Paper conclusion: neither the block-address- nor the "
+           "PC-indexed history predictor\nreaches the accuracy needed "
+           "to recover the oracle's gain — the predictor-guided\nmiss "
+           "ratios sit well above the oracle's.\n";
+    return 0;
+}

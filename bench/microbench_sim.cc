@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot paths:
+ * cache demand accesses under each policy, next-use index
+ * construction, oracle labeling, trace generation, and the full
+ * hierarchy.  These guard the simulation throughput that the
+ * experiment binaries depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/oracle.hh"
+#include "core/sharing_aware.hh"
+#include "mem/hierarchy.hh"
+#include "mem/repl/factory.hh"
+#include "mem/repl/opt.hh"
+#include "sim/stream_sim.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+namespace {
+
+/** A reusable random trace: 256K references over a 64K-block space. */
+const Trace &
+randomTrace()
+{
+    static const Trace trace = [] {
+        Rng rng(42);
+        Trace t("micro", 8);
+        t.reserve(256 * 1024);
+        for (int i = 0; i < 256 * 1024; ++i) {
+            t.append(rng.below(65536) * kBlockBytes,
+                     0x400 + rng.below(64) * 4,
+                     static_cast<CoreId>(rng.below(8)),
+                     rng.chance(0.3));
+        }
+        return t;
+    }();
+    return trace;
+}
+
+CacheGeometry
+microGeometry()
+{
+    return CacheGeometry{1ULL << 20, 16, kBlockBytes}; // 1 MB
+}
+
+void
+BM_StreamSimPolicy(benchmark::State &state, const std::string &policy)
+{
+    const Trace &trace = randomTrace();
+    const CacheGeometry geo = microGeometry();
+    for (auto _ : state) {
+        const auto factory = makePolicyFactory(policy);
+        StreamSim sim(trace, geo, factory(geo.numSets(), geo.ways));
+        sim.run();
+        benchmark::DoNotOptimize(sim.misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_StreamSimOpt(benchmark::State &state)
+{
+    const Trace &trace = randomTrace();
+    const CacheGeometry geo = microGeometry();
+    const NextUseIndex index(trace);
+    for (auto _ : state) {
+        StreamSim sim(trace, geo,
+                      std::make_unique<OptPolicy>(geo.numSets(),
+                                                  geo.ways, index));
+        sim.run();
+        benchmark::DoNotOptimize(sim.misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_StreamSimOracleWrapped(benchmark::State &state)
+{
+    const Trace &trace = randomTrace();
+    const CacheGeometry geo = microGeometry();
+    const NextUseIndex index(trace);
+    for (auto _ : state) {
+        OracleLabeler oracle(index, 4 * (geo.sizeBytes / kBlockBytes));
+        auto wrapped = std::make_unique<SharingAwareWrapper>(
+            makePolicyFactory("lru")(geo.numSets(), geo.ways), 256);
+        StreamSim sim(trace, geo, std::move(wrapped));
+        sim.setLabeler(&oracle);
+        sim.run();
+        benchmark::DoNotOptimize(sim.misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_NextUseIndexBuild(benchmark::State &state)
+{
+    const Trace &trace = randomTrace();
+    for (auto _ : state) {
+        NextUseIndex index(trace);
+        benchmark::DoNotOptimize(index.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadParams params;
+    params.threads = 8;
+    params.scale = 0.05;
+    for (auto _ : state) {
+        const Trace trace = makeWorkloadTrace("ocean", params);
+        benchmark::DoNotOptimize(trace.size());
+    }
+}
+
+void
+BM_HierarchyRun(benchmark::State &state)
+{
+    const Trace &trace = randomTrace();
+    HierarchyConfig config;
+    config.numCores = 8;
+    config.llc = microGeometry();
+    for (auto _ : state) {
+        Hierarchy hierarchy(config, makePolicyFactory("lru"));
+        hierarchy.run(trace);
+        hierarchy.finish();
+        benchmark::DoNotOptimize(hierarchy.llcSeq());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+BENCHMARK_CAPTURE(BM_StreamSimPolicy, lru, "lru");
+BENCHMARK_CAPTURE(BM_StreamSimPolicy, srrip, "srrip");
+BENCHMARK_CAPTURE(BM_StreamSimPolicy, drrip, "drrip");
+BENCHMARK_CAPTURE(BM_StreamSimPolicy, ship, "ship");
+BENCHMARK_CAPTURE(BM_StreamSimPolicy, dip, "dip");
+BENCHMARK(BM_StreamSimOpt);
+BENCHMARK(BM_StreamSimOracleWrapped);
+BENCHMARK(BM_NextUseIndexBuild);
+BENCHMARK(BM_TraceGeneration);
+BENCHMARK(BM_HierarchyRun);
+
+} // namespace
+} // namespace casim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 1: the workload inventory — suite, demand references, memory
+ * footprint, LLC reference volume, write fraction, and LLC misses per
+ * kilo demand reference (MPKR, our MPKI proxy) under LRU at both
+ * studied LLC capacities.
+ *
+ * Usage: table1_workloads [--scale=1] [--threads=8] [--csv]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+
+    TablePrinter table(
+        "Table 1: multi-threaded workload inventory (" +
+            std::to_string(config.workload.threads) + " threads)",
+        {"app", "suite", "refs(K)", "fp(MB)", "shared_fp%", "wr%",
+         "llc_refs(K)", "mpkr_4mb", "mpkr_8mb"});
+
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload wl = captureWorkload(info.name, config);
+
+        // Trace-level properties need the original trace; regenerate
+        // cheaply (generation is a small fraction of simulation).
+        const Trace trace = makeWorkloadTrace(info.name,
+                                              config.workload);
+        const double shared_fp =
+            100.0 * static_cast<double>(trace.sharedFootprintBlocks()) /
+            static_cast<double>(std::max<std::size_t>(
+                1, trace.footprintBlocks()));
+
+        const double refs_k = wl.demandAccesses / 1000.0;
+        const auto mpkr = [&](std::uint64_t llc_bytes) {
+            const auto misses =
+                replayMisses(wl.stream, config.llcGeometry(llc_bytes),
+                             makePolicyFactory("lru"));
+            return 1000.0 * static_cast<double>(misses) /
+                   static_cast<double>(wl.demandAccesses);
+        };
+
+        table.addRow(
+            {info.name, info.suite, TablePrinter::fmt(refs_k, 0),
+             TablePrinter::fmt(
+                 wl.footprintBlocks * kBlockBytes / 1048576.0, 1),
+             TablePrinter::fmt(shared_fp, 1),
+             TablePrinter::fmt(100.0 * trace.writeFraction(), 1),
+             TablePrinter::fmt(wl.stream.size() / 1000.0, 0),
+             TablePrinter::fmt(mpkr(config.llcSmallBytes), 2),
+             TablePrinter::fmt(mpkr(config.llcLargeBytes), 2)});
+    }
+
+    if (options.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Policy explorer: compare every built-in replacement policy (plus OPT
+ * and the sharing-aware oracle composed with each base) on a chosen
+ * workload and LLC capacity.
+ *
+ * Usage: example_policy_explorer [--workload=streamcluster]
+ *        [--llc-mb=4] [--scale=0.5] [--threads=8]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    StudyConfig config = StudyConfig::fromOptions(options);
+    if (!options.has("scale"))
+        config.workload.scale = 0.5;
+    const std::string name =
+        options.getString("workload", "streamcluster");
+    const std::uint64_t llc_bytes =
+        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    const CacheGeometry geo = config.llcGeometry(llc_bytes);
+
+    std::cout << "Exploring policies on '" << name << "' with a "
+              << (llc_bytes >> 20) << "MB " << geo.ways
+              << "-way LLC...\n\n";
+
+    const CapturedWorkload wl = captureWorkload(name, config);
+    const NextUseIndex index(wl.stream);
+
+    TablePrinter table(
+        "'" + name + "' LLC misses by policy (stream of " +
+            std::to_string(wl.stream.size()) + " refs)",
+        {"policy", "misses", "miss_ratio", "vs_lru", "sa_misses",
+         "sa_vs_plain"});
+
+    const auto lru_misses =
+        replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+    for (const auto &policy : builtinPolicyNames()) {
+        const auto factory = makePolicyFactory(policy);
+        const auto misses = replayMisses(wl.stream, geo, factory);
+        OracleLabeler fresh = makeOracle(index, config, llc_bytes);
+        const auto sa = replayMissesWrapped(wl.stream, geo, factory,
+                                            fresh, config);
+        table.addRow(
+            {policy, std::to_string(misses),
+             TablePrinter::fmt(double(misses) / wl.stream.size(), 4),
+             TablePrinter::fmt(double(misses) / lru_misses, 3),
+             std::to_string(sa),
+             TablePrinter::fmt(misses == 0 ? 1.0 : double(sa) / misses,
+                               3)});
+    }
+    const auto opt = replayMissesOpt(wl.stream, index, geo);
+    table.addSeparator();
+    table.addRow({"opt (offline)", std::to_string(opt),
+                  TablePrinter::fmt(double(opt) / wl.stream.size(), 4),
+                  TablePrinter::fmt(double(opt) / lru_misses, 3), "-",
+                  "-"});
+    table.print(std::cout);
+
+    std::cout << "sa_misses: the same base policy wrapped by the "
+                 "sharing-aware oracle filter.\n";
+    return 0;
+}

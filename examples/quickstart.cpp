@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: generate one multi-threaded workload, run it through the
+ * coherent CMP hierarchy, characterize LLC sharing, and compare plain
+ * LRU against the sharing-aware oracle on the captured LLC stream.
+ *
+ * Usage: example_quickstart [--workload=canneal] [--scale=0.25]
+ *                           [--threads=8] [--llc-small-mb=4]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace casim;
+
+int
+main(int argc, char **argv)
+{
+    const Options options(argc, argv);
+    StudyConfig config = StudyConfig::fromOptions(options);
+    if (!options.has("scale"))
+        config.workload.scale = 0.25; // keep the demo quick
+    const std::string name = options.getString("workload", "canneal");
+
+    std::cout << "casim quickstart: workload '" << name << "', "
+              << config.workload.threads << " threads, scale "
+              << config.workload.scale << "\n\n";
+
+    // 1. Generate the workload and run the full coherent hierarchy,
+    //    capturing the LLC reference stream.
+    const CapturedWorkload captured = captureWorkload(name, config);
+    const auto &hier = captured.hierarchy;
+
+    std::cout << "demand references : " << captured.demandAccesses
+              << "\n";
+    std::cout << "footprint         : "
+              << captured.footprintBlocks * kBlockBytes / 1024 / 1024.0
+              << " MB\n";
+    std::cout << "LLC accesses      : " << hier.llcAccesses << "\n";
+    std::cout << "LLC miss ratio    : "
+              << TablePrinter::fmt(
+                     double(hier.llcMisses) /
+                         std::max<std::uint64_t>(1, hier.llcAccesses),
+                     4)
+              << "\n";
+    std::cout << "shared-hit frac   : "
+              << TablePrinter::fmt(hier.sharing.sharedHitFraction, 4)
+              << "\n";
+    std::cout << "upgrades          : " << hier.upgrades << "\n";
+    std::cout << "interventions     : " << hier.interventions << "\n\n";
+
+    // 2. Replay the captured stream under LRU, OPT, and the
+    //    sharing-aware oracle wrapped around LRU at both LLC sizes.
+    TablePrinter table(
+        "LLC misses on the captured stream (normalised to LRU)",
+        {"llc", "lru", "opt", "sa-oracle+lru", "oracle_gain%"});
+    for (const std::uint64_t bytes :
+         {config.llcSmallBytes, config.llcLargeBytes}) {
+        const CacheGeometry geo = config.llcGeometry(bytes);
+        const NextUseIndex index(captured.stream);
+        OracleLabeler oracle = makeOracle(index, config, bytes);
+
+        const auto lru = replayMisses(captured.stream, geo,
+                                      makePolicyFactory("lru"));
+        const auto opt =
+            replayMissesOpt(captured.stream, index, geo);
+        const auto wrapped = replayMissesWrapped(
+            captured.stream, geo, makePolicyFactory("lru"), oracle,
+            config);
+
+        const double base = static_cast<double>(lru);
+        table.addRow(std::to_string(bytes >> 20) + "MB",
+                     {1.0, opt / base, wrapped / base,
+                      100.0 * (1.0 - wrapped / base)});
+    }
+    table.print(std::cout);
+
+    std::cout << "The sharing-aware oracle protects blocks that will "
+                 "be actively shared;\nits gain over LRU bounds what a "
+                 "fill-time sharing predictor could achieve.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache indexing and predictors.
+ */
+
+#ifndef CASIM_COMMON_BITOPS_HH
+#define CASIM_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace casim {
+
+/** True iff x is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); undefined for x == 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Ceiling of log2(x); 0 for x <= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return x <= 1 ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Extract bits [first, first+count) of x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned first, unsigned count)
+{
+    return (x >> first) & ((count >= 64) ? ~0ULL : ((1ULL << count) - 1));
+}
+
+/** Population count of a sharer bit-vector. */
+constexpr unsigned
+popCount(std::uint64_t x)
+{
+    return static_cast<unsigned>(std::popcount(x));
+}
+
+/** Fold a 64-bit value down to `width` bits by XOR-folding. */
+constexpr std::uint64_t
+foldXor(std::uint64_t x, unsigned width)
+{
+    std::uint64_t folded = 0;
+    while (x != 0) {
+        folded ^= x & ((1ULL << width) - 1);
+        x >>= width;
+    }
+    return folded;
+}
+
+} // namespace casim
+
+#endif // CASIM_COMMON_BITOPS_HH

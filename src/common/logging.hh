@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-exit helpers.
+ *
+ * panic() is for simulator bugs (conditions that should never happen
+ * regardless of input); fatal() is for user errors (bad configuration or
+ * arguments); warn()/inform() are non-fatal status messages.
+ */
+
+#ifndef CASIM_COMMON_LOGGING_HH
+#define CASIM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace casim {
+
+namespace detail {
+
+/** Append the remaining message pieces to an output stream. */
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    streamInto(os, rest...);
+}
+
+/** Terminate with abort(); used for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with exit(1); used for user-caused errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+formatMsg(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort the process: an internal simulator invariant was violated. */
+#define casim_panic(...)                                                    \
+    ::casim::detail::panicImpl(__FILE__, __LINE__,                          \
+                               ::casim::detail::formatMsg(__VA_ARGS__))
+
+/** Exit the process: the user supplied an unusable configuration. */
+#define casim_fatal(...)                                                    \
+    ::casim::detail::fatalImpl(__FILE__, __LINE__,                          \
+                               ::casim::detail::formatMsg(__VA_ARGS__))
+
+/** Emit a non-fatal warning. */
+#define casim_warn(...)                                                     \
+    ::casim::detail::warnImpl(::casim::detail::formatMsg(__VA_ARGS__))
+
+/** Emit a non-fatal informational message. */
+#define casim_inform(...)                                                   \
+    ::casim::detail::informImpl(::casim::detail::formatMsg(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define casim_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::casim::detail::panicImpl(                                     \
+                __FILE__, __LINE__,                                         \
+                ::casim::detail::formatMsg("assertion '" #cond "' failed: ",\
+                                           ##__VA_ARGS__));                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace casim
+
+#endif // CASIM_COMMON_LOGGING_HH

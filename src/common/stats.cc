@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Implementation of the statistics package.
+ */
+
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+
+namespace casim {
+namespace stats {
+
+namespace {
+
+/** Print one aligned "name value # desc" row. */
+void
+printRow(std::ostream &os, const std::string &name, double value,
+         const std::string &desc)
+{
+    os << std::left << std::setw(44) << name << " " << std::right
+       << std::setw(16) << std::setprecision(6) << value;
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << "\n";
+}
+
+void
+printCsvRow(std::ostream &os, const std::string &name, double value)
+{
+    os << name << "," << std::setprecision(10) << value << "\n";
+}
+
+} // namespace
+
+void
+Counter::print(std::ostream &os) const
+{
+    printRow(os, name(), static_cast<double>(value_), desc());
+}
+
+void
+Counter::printCsv(std::ostream &os) const
+{
+    printCsvRow(os, name(), static_cast<double>(value_));
+}
+
+std::uint64_t
+CounterVector::total() const
+{
+    return std::accumulate(values_.begin(), values_.end(),
+                           std::uint64_t{0});
+}
+
+void
+CounterVector::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0);
+}
+
+void
+CounterVector::print(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        printRow(os, name() + "::" + labels_[i],
+                 static_cast<double>(values_[i]), i == 0 ? desc() : "");
+    }
+    printRow(os, name() + "::total", static_cast<double>(total()), "");
+}
+
+void
+CounterVector::printCsv(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        printCsvRow(os, name() + "::" + labels_[i],
+                    static_cast<double>(values_[i]));
+}
+
+void
+Distribution::sample(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = sumSq_ = min_ = max_ = 0.0;
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    printRow(os, name() + "::count", static_cast<double>(count_), desc());
+    printRow(os, name() + "::mean", mean(), "");
+    printRow(os, name() + "::min", min(), "");
+    printRow(os, name() + "::max", max(), "");
+    printRow(os, name() + "::stddev", stddev(), "");
+}
+
+void
+Distribution::printCsv(std::ostream &os) const
+{
+    printCsvRow(os, name() + "::count", static_cast<double>(count_));
+    printCsvRow(os, name() + "::mean", mean());
+    printCsvRow(os, name() + "::min", min());
+    printCsvRow(os, name() + "::max", max());
+    printCsvRow(os, name() + "::stddev", stddev());
+}
+
+void
+Histogram::sample(double x, std::uint64_t weight)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && x > bounds_[i])
+        ++i;
+    counts_[i] += weight;
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    return std::accumulate(counts_.begin(), counts_.end(),
+                           std::uint64_t{0});
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::string label;
+        if (i < bounds_.size())
+            label = "<=" + std::to_string(bounds_[i]);
+        else
+            label = "overflow";
+        printRow(os, name() + "::" + label,
+                 static_cast<double>(counts_[i]), i == 0 ? desc() : "");
+    }
+}
+
+void
+Histogram::printCsv(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::string label;
+        if (i < bounds_.size())
+            label = "<=" + std::to_string(bounds_[i]);
+        else
+            label = "overflow";
+        printCsvRow(os, name() + "::" + label,
+                    static_cast<double>(counts_[i]));
+    }
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    printRow(os, name(), fn_(), desc());
+}
+
+void
+Formula::printCsv(std::ostream &os) const
+{
+    printCsvRow(os, name(), fn_());
+}
+
+std::string
+StatGroup::qualify(const std::string &name) const
+{
+    return prefix_.empty() ? name : prefix_ + "." + name;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Counter>(qualify(name), desc);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+CounterVector &
+StatGroup::addVector(const std::string &name, const std::string &desc,
+                     std::vector<std::string> labels)
+{
+    auto stat = std::make_unique<CounterVector>(qualify(name), desc,
+                                                std::move(labels));
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Distribution>(qualify(name), desc);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &name, const std::string &desc,
+                        std::vector<double> bounds)
+{
+    auto stat = std::make_unique<Histogram>(qualify(name), desc,
+                                            std::move(bounds));
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>(qualify(name), desc,
+                                          std::move(fn));
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &stat : stats_)
+        stat->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &stat : stats_)
+        stat->print(os);
+}
+
+void
+StatGroup::dumpCsv(std::ostream &os) const
+{
+    for (const auto &stat : stats_)
+        stat->printCsv(os);
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto &stat : stats_) {
+        if (stat->name() == name)
+            return stat.get();
+    }
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace casim

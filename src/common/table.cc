@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Implementation of the ASCII table builder.
+ */
+
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    casim_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    casim_assert(cells.size() == headers_.size(),
+                 "row width ", cells.size(), " != header width ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmt(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto rule = [&]() {
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    };
+
+    os << "== " << title_ << " ==\n";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c == 0)
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << headers_[c] << "  ";
+        else
+            os << std::right << std::setw(static_cast<int>(widths[c]))
+               << headers_[c] << "  ";
+    }
+    os << "\n";
+    rule();
+
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            rule();
+        }
+        const auto &row = rows_[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c == 0)
+                os << std::left << std::setw(static_cast<int>(widths[c]))
+                   << row[c] << "  ";
+            else
+                os << std::right << std::setw(static_cast<int>(widths[c]))
+                   << row[c] << "  ";
+        }
+        os << "\n";
+    }
+    os << "\n";
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        casim_assert(v > 0.0, "geomean needs positive values, got ", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace casim

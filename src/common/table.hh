@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ASCII table rendering for experiment output.
+ *
+ * Every bench binary reports its figure/table through TablePrinter so the
+ * output format matches across experiments: a title line, a header row, an
+ * underline, and aligned data rows.  Numeric cells are formatted with a
+ * configurable precision; a trailing summary row (e.g. geometric mean) can
+ * be separated from the body.
+ */
+
+#ifndef CASIM_COMMON_TABLE_HH
+#define CASIM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace casim {
+
+/** Column-aligned ASCII table builder. */
+class TablePrinter
+{
+  public:
+    /**
+     * @param title   Printed above the table.
+     * @param headers Column headers; first column is left-aligned, the
+     *                rest are right-aligned.
+     */
+    TablePrinter(std::string title, std::vector<std::string> headers);
+
+    /** Append a fully formatted row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row whose trailing cells are doubles. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 4);
+
+    /** Mark the next row added as a summary (separated by a rule). */
+    void addSeparator();
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (no title, headers as first row). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string fmt(double value, int precision = 4);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Geometric mean of a vector of positive values (0 on empty input). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 on empty input). */
+double mean(const std::vector<double> &values);
+
+} // namespace casim
+
+#endif // CASIM_COMMON_TABLE_HH

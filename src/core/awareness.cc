@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of the sharing-awareness scorer.
+ */
+
+#include "core/awareness.hh"
+
+namespace casim {
+
+void
+AwarenessScorer::onEviction(const Cache &cache, unsigned set,
+                            unsigned victim_way, SeqNo now)
+{
+    ++evictions_;
+    const CacheBlock &victim = cache.blockAt(set, victim_way);
+    // The victim's residency "would still be shared" if its future
+    // window contains references and the residency's sharer set (past
+    // touches plus future touches) spans at least two cores.
+    const std::uint64_t future =
+        index_.coreMaskWithin(victim.addr, now, window_);
+    if (future == 0 ||
+        popCount(victim.touchedMask | future) < 2)
+        return;
+    ++sharedVictims_;
+
+    bool unshared_candidate = false;
+    bool dead_candidate = false;
+    const unsigned ways = cache.geometry().ways;
+    for (unsigned way = 0; way < ways; ++way) {
+        if (way == victim_way)
+            continue;
+        const CacheBlock &other = cache.blockAt(set, way);
+        if (!other.valid)
+            continue;
+        const std::uint64_t other_future =
+            index_.coreMaskWithin(other.addr, now, window_);
+        if (other_future == 0 ||
+            popCount(other.touchedMask | other_future) < 2) {
+            unshared_candidate = true;
+            if (other_future == 0) {
+                dead_candidate = true;
+                break;
+            }
+        }
+    }
+    if (unshared_candidate)
+        ++mistakes_;
+    if (dead_candidate)
+        ++mistakesWithDead_;
+}
+
+double
+AwarenessScorer::mistakeRate() const
+{
+    return evictions_ == 0
+               ? 0.0
+               : static_cast<double>(mistakes_) /
+                     static_cast<double>(evictions_);
+}
+
+double
+AwarenessScorer::sharedVictimRate() const
+{
+    return evictions_ == 0
+               ? 0.0
+               : static_cast<double>(sharedVictims_) /
+                     static_cast<double>(evictions_);
+}
+
+} // namespace casim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Implementation of the offline sharing labelers.
+ */
+
+#include "core/oracle.hh"
+
+namespace casim {
+
+void
+ResidencyReplayLabeler::recordOutcome(Addr block_addr, bool was_shared)
+{
+    outcomes_[block_addr].shared.push_back(was_shared);
+}
+
+bool
+ResidencyReplayLabeler::predictShared(const ReplContext &fill)
+{
+    auto it = outcomes_.find(fill.blockAddr);
+    if (it == outcomes_.end())
+        return false;
+    BlockOutcomes &rec = it->second;
+    if (rec.shared.empty())
+        return false;
+    // Residency sequences can diverge between the recording and replay
+    // runs; clamp to the last recorded outcome rather than guessing.
+    const std::size_t k = std::min(rec.cursor, rec.shared.size() - 1);
+    ++rec.cursor;
+    return rec.shared[k];
+}
+
+SeqNo
+defaultOracleWindow(std::uint64_t llc_bytes, unsigned block_bytes)
+{
+    return 8 * (llc_bytes / block_bytes);
+}
+
+} // namespace casim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Fill-time sharing labelers: the interface a sharing-aware LLC
+ * controller would need, the offline oracle that upper-bounds it, and a
+ * residency-replay variant used as an ablation.
+ *
+ * The paper's generic oracle answers one question at fill time: "will
+ * this block be actively shared during its LLC residency?".  The primary
+ * implementation here is policy-independent: a fill at stream position i
+ * is SHARED iff at least two distinct cores reference the block within
+ * the next `window` stream positions.
+ */
+
+#ifndef CASIM_CORE_ORACLE_HH
+#define CASIM_CORE_ORACLE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/block.hh"
+#include "mem/repl/policy.hh"
+#include "trace/next_use.hh"
+
+namespace casim {
+
+/**
+ * Interface of a fill-time sharing labeler.
+ *
+ * predictShared() is consulted when a block is filled; train() delivers
+ * the ground-truth outcome when the residency ends, which online
+ * predictors use for learning and oracles ignore.
+ */
+class FillLabeler
+{
+  public:
+    virtual ~FillLabeler() = default;
+
+    /** Label the fill described by `fill` (fill.seq = stream position). */
+    virtual bool predictShared(const ReplContext &fill) = 0;
+
+    /**
+     * Residency outcome feedback: `block` just left the cache and
+     * carries its fill PC/address and the observed sharer set.
+     */
+    virtual void train(const CacheBlock &block) { (void)block; }
+
+    /** Short name used in reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Labeler that marks every fill private (baseline behaviour). */
+class NeverSharedLabeler : public FillLabeler
+{
+  public:
+    bool
+    predictShared(const ReplContext &fill) override
+    {
+        (void)fill;
+        return false;
+    }
+    std::string name() const override { return "never"; }
+};
+
+/** Labeler that marks every fill shared (protection stress test). */
+class AlwaysSharedLabeler : public FillLabeler
+{
+  public:
+    bool
+    predictShared(const ReplContext &fill) override
+    {
+        (void)fill;
+        return true;
+    }
+    std::string name() const override { return "always"; }
+};
+
+/**
+ * The offline sharing oracle (future-window definition).
+ *
+ * A fill is labeled SHARED when (a) at least two distinct cores
+ * reference the block within the future window — the residency "will
+ * be shared" — and (b) the block's next reference itself falls inside
+ * the near window, because protection cannot save a block whose reuse
+ * lies beyond any plausible residency: retaining it would only
+ * displace nearer-reuse data (the label would be pure damage).
+ */
+class OracleLabeler : public FillLabeler
+{
+  public:
+    /**
+     * @param index  Next-use index over the exact stream being replayed.
+     * @param window Future stream positions scanned from each fill.
+     * @param near_window Maximum distance of the block's next use for
+     *               the label to be useful; 0 means "same as window".
+     */
+    OracleLabeler(const NextUseIndex &index, SeqNo window,
+                  SeqNo near_window = 0)
+        : index_(index), window_(window),
+          nearWindow_(near_window == 0 ? window : near_window)
+    {
+    }
+
+    bool
+    predictShared(const ReplContext &fill) override
+    {
+        if (!index_.sharedWithin(fill.blockAddr, fill.seq, window_))
+            return false;
+        const SeqNo next = index_.nextUse(fill.seq);
+        return next != kSeqNever && next - fill.seq <= nearWindow_;
+    }
+
+    std::string name() const override { return "oracle"; }
+
+    /** The future window in effect. */
+    SeqNo window() const { return window_; }
+
+    /** The near (reuse) window in effect. */
+    SeqNo nearWindow() const { return nearWindow_; }
+
+  private:
+    const NextUseIndex &index_;
+    SeqNo window_;
+    SeqNo nearWindow_;
+};
+
+/**
+ * Residency-replay oracle: labels the k-th fill of each block with the
+ * sharing outcome its k-th residency had in a previously recorded
+ * baseline run.  Used as an ablation against the future-window oracle.
+ */
+class ResidencyReplayLabeler : public FillLabeler
+{
+  public:
+    /** Start with an empty label store; record via recordOutcome(). */
+    ResidencyReplayLabeler() = default;
+
+    /**
+     * Record that the n-th residency (in record order) of `block_addr`
+     * in the baseline run was shared or not.
+     */
+    void recordOutcome(Addr block_addr, bool was_shared);
+
+    bool predictShared(const ReplContext &fill) override;
+    std::string name() const override { return "residency_replay"; }
+
+    /** Number of blocks with recorded outcomes. */
+    std::size_t blocksRecorded() const { return outcomes_.size(); }
+
+  private:
+    struct BlockOutcomes
+    {
+        std::vector<bool> shared;
+        std::size_t cursor = 0;
+    };
+
+    std::unordered_map<Addr, BlockOutcomes> outcomes_;
+};
+
+/** Default future window: 8x the LLC block capacity in stream slots. */
+SeqNo defaultOracleWindow(std::uint64_t llc_bytes,
+                          unsigned block_bytes = kBlockBytes);
+
+} // namespace casim
+
+#endif // CASIM_CORE_ORACLE_HH

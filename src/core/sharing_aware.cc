@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Implementation of the sharing-aware victim filter.
+ */
+
+#include "core/sharing_aware.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace casim {
+
+SharingAwareWrapper::SharingAwareWrapper(std::unique_ptr<ReplPolicy> base,
+                                         unsigned pre_rounds,
+                                         unsigned post_rounds,
+                                         double quota, bool dueling,
+                                         bool demote_private)
+    : ReplPolicy(base->numSets(), base->numWays()),
+      base_(std::move(base)), preRounds_(pre_rounds),
+      postRounds_(post_rounds != 0
+                      ? post_rounds
+                      : std::max(1u, pre_rounds / 4)),
+      maxProtected_(std::max(
+          1u, static_cast<unsigned>(quota * numWays() + 0.5))),
+      dueling_(dueling), demotePrivate_(demote_private),
+      roles_(numSets(), Role::Follower),
+      clock_(numSets(), 0),
+      protected_(static_cast<std::size_t>(numSets()) * numWays(), 0),
+      demoted_(static_cast<std::size_t>(numSets()) * numWays(), 0),
+      sharedSeen_(static_cast<std::size_t>(numSets()) * numWays(), 0),
+      fillCore_(static_cast<std::size_t>(numSets()) * numWays(), 0),
+      expiry_(static_cast<std::size_t>(numSets()) * numWays(), 0)
+{
+    casim_assert(preRounds_ >= 1, "protection needs at least one round");
+    casim_assert(quota > 0.0 && quota <= 1.0,
+                 "protection quota must be in (0, 1]");
+    if (dueling_) {
+        // Pick the leader sets by a hash of the set index rather than
+        // a fixed stride: strided leaders can alias with the regular
+        // region layouts of array codes (e.g. a hot Zipf head that
+        // occupies the low sets), and a biased leader sample makes the
+        // PSEL mispredict what protection does to the followers.
+        const unsigned leaders_per_policy =
+            numSets() >= 256 ? 64
+                             : std::max(1u, numSets() / 4);
+        const unsigned total_leaders =
+            std::min(numSets(), 2 * leaders_per_policy);
+        std::vector<unsigned> order(numSets());
+        for (unsigned set = 0; set < numSets(); ++set)
+            order[set] = set;
+        std::sort(order.begin(), order.end(),
+                  [](unsigned a, unsigned b) {
+                      return mix64(a ^ 0x5a5a) < mix64(b ^ 0x5a5a);
+                  });
+        for (unsigned k = 0; k < total_leaders; ++k) {
+            roles_[order[k]] =
+                (k % 2 == 0) ? Role::OnLeader : Role::OffLeader;
+        }
+    }
+}
+
+bool
+SharingAwareWrapper::protectionActive(unsigned set) const
+{
+    if (!dueling_)
+        return true;
+    switch (roles_[set]) {
+      case Role::OnLeader:
+        return true;
+      case Role::OffLeader:
+        return false;
+      case Role::Follower:
+      default:
+        return followersProtect();
+    }
+}
+
+unsigned
+SharingAwareWrapper::protectedWays(unsigned set) const
+{
+    unsigned count = 0;
+    for (unsigned way = 0; way < numWays(); ++way)
+        count += isProtected(set, way) ? 1 : 0;
+    return count;
+}
+
+bool
+SharingAwareWrapper::isProtected(unsigned set, unsigned way) const
+{
+    const std::size_t f = flat(set, way);
+    return protected_[f] != 0 && clock_[set] < expiry_[f];
+}
+
+unsigned
+SharingAwareWrapper::victim(unsigned set, const ReplContext &ctx,
+                            std::uint64_t exclude)
+{
+    const std::uint64_t now = ++clock_[set];
+
+    // The dueling decision gates victim filtering as well as grants:
+    // once the selector learns protection hurts, protections granted
+    // earlier (and kept alive by hit refreshes) must stop vetoing
+    // victims immediately.
+    std::uint64_t protect_mask = 0;
+    std::uint64_t demote_mask = 0;
+    if (protectionActive(set)) {
+        for (unsigned way = 0; way < numWays(); ++way) {
+            const std::size_t f = flat(set, way);
+            if (demoted_[f])
+                demote_mask |= 1ULL << way;
+            if (!protected_[f])
+                continue;
+            if (now >= expiry_[f]) {
+                protected_[f] = 0;
+                continue;
+            }
+            protect_mask |= 1ULL << way;
+        }
+    }
+
+    const std::uint64_t all =
+        numWays() >= 64 ? ~0ULL : ((1ULL << numWays()) - 1);
+
+    // Victim preference order: (1) among demoted not-shared fills —
+    // but only while the set actually holds protected shared blocks,
+    // because the point of demotion is to retain shared data at the
+    // expense of private data, not to act as a standalone dead-block
+    // heuristic; (2) among non-protected ways; (3) anything the caller
+    // allows.  Each step falls through when it would exclude every
+    // candidate.
+    const std::uint64_t prefer_demoted =
+        exclude | (all & ~demote_mask);
+    if (protect_mask != 0 && demote_mask != 0 &&
+        (prefer_demoted & all) != all) {
+        ++demotedVictims_;
+        return base_->victim(set, ctx, prefer_demoted);
+    }
+
+    std::uint64_t combined = exclude | protect_mask;
+    if ((combined & all) == all) {
+        // Every candidate is protected: fall back to the caller's
+        // exclusions only, otherwise the set would deadlock.
+        ++saturatedSets_;
+        combined = exclude;
+    }
+
+    // Note: victim() may mutate base-policy state (RRIP aging), so the
+    // base is consulted exactly once per victimisation.
+    const unsigned way = base_->victim(set, ctx, combined);
+    if (combined != exclude)
+        ++filteredVictims_;
+    return way;
+}
+
+void
+SharingAwareWrapper::onFill(unsigned set, unsigned way,
+                            const ReplContext &ctx)
+{
+    base_->onFill(set, way, ctx);
+    // A fill means this set missed: leaders vote for or against
+    // protection with their misses.
+    if (dueling_) {
+        if (roles_[set] == Role::OnLeader && psel_ < kPselMax)
+            ++psel_;
+        else if (roles_[set] == Role::OffLeader && psel_ > 0)
+            --psel_;
+    }
+    const std::size_t f = flat(set, way);
+    // The way being filled cannot itself be protected (onEvict or
+    // onInvalidate ran first), so the quota check counts the others.
+    protected_[f] = 0;
+    const bool grant = ctx.predictedShared && protectionActive(set) &&
+                       protectedWays(set) < maxProtected_;
+    protected_[f] = grant ? 1 : 0;
+    // The demotion bit is pure label state, never gated by the dueling
+    // decision at fill time: gating it would leave a mix of demoted
+    // and non-demoted private blocks behind every PSEL flip, and the
+    // resulting age-based victim split acts like bimodal insertion —
+    // gains that have nothing to do with sharing.  victim() gates its
+    // *use* instead.
+    demoted_[f] = (demotePrivate_ && !ctx.predictedShared) ? 1 : 0;
+    sharedSeen_[f] = 0;
+    fillCore_[f] = ctx.core;
+    expiry_[f] = expiryFor(f, clock_[set]);
+}
+
+void
+SharingAwareWrapper::onHit(unsigned set, unsigned way,
+                           const ReplContext &ctx)
+{
+    base_->onHit(set, way, ctx);
+    const std::uint64_t now = ++clock_[set];
+    const std::size_t f = flat(set, way);
+    // The demotion bit is deliberately NOT cleared by hits: it encodes
+    // shared-vs-private, not dead-vs-live.  Clearing it on hits would
+    // turn the filter into a generic dead-block predictor and credit
+    // "sharing-awareness" with gains that have nothing to do with
+    // sharing (e.g. in fully-private workloads).
+    if (protected_[f]) {
+        // A hit refreshes the protection clock; a cross-core hit marks
+        // the promised sharing as observed.
+        if (ctx.core != fillCore_[f])
+            sharedSeen_[f] = 1;
+        expiry_[f] = expiryFor(f, now);
+    }
+}
+
+void
+SharingAwareWrapper::onEvict(unsigned set, unsigned way)
+{
+    base_->onEvict(set, way);
+    const std::size_t f = flat(set, way);
+    protected_[f] = 0;
+    demoted_[f] = 0;
+    sharedSeen_[f] = 0;
+}
+
+void
+SharingAwareWrapper::onInvalidate(unsigned set, unsigned way)
+{
+    base_->onInvalidate(set, way);
+    const std::size_t f = flat(set, way);
+    protected_[f] = 0;
+    demoted_[f] = 0;
+    sharedSeen_[f] = 0;
+}
+
+std::string
+SharingAwareWrapper::name() const
+{
+    return "sa+" + base_->name();
+}
+
+} // namespace casim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cache block (line) state, including the instrumentation fields the
+ * sharing study relies on.
+ */
+
+#ifndef CASIM_MEM_BLOCK_HH
+#define CASIM_MEM_BLOCK_HH
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace casim {
+
+/** MESI coherence states used by the private caches. */
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Printable name of a MESI state. */
+const char *mesiStateName(MesiState state);
+
+/**
+ * One cache line's tag-store entry.
+ *
+ * The same structure backs private caches (which use `state`) and the
+ * shared LLC (which uses `sharers` as its in-tag directory plus the
+ * residency-instrumentation fields consumed by the sharing study).
+ */
+struct CacheBlock
+{
+    /** Block-aligned address held by this way (valid only if valid). */
+    Addr addr = kAddrInvalid;
+
+    /** True iff the way holds a block. */
+    bool valid = false;
+
+    /** True iff the held data is newer than the next level's copy. */
+    bool dirty = false;
+
+    /** Coherence state; used by private caches only. */
+    MesiState state = MesiState::Invalid;
+
+    /** Directory: bit c set iff core c's private cache holds a copy. */
+    std::uint64_t sharers = 0;
+
+    // --- Residency instrumentation (LLC sharing study) ---------------
+
+    /** Bit c set iff core c accessed the block during this residency. */
+    std::uint64_t touchedMask = 0;
+
+    /** True iff any store touched the block during this residency. */
+    bool writtenDuringResidency = false;
+
+    /** Demand hits served by the block during this residency. */
+    std::uint64_t hitsDuringResidency = 0;
+
+    /** Global stream position of the fill that started this residency. */
+    SeqNo fillSeq = 0;
+
+    /** PC of the instruction whose miss triggered the fill. */
+    PC fillPC = 0;
+
+    /** Core whose miss triggered the fill. */
+    CoreId fillCore = 0;
+
+    /** Fill-time sharing label attached by an oracle or predictor. */
+    bool predictedShared = false;
+
+    /** True iff the block was installed by a prefetch and not yet
+     *  referenced by a demand access. */
+    bool prefetched = false;
+
+    /** Number of distinct cores that touched the block this residency. */
+    unsigned touchedCores() const { return popCount(touchedMask); }
+
+    /** True iff >= 2 distinct cores touched the block this residency. */
+    bool sharedThisResidency() const { return touchedCores() >= 2; }
+
+    /** Clear everything back to an empty way. */
+    void
+    invalidate()
+    {
+        *this = CacheBlock{};
+    }
+};
+
+} // namespace casim
+
+#endif // CASIM_MEM_BLOCK_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Implementation of the set-associative cache tag store.
+ */
+
+#include "mem/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace casim {
+
+unsigned
+CacheGeometry::numSets() const
+{
+    return static_cast<unsigned>(sizeBytes / (static_cast<std::uint64_t>(
+                                     ways) * blockBytes));
+}
+
+void
+CacheGeometry::check() const
+{
+    if (!isPowerOf2(blockBytes))
+        casim_fatal("block size ", blockBytes, " is not a power of two");
+    if (ways == 0 || ways > 64)
+        casim_fatal("associativity ", ways, " out of range [1, 64]");
+    if (sizeBytes % (static_cast<std::uint64_t>(ways) * blockBytes) != 0)
+        casim_fatal("cache size ", sizeBytes,
+                    " not divisible by ways*block");
+    if (!isPowerOf2(numSets()))
+        casim_fatal("set count ", numSets(), " is not a power of two");
+}
+
+Cache::Cache(std::string name, const CacheGeometry &geo,
+             std::unique_ptr<ReplPolicy> policy)
+    : name_(std::move(name)), geo_(geo),
+      policy_(std::move(policy)),
+      stats_(name_),
+      hits_(stats_.addCounter("demand_hits", "demand accesses that hit")),
+      misses_(stats_.addCounter("demand_misses",
+                                "demand accesses that missed")),
+      fills_(stats_.addCounter("fills", "blocks installed")),
+      evictions_(stats_.addCounter("evictions",
+                                   "blocks replaced by fills")),
+      dirtyEvictions_(stats_.addCounter("dirty_evictions",
+                                        "replaced blocks that were dirty")),
+      extInvalidations_(stats_.addCounter(
+          "ext_invalidations", "blocks removed by back-invalidation")),
+      writeHits_(stats_.addCounter("write_hits", "demand store hits")),
+      writeMisses_(stats_.addCounter("write_misses",
+                                     "demand store misses"))
+{
+    geo_.check();
+    casim_assert(policy_ != nullptr, "cache needs a replacement policy");
+    casim_assert(policy_->numSets() == geo_.numSets() &&
+                     policy_->numWays() == geo_.ways,
+                 "policy geometry mismatch for cache ", name_);
+    setShift_ = floorLog2(geo_.blockBytes);
+    setMask_ = geo_.numSets() - 1;
+    blocks_.resize(static_cast<std::size_t>(geo_.numSets()) * geo_.ways);
+}
+
+unsigned
+Cache::setIndex(Addr block_addr) const
+{
+    return static_cast<unsigned>((block_addr >> setShift_) & setMask_);
+}
+
+unsigned
+Cache::findWay(unsigned set, Addr block_addr) const
+{
+    for (unsigned way = 0; way < geo_.ways; ++way) {
+        const CacheBlock &block = blockAt(set, way);
+        if (block.valid && block.addr == block_addr)
+            return way;
+    }
+    return geo_.ways;
+}
+
+CacheBlock *
+Cache::probe(Addr block_addr)
+{
+    const unsigned set = setIndex(block_addr);
+    const unsigned way = findWay(set, block_addr);
+    return way == geo_.ways ? nullptr : &blockAt(set, way);
+}
+
+const CacheBlock *
+Cache::probe(Addr block_addr) const
+{
+    const unsigned set = setIndex(block_addr);
+    const unsigned way = findWay(set, block_addr);
+    return way == geo_.ways ? nullptr : &blockAt(set, way);
+}
+
+CacheBlock *
+Cache::access(const ReplContext &ctx)
+{
+    const unsigned set = setIndex(ctx.blockAddr);
+    const unsigned way = findWay(set, ctx.blockAddr);
+    if (way == geo_.ways) {
+        ++misses_;
+        if (ctx.isWrite)
+            ++writeMisses_;
+        if (observer_ != nullptr)
+            observer_->onMiss(ctx);
+        return nullptr;
+    }
+
+    CacheBlock &block = blockAt(set, way);
+    ++hits_;
+    if (ctx.isWrite)
+        ++writeHits_;
+    block.touchedMask |= 1ULL << ctx.core;
+    block.writtenDuringResidency |= ctx.isWrite;
+    ++block.hitsDuringResidency;
+    policy_->onHit(set, way, ctx);
+    if (observer_ != nullptr)
+        observer_->onHit(block, ctx);
+    return &block;
+}
+
+void
+Cache::endResidency(CacheBlock &block, bool external)
+{
+    if (!block.valid)
+        return;
+    if (observer_ != nullptr)
+        observer_->onResidencyEnd(block);
+    if (external)
+        ++extInvalidations_;
+    block.invalidate();
+}
+
+CacheBlock &
+Cache::fill(const ReplContext &ctx, const VictimHandler &on_victim)
+{
+    const unsigned set = setIndex(ctx.blockAddr);
+    casim_assert(findWay(set, ctx.blockAddr) == geo_.ways,
+                 "fill of already-resident block in ", name_);
+
+    // Prefer an invalid way; otherwise consult the policy.
+    unsigned way = geo_.ways;
+    for (unsigned w = 0; w < geo_.ways; ++w) {
+        if (!blockAt(set, w).valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == geo_.ways) {
+        way = policy_->victim(set, ctx, 0);
+        casim_assert(way < geo_.ways, "policy returned bad way");
+        CacheBlock &victim = blockAt(set, way);
+        ++evictions_;
+        if (victim.dirty)
+            ++dirtyEvictions_;
+        policy_->onEvict(set, way);
+        if (on_victim)
+            on_victim(victim);
+        endResidency(victim, false);
+    }
+
+    CacheBlock &block = blockAt(set, way);
+    block.valid = true;
+    block.addr = ctx.blockAddr;
+    block.dirty = ctx.isWrite;
+    block.state = MesiState::Invalid; // protocol code sets this
+    block.sharers = 0;
+    block.touchedMask = 1ULL << ctx.core;
+    block.writtenDuringResidency = ctx.isWrite;
+    block.hitsDuringResidency = 0;
+    block.fillSeq = ctx.seq;
+    block.fillPC = ctx.pc;
+    block.fillCore = ctx.core;
+    block.predictedShared = ctx.predictedShared;
+    ++fills_;
+    policy_->onFill(set, way, ctx);
+    if (observer_ != nullptr)
+        observer_->onFill(block, ctx);
+    return block;
+}
+
+bool
+Cache::invalidate(Addr block_addr)
+{
+    const unsigned set = setIndex(block_addr);
+    const unsigned way = findWay(set, block_addr);
+    if (way == geo_.ways)
+        return false;
+    policy_->onInvalidate(set, way);
+    endResidency(blockAt(set, way), true);
+    return true;
+}
+
+void
+Cache::flushResidencies()
+{
+    for (unsigned set = 0; set < geo_.numSets(); ++set) {
+        for (unsigned way = 0; way < geo_.ways; ++way) {
+            CacheBlock &block = blockAt(set, way);
+            if (!block.valid)
+                continue;
+            if (observer_ != nullptr)
+                observer_->onResidencyEnd(block);
+            block.invalidate();
+        }
+    }
+}
+
+std::size_t
+Cache::validBlocks() const
+{
+    std::size_t count = 0;
+    for (const auto &block : blocks_)
+        count += block.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace casim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * A set-associative cache tag store with pluggable replacement and
+ * residency observation hooks.
+ *
+ * The same class backs the private L1s and the shared LLC; protocol
+ * logic (MESI, inclusion, the directory) lives in Hierarchy, and the
+ * sharing study attaches to the LLC through CacheObserver.
+ */
+
+#ifndef CASIM_MEM_CACHE_HH
+#define CASIM_MEM_CACHE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/block.hh"
+#include "mem/repl/policy.hh"
+
+namespace casim {
+
+/** Geometry of a set-associative cache. */
+struct CacheGeometry
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 4 * 1024 * 1024;
+
+    /** Associativity. */
+    unsigned ways = 16;
+
+    /** Line size in bytes (power of two). */
+    unsigned blockBytes = kBlockBytes;
+
+    /** Number of sets implied by the fields above. */
+    unsigned numSets() const;
+
+    /** Validate and die with a helpful message on bad geometry. */
+    void check() const;
+};
+
+/**
+ * Observer of residency lifecycle events, used by the sharing study.
+ *
+ * Events refer to demand activity only; writebacks and directory
+ * maintenance are invisible here.
+ */
+class CacheObserver
+{
+  public:
+    virtual ~CacheObserver() = default;
+
+    /** A demand access hit `block`. */
+    virtual void
+    onHit(const CacheBlock &block, const ReplContext &ctx)
+    {
+        (void)block;
+        (void)ctx;
+    }
+
+    /** A demand access missed. */
+    virtual void onMiss(const ReplContext &ctx) { (void)ctx; }
+
+    /** `block` was just installed by a fill. */
+    virtual void
+    onFill(const CacheBlock &block, const ReplContext &ctx)
+    {
+        (void)block;
+        (void)ctx;
+    }
+
+    /**
+     * `block`'s residency ended (replacement, external invalidation, or
+     * the end-of-run flush).  The block still carries its full
+     * residency instrumentation.
+     */
+    virtual void onResidencyEnd(const CacheBlock &block) { (void)block; }
+};
+
+/** Set-associative cache with demand access / fill / invalidate ops. */
+class Cache
+{
+  public:
+    /** Called with the victim block before a fill overwrites it. */
+    using VictimHandler = std::function<void(const CacheBlock &)>;
+
+    /**
+     * @param name   Instance name used as the stats prefix (e.g. "llc").
+     * @param geo    Cache geometry; validated here.
+     * @param policy Replacement policy sized for this geometry.
+     */
+    Cache(std::string name, const CacheGeometry &geo,
+          std::unique_ptr<ReplPolicy> policy);
+
+    /** Attach an observer for residency events (may be nullptr). */
+    void setObserver(CacheObserver *observer) { observer_ = observer; }
+
+    /** Set index for a block-aligned address. */
+    unsigned setIndex(Addr block_addr) const;
+
+    /** Mutable lookup without any state change; nullptr on miss. */
+    CacheBlock *probe(Addr block_addr);
+
+    /** Const lookup without any state change; nullptr on miss. */
+    const CacheBlock *probe(Addr block_addr) const;
+
+    /**
+     * Perform a demand access.  On a hit the replacement state and the
+     * residency instrumentation are updated and the block returned; on
+     * a miss nullptr is returned and the caller is expected to fill().
+     */
+    CacheBlock *access(const ReplContext &ctx);
+
+    /**
+     * Install the block described by ctx, evicting an existing block if
+     * the set is full.  The victim handler (if any) runs before the
+     * overwrite so the caller can write back or back-invalidate.
+     *
+     * @return The freshly installed block.
+     */
+    CacheBlock &fill(const ReplContext &ctx,
+                     const VictimHandler &on_victim = nullptr);
+
+    /**
+     * Externally remove a block (coherence back-invalidation).  No-op
+     * if the block is absent.
+     *
+     * @return True iff the block was present and removed.
+     */
+    bool invalidate(Addr block_addr);
+
+    /**
+     * End all outstanding residencies, reporting each to the observer.
+     * Called once at the end of a simulation so residency-attributed
+     * statistics cover every block.
+     */
+    void flushResidencies();
+
+    /** Number of currently valid blocks. */
+    std::size_t validBlocks() const;
+
+    /** Instance name. */
+    const std::string &name() const { return name_; }
+
+    /** Geometry. */
+    const CacheGeometry &geometry() const { return geo_; }
+
+    /** The replacement policy (for tests and wrappers). */
+    ReplPolicy &policy() { return *policy_; }
+    const ReplPolicy &policy() const { return *policy_; }
+
+    /** Statistics group (hits, misses, fills, evictions, ...). */
+    stats::StatGroup &stats() { return stats_; }
+    const stats::StatGroup &stats() const { return stats_; }
+
+    /** Demand hits so far. */
+    std::uint64_t demandHits() const { return hits_.value(); }
+
+    /** Demand misses so far. */
+    std::uint64_t demandMisses() const { return misses_.value(); }
+
+    /** Demand accesses so far. */
+    std::uint64_t
+    demandAccesses() const
+    {
+        return hits_.value() + misses_.value();
+    }
+
+    /** Block slot at (set, way); exposed for protocol code and tests. */
+    CacheBlock &
+    blockAt(unsigned set, unsigned way)
+    {
+        return blocks_[static_cast<std::size_t>(set) * geo_.ways + way];
+    }
+
+    const CacheBlock &
+    blockAt(unsigned set, unsigned way) const
+    {
+        return blocks_[static_cast<std::size_t>(set) * geo_.ways + way];
+    }
+
+  private:
+    /** Way of block_addr within its set, or geo_.ways if absent. */
+    unsigned findWay(unsigned set, Addr block_addr) const;
+
+    /** End one block's residency: notify, count, clear. */
+    void endResidency(CacheBlock &block, bool external);
+
+    std::string name_;
+    CacheGeometry geo_;
+    unsigned setShift_;
+    unsigned setMask_;
+    std::unique_ptr<ReplPolicy> policy_;
+    std::vector<CacheBlock> blocks_;
+    CacheObserver *observer_ = nullptr;
+
+    stats::StatGroup stats_;
+    stats::Counter &hits_;
+    stats::Counter &misses_;
+    stats::Counter &fills_;
+    stats::Counter &evictions_;
+    stats::Counter &dirtyEvictions_;
+    stats::Counter &extInvalidations_;
+    stats::Counter &writeHits_;
+    stats::Counter &writeMisses_;
+};
+
+} // namespace casim
+
+#endif // CASIM_MEM_CACHE_HH

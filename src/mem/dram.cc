@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of the open-page DRAM model.
+ */
+
+#include "mem/dram.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace casim {
+
+namespace {
+
+constexpr std::uint64_t kNoOpenRow = ~0ULL;
+
+} // namespace
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config),
+      openRow_(config.banks, kNoOpenRow),
+      stats_("dram"),
+      rowHits_(stats_.addCounter("row_hits",
+                                 "accesses hitting the open row")),
+      rowMisses_(stats_.addCounter("row_misses",
+                                   "accesses opening a new row"))
+{
+    if (!isPowerOf2(config_.banks))
+        casim_fatal("DRAM bank count must be a power of two");
+    if (!isPowerOf2(config_.rowBytes))
+        casim_fatal("DRAM row size must be a power of two");
+    bankShift_ = floorLog2(config_.rowBytes);
+    bankMask_ = config_.banks - 1;
+}
+
+unsigned
+DramModel::bankOf(Addr addr) const
+{
+    // Banks interleave on consecutive rows so streaming sweeps rotate
+    // across banks.
+    return static_cast<unsigned>((addr >> bankShift_) & bankMask_);
+}
+
+std::uint64_t
+DramModel::rowOf(Addr addr) const
+{
+    return addr >> bankShift_ >> floorLog2(config_.banks);
+}
+
+Tick
+DramModel::access(Addr addr)
+{
+    const unsigned bank = bankOf(addr);
+    const std::uint64_t row = rowOf(addr);
+    if (openRow_[bank] == row) {
+        ++rowHits_;
+        return config_.rowHitLatency;
+    }
+    openRow_[bank] = row;
+    ++rowMisses_;
+    return config_.rowMissLatency;
+}
+
+double
+DramModel::rowHitRate() const
+{
+    const auto total = accesses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(rowHits_.value()) /
+                            static_cast<double>(total);
+}
+
+} // namespace casim

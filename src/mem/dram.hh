@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A simple open-page DRAM latency model.
+ *
+ * The hierarchy's fixed memory latency can be replaced by this model,
+ * which tracks one open row per bank and charges a lower latency on
+ * row-buffer hits.  It is intentionally minimal — no command bus
+ * scheduling or refresh — because replacement-policy studies only need
+ * miss *counts* and a plausible latency split for the cycle accounting
+ * the reports print.
+ */
+
+#ifndef CASIM_MEM_DRAM_HH
+#define CASIM_MEM_DRAM_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace casim {
+
+/** Configuration of the DRAM latency model. */
+struct DramConfig
+{
+    /** Number of banks (power of two). */
+    unsigned banks = 8;
+
+    /** Row size in bytes (power of two). */
+    unsigned rowBytes = 8192;
+
+    /** Latency of an access that hits the open row (cycles). */
+    Tick rowHitLatency = 110;
+
+    /** Latency of an access that must open a new row (cycles). */
+    Tick rowMissLatency = 230;
+};
+
+/** Open-page DRAM model with per-bank row tracking. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = DramConfig{});
+
+    /**
+     * Perform one block transfer and return its latency.  Banks are
+     * interleaved on row-aligned address bits.
+     */
+    Tick access(Addr addr);
+
+    /** Bank index of an address (exposed for tests). */
+    unsigned bankOf(Addr addr) const;
+
+    /** Row index (within its bank) of an address. */
+    std::uint64_t rowOf(Addr addr) const;
+
+    /** Row-buffer hits so far. */
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+
+    /** Row-buffer misses so far. */
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+
+    /** Total accesses. */
+    std::uint64_t
+    accesses() const
+    {
+        return rowHits_.value() + rowMisses_.value();
+    }
+
+    /** Row-buffer hit rate (0 when idle). */
+    double rowHitRate() const;
+
+    /** Statistics group. */
+    stats::StatGroup &stats() { return stats_; }
+    const stats::StatGroup &stats() const { return stats_; }
+
+  private:
+    DramConfig config_;
+    unsigned bankShift_;
+    unsigned bankMask_;
+    std::vector<std::uint64_t> openRow_;
+    stats::StatGroup stats_;
+    stats::Counter &rowHits_;
+    stats::Counter &rowMisses_;
+};
+
+} // namespace casim
+
+#endif // CASIM_MEM_DRAM_HH

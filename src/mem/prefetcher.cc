@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Implementation of the PC-indexed stride prefetcher.
+ */
+
+#include "mem/prefetcher.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace casim {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : config_(config),
+      table_(std::size_t{1} << config.indexBits),
+      stats_("prefetch"),
+      issued_(stats_.addCounter("issued", "prefetches issued")),
+      useful_(stats_.addCounter("useful",
+                                "prefetched blocks hit by demand")),
+      trained_(stats_.addCounter("trained",
+                                 "stride confirmations observed"))
+{
+    casim_assert(config.indexBits >= 4 && config.indexBits <= 20,
+                 "unreasonable prefetch table size");
+    casim_assert(config.degree >= 1 && config.degree <= 8,
+                 "prefetch degree out of range");
+}
+
+void
+StridePrefetcher::observe(PC pc, Addr addr, std::vector<Addr> &out)
+{
+    const std::size_t index =
+        static_cast<std::size_t>(mix64(pc)) &
+        ((std::size_t{1} << config_.indexBits) - 1);
+    Entry &entry = table_[index];
+
+    if (entry.tag != pc) {
+        entry = Entry{pc, addr, 0, 0};
+        return;
+    }
+
+    const auto stride = static_cast<std::int64_t>(addr) -
+                        static_cast<std::int64_t>(entry.lastAddr);
+    if (stride == entry.stride && stride != 0) {
+        if (entry.confidence < 3)
+            ++entry.confidence;
+        ++trained_;
+    } else {
+        entry.stride = stride;
+        entry.confidence = entry.confidence > 0
+                               ? entry.confidence - 1
+                               : 0;
+    }
+    entry.lastAddr = addr;
+
+    if (entry.confidence < config_.threshold || entry.stride == 0)
+        return;
+    for (unsigned d = 1; d <= config_.degree; ++d) {
+        const auto target = static_cast<std::int64_t>(addr) +
+                            entry.stride * static_cast<std::int64_t>(d);
+        if (target < 0)
+            break;
+        out.push_back(blockAlign(static_cast<Addr>(target)));
+        ++issued_;
+    }
+}
+
+double
+StridePrefetcher::accuracy() const
+{
+    return issued_.value() == 0
+               ? 0.0
+               : static_cast<double>(useful_.value()) /
+                     static_cast<double>(issued_.value());
+}
+
+} // namespace casim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Implementation of the LIP/BIP/DIP insertion-policy family.
+ */
+
+#include "mem/repl/dip.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+InsertionLruBase::InsertionLruBase(unsigned num_sets, unsigned num_ways)
+    : ReplPolicy(num_sets, num_ways),
+      order_(static_cast<std::size_t>(num_sets) * num_ways)
+{
+    casim_assert(num_ways <= 64, "associativity above 64 unsupported");
+    for (unsigned set = 0; set < num_sets; ++set)
+        for (unsigned way = 0; way < num_ways; ++way)
+            order_[flat(set, way)] = static_cast<std::uint8_t>(way);
+}
+
+unsigned
+InsertionLruBase::victim(unsigned set, const ReplContext &ctx,
+                         std::uint64_t exclude)
+{
+    (void)ctx;
+    // Walk from the LRU end towards MRU for the first allowed way.
+    for (unsigned k = numWays(); k-- > 0;) {
+        const unsigned way = order_[flat(set, k)];
+        if (!(exclude & (1ULL << way)))
+            return way;
+    }
+    casim_panic("all ways excluded in insertion-LRU victim");
+}
+
+void
+InsertionLruBase::onFill(unsigned set, unsigned way,
+                         const ReplContext &ctx)
+{
+    if (insertAtMru(set, ctx))
+        moveToFront(set, way);
+    else
+        moveToBack(set, way);
+}
+
+void
+InsertionLruBase::onHit(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    (void)ctx;
+    moveToFront(set, way);
+}
+
+unsigned
+InsertionLruBase::position(unsigned set, unsigned way) const
+{
+    for (unsigned k = 0; k < numWays(); ++k) {
+        if (order_[flat(set, k)] == way)
+            return k;
+    }
+    casim_panic("way ", way, " missing from recency order of set ", set);
+}
+
+void
+InsertionLruBase::moveToFront(unsigned set, unsigned way)
+{
+    const unsigned pos = position(set, way);
+    for (unsigned k = pos; k > 0; --k)
+        order_[flat(set, k)] = order_[flat(set, k - 1)];
+    order_[flat(set, 0)] = static_cast<std::uint8_t>(way);
+}
+
+void
+InsertionLruBase::moveToBack(unsigned set, unsigned way)
+{
+    const unsigned pos = position(set, way);
+    for (unsigned k = pos; k + 1 < numWays(); ++k)
+        order_[flat(set, k)] = order_[flat(set, k + 1)];
+    order_[flat(set, numWays() - 1)] = static_cast<std::uint8_t>(way);
+}
+
+BipPolicy::BipPolicy(unsigned num_sets, unsigned num_ways,
+                     std::uint64_t seed)
+    : InsertionLruBase(num_sets, num_ways), rng_(seed)
+{
+}
+
+bool
+BipPolicy::insertAtMru(unsigned set, const ReplContext &ctx)
+{
+    (void)set;
+    (void)ctx;
+    return rng_.below(32) == 0;
+}
+
+DipPolicy::DipPolicy(unsigned num_sets, unsigned num_ways,
+                     std::uint64_t seed)
+    : InsertionLruBase(num_sets, num_ways),
+      roles_(num_sets, Role::Follower), rng_(seed)
+{
+    const unsigned leaders_per_policy =
+        num_sets >= 64 ? 32 : std::max(1u, num_sets / 2);
+    const unsigned stride =
+        std::max(1u, num_sets / (2 * leaders_per_policy));
+    unsigned assigned = 0;
+    for (unsigned set = 0;
+         set < num_sets && assigned < 2 * leaders_per_policy;
+         set += stride, ++assigned) {
+        roles_[set] =
+            (assigned % 2 == 0) ? Role::LruLeader : Role::BipLeader;
+    }
+}
+
+bool
+DipPolicy::insertAtMru(unsigned set, const ReplContext &ctx)
+{
+    (void)ctx;
+    switch (roles_[set]) {
+      case Role::LruLeader:
+        if (psel_ < kPselMax)
+            ++psel_;
+        return true;
+      case Role::BipLeader:
+        if (psel_ > 0)
+            --psel_;
+        return rng_.below(32) == 0;
+      case Role::Follower:
+      default:
+        if (psel_ >= (1u << (kPselBits - 1)))
+            return rng_.below(32) == 0; // follow BIP
+        return true;                    // follow LRU
+    }
+}
+
+} // namespace casim

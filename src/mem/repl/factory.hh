@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Name-based construction of the built-in replacement policies.
+ */
+
+#ifndef CASIM_MEM_REPL_FACTORY_HH
+#define CASIM_MEM_REPL_FACTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/repl/policy.hh"
+
+namespace casim {
+
+/**
+ * Return a factory for the named built-in policy.
+ *
+ * Known names: "lru", "random", "nru", "srrip", "brrip", "drrip",
+ * "lip", "bip", "dip", "ship".  OPT and the sharing-aware wrapper need
+ * experiment context and are constructed explicitly instead.
+ *
+ * Fatal on unknown names.
+ */
+ReplPolicyFactory makePolicyFactory(const std::string &name);
+
+/** Names of all built-in (online, implementable) policies. */
+std::vector<std::string> builtinPolicyNames();
+
+} // namespace casim
+
+#endif // CASIM_MEM_REPL_FACTORY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of true-LRU replacement.
+ */
+
+#include "mem/repl/lru.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+LruPolicy::LruPolicy(unsigned num_sets, unsigned num_ways)
+    : ReplPolicy(num_sets, num_ways),
+      stamp_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+{
+}
+
+unsigned
+LruPolicy::victim(unsigned set, const ReplContext &ctx,
+                  std::uint64_t exclude)
+{
+    (void)ctx;
+    unsigned best = numWays();
+    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned way = 0; way < numWays(); ++way) {
+        if (exclude & (1ULL << way))
+            continue;
+        if (stamp_[flat(set, way)] < best_stamp) {
+            best_stamp = stamp_[flat(set, way)];
+            best = way;
+        }
+    }
+    casim_assert(best != numWays(), "all ways excluded in LRU victim");
+    return best;
+}
+
+void
+LruPolicy::onFill(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    (void)ctx;
+    stamp_[flat(set, way)] = ++clock_;
+}
+
+void
+LruPolicy::onHit(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    (void)ctx;
+    stamp_[flat(set, way)] = ++clock_;
+}
+
+void
+LruPolicy::onInvalidate(unsigned set, unsigned way)
+{
+    stamp_[flat(set, way)] = 0;
+}
+
+unsigned
+LruPolicy::stackDepth(unsigned set, unsigned way) const
+{
+    unsigned depth = 0;
+    const std::uint64_t mine = stamp_[flat(set, way)];
+    for (unsigned other = 0; other < numWays(); ++other) {
+        if (other != way && stamp_[flat(set, other)] > mine)
+            ++depth;
+    }
+    return depth;
+}
+
+} // namespace casim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * MESI state names and the built-in replacement-policy factory.
+ */
+
+#include "mem/repl/factory.hh"
+
+#include "common/logging.hh"
+#include "mem/block.hh"
+#include "mem/repl/dip.hh"
+#include "mem/repl/lru.hh"
+#include "mem/repl/nru.hh"
+#include "mem/repl/random.hh"
+#include "mem/repl/rrip.hh"
+#include "mem/repl/ship.hh"
+#include "mem/repl/thread_aware.hh"
+
+namespace casim {
+
+const char *
+mesiStateName(MesiState state)
+{
+    switch (state) {
+      case MesiState::Invalid:
+        return "I";
+      case MesiState::Shared:
+        return "S";
+      case MesiState::Exclusive:
+        return "E";
+      case MesiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+ReplPolicyFactory
+makePolicyFactory(const std::string &name)
+{
+    if (name == "lru") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(new LruPolicy(sets, ways));
+        };
+    }
+    if (name == "random") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(
+                new RandomPolicy(sets, ways));
+        };
+    }
+    if (name == "nru") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(new NruPolicy(sets, ways));
+        };
+    }
+    if (name == "srrip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(
+                new SrripPolicy(sets, ways));
+        };
+    }
+    if (name == "brrip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(
+                new BrripPolicy(sets, ways));
+        };
+    }
+    if (name == "drrip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(
+                new DrripPolicy(sets, ways));
+        };
+    }
+    if (name == "lip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(new LipPolicy(sets, ways));
+        };
+    }
+    if (name == "bip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(new BipPolicy(sets, ways));
+        };
+    }
+    if (name == "dip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(new DipPolicy(sets, ways));
+        };
+    }
+    if (name == "ship") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(new ShipPolicy(sets, ways));
+        };
+    }
+    if (name == "tadip") {
+        // The factory has no thread-count channel; the study's 8-core
+        // CMP is assumed.  Construct TadipPolicy directly for other
+        // thread counts.
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(
+                new TadipPolicy(sets, ways, 8));
+        };
+    }
+    if (name == "tadrrip") {
+        return [](unsigned sets, unsigned ways) {
+            return std::unique_ptr<ReplPolicy>(
+                new TaDrripPolicy(sets, ways, 8));
+        };
+    }
+    casim_fatal("unknown replacement policy '", name, "'");
+}
+
+std::vector<std::string>
+builtinPolicyNames()
+{
+    return {"lru",  "random", "nru",   "srrip", "brrip", "drrip",
+            "lip",  "bip",    "dip",   "ship",  "tadip", "tadrrip"};
+}
+
+} // namespace casim

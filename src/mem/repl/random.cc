@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of random replacement.
+ */
+
+#include "mem/repl/random.hh"
+
+#include "common/logging.hh"
+
+namespace casim {
+
+RandomPolicy::RandomPolicy(unsigned num_sets, unsigned num_ways,
+                           std::uint64_t seed)
+    : ReplPolicy(num_sets, num_ways), rng_(seed)
+{
+}
+
+unsigned
+RandomPolicy::victim(unsigned set, const ReplContext &ctx,
+                     std::uint64_t exclude)
+{
+    (void)set;
+    (void)ctx;
+    unsigned candidates[64];
+    unsigned count = 0;
+    for (unsigned way = 0; way < numWays(); ++way) {
+        if (!(exclude & (1ULL << way)))
+            candidates[count++] = way;
+    }
+    casim_assert(count > 0, "all ways excluded in random victim");
+    return candidates[rng_.below(count)];
+}
+
+void
+RandomPolicy::onFill(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    (void)set;
+    (void)way;
+    (void)ctx;
+}
+
+void
+RandomPolicy::onHit(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    (void)set;
+    (void)way;
+    (void)ctx;
+}
+
+} // namespace casim

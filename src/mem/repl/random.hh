@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Random replacement (a sanity baseline for the policy comparison).
+ */
+
+#ifndef CASIM_MEM_REPL_RANDOM_HH
+#define CASIM_MEM_REPL_RANDOM_HH
+
+#include "common/rng.hh"
+#include "mem/repl/policy.hh"
+
+namespace casim {
+
+/** Uniform-random victim selection among non-excluded ways. */
+class RandomPolicy : public ReplPolicy
+{
+  public:
+    RandomPolicy(unsigned num_sets, unsigned num_ways,
+                 std::uint64_t seed = 0xca51f00d);
+
+    unsigned victim(unsigned set, const ReplContext &ctx,
+                    std::uint64_t exclude) override;
+    void onFill(unsigned set, unsigned way, const ReplContext &ctx) override;
+    void onHit(unsigned set, unsigned way, const ReplContext &ctx) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace casim
+
+#endif // CASIM_MEM_REPL_RANDOM_HH

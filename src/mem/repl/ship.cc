@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of SHiP-PC.
+ */
+
+#include "mem/repl/ship.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace casim {
+
+ShipPolicy::ShipPolicy(unsigned num_sets, unsigned num_ways,
+                       unsigned rrpv_bits, unsigned sig_bits,
+                       unsigned ctr_bits)
+    : RripBase(num_sets, num_ways, rrpv_bits),
+      sigMask_((1u << sig_bits) - 1),
+      ctrMax_(static_cast<std::uint8_t>((1u << ctr_bits) - 1)),
+      shct_(std::size_t{1} << sig_bits, 1),
+      waySig_(static_cast<std::size_t>(num_sets) * num_ways, 0),
+      wayOutcome_(static_cast<std::size_t>(num_sets) * num_ways, 0),
+      wayLive_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+{
+    casim_assert(sig_bits >= 4 && sig_bits <= 20,
+                 "unreasonable SHCT size 2^", sig_bits);
+}
+
+std::uint32_t
+ShipPolicy::signature(PC pc) const
+{
+    return static_cast<std::uint32_t>(mix64(pc)) & sigMask_;
+}
+
+void
+ShipPolicy::onFill(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    const std::uint32_t sig = signature(ctx.pc);
+    pendingSig_ = sig;
+    RripBase::onFill(set, way, ctx); // consults insertionRrpv below
+    const std::size_t f = flat(set, way);
+    waySig_[f] = sig;
+    wayOutcome_[f] = 0;
+    wayLive_[f] = 1;
+}
+
+unsigned
+ShipPolicy::insertionRrpv(unsigned set, const ReplContext &ctx)
+{
+    (void)set;
+    (void)ctx;
+    // Fills whose signature has never produced a hit are predicted
+    // dead-on-arrival and inserted at the distant RRPV.
+    return shct_[pendingSig_] == 0 ? maxRrpv() : maxRrpv() - 1;
+}
+
+void
+ShipPolicy::onHit(unsigned set, unsigned way, const ReplContext &ctx)
+{
+    RripBase::onHit(set, way, ctx);
+    const std::size_t f = flat(set, way);
+    if (wayLive_[f] && !wayOutcome_[f]) {
+        wayOutcome_[f] = 1;
+        auto &ctr = shct_[waySig_[f]];
+        if (ctr < ctrMax_)
+            ++ctr;
+    }
+}
+
+void
+ShipPolicy::learnEviction(unsigned set, unsigned way)
+{
+    const std::size_t f = flat(set, way);
+    if (wayLive_[f] && !wayOutcome_[f]) {
+        auto &ctr = shct_[waySig_[f]];
+        if (ctr > 0)
+            --ctr;
+    }
+    wayLive_[f] = 0;
+}
+
+void
+ShipPolicy::onEvict(unsigned set, unsigned way)
+{
+    learnEviction(set, way);
+}
+
+void
+ShipPolicy::onInvalidate(unsigned set, unsigned way)
+{
+    learnEviction(set, way);
+    RripBase::onInvalidate(set, way);
+}
+
+} // namespace casim

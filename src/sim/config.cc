@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of study configuration.
+ */
+
+#include "sim/config.hh"
+
+namespace casim {
+
+CacheGeometry
+StudyConfig::llcGeometry(std::uint64_t bytes) const
+{
+    return CacheGeometry{bytes, llcWays, kBlockBytes};
+}
+
+SeqNo
+StudyConfig::oracleWindow(std::uint64_t llc_bytes) const
+{
+    const auto blocks = llc_bytes / kBlockBytes;
+    return static_cast<SeqNo>(oracleWindowFactor *
+                              static_cast<double>(blocks));
+}
+
+SeqNo
+StudyConfig::oracleNearWindow(std::uint64_t llc_bytes) const
+{
+    if (nearWindowFactor <= 0.0)
+        return 0;
+    const auto blocks = llc_bytes / kBlockBytes;
+    return static_cast<SeqNo>(nearWindowFactor *
+                              static_cast<double>(blocks));
+}
+
+StudyConfig
+StudyConfig::fromOptions(const Options &options)
+{
+    StudyConfig config;
+    config.workload.threads = static_cast<unsigned>(
+        options.getUint("threads", config.workload.threads));
+    config.workload.scale =
+        options.getDouble("scale", config.workload.scale);
+    config.workload.seed = options.getUint("seed", config.workload.seed);
+
+    config.hierarchy.numCores = config.workload.threads;
+    config.llcSmallBytes =
+        options.getUint("llc-small-mb", config.llcSmallBytes >> 20)
+        << 20;
+    config.llcLargeBytes =
+        options.getUint("llc-large-mb", config.llcLargeBytes >> 20)
+        << 20;
+    config.llcWays = static_cast<unsigned>(
+        options.getUint("llc-ways", config.llcWays));
+    config.oracleWindowFactor =
+        options.getDouble("window-factor", config.oracleWindowFactor);
+    config.protectionRounds = static_cast<unsigned>(
+        options.getUint("protection-rounds", config.protectionRounds));
+    config.postShareRounds = static_cast<unsigned>(
+        options.getUint("post-rounds", config.postShareRounds));
+    config.protectionQuota =
+        options.getDouble("quota", config.protectionQuota);
+    config.nearWindowFactor =
+        options.getDouble("near-factor", config.nearWindowFactor);
+    config.dueling = options.getBool("dueling", config.dueling);
+    config.predictor.indexBits = static_cast<unsigned>(
+        options.getUint("pred-index-bits", config.predictor.indexBits));
+    config.predictor.counterBits = static_cast<unsigned>(options.getUint(
+        "pred-counter-bits", config.predictor.counterBits));
+    config.predictor.threshold = static_cast<unsigned>(
+        options.getUint("pred-threshold", config.predictor.threshold));
+    return config;
+}
+
+} // namespace casim

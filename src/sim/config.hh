@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Study-level configuration: the paper's CMP parameters plus the knobs
+ * of the oracle, wrapper and predictors, with command-line overrides.
+ */
+
+#ifndef CASIM_SIM_CONFIG_HH
+#define CASIM_SIM_CONFIG_HH
+
+#include "common/options.hh"
+#include "core/predictor.hh"
+#include "mem/hierarchy.hh"
+#include "wgen/workload.hh"
+
+namespace casim {
+
+/** Everything an experiment binary needs to configure a run. */
+struct StudyConfig
+{
+    /** Workload generation parameters. */
+    WorkloadParams workload;
+
+    /** CMP hierarchy parameters (paper setup: 8 cores, 32 KB L1s). */
+    HierarchyConfig hierarchy;
+
+    /** The two LLC capacities the paper evaluates. */
+    std::uint64_t llcSmallBytes = 4ULL * 1024 * 1024;
+    std::uint64_t llcLargeBytes = 8ULL * 1024 * 1024;
+
+    /** LLC associativity. */
+    unsigned llcWays = 16;
+
+    /**
+     * Oracle future window as a multiple of the LLC block capacity
+     * (window = factor * blocks-in-LLC stream slots).
+     */
+    double oracleWindowFactor = 4.0;
+
+    /** Pre-share protection rounds of the sharing-aware wrapper. */
+    unsigned protectionRounds = 128;
+
+    /** Post-share protection rounds (0 = protectionRounds / 4). */
+    unsigned postShareRounds = 0;
+
+    /** Maximum fraction of a set's ways protected at once. */
+    double protectionQuota = 0.5;
+
+    /**
+     * Near-reuse window of the oracle label as a multiple of the LLC
+     * block capacity; 0 uses the full oracle window.
+     */
+    double nearWindowFactor = 0.0;
+
+    /** Set dueling in the sharing-aware wrapper. */
+    bool dueling = true;
+
+    /** Predictor table configuration. */
+    PredictorConfig predictor;
+
+    /** LLC geometry for a given capacity. */
+    CacheGeometry llcGeometry(std::uint64_t bytes) const;
+
+    /** Oracle window (stream slots) for a given LLC capacity. */
+    SeqNo oracleWindow(std::uint64_t llc_bytes) const;
+
+    /** Oracle near-reuse window (stream slots); 0 = oracleWindow. */
+    SeqNo oracleNearWindow(std::uint64_t llc_bytes) const;
+
+    /**
+     * Apply command-line overrides: --threads, --scale, --seed,
+     * --llc-small-mb, --llc-large-mb, --llc-ways, --window-factor,
+     * --protection-rounds, --post-rounds, --quota,
+     * --near-factor, --pred-index-bits, --pred-counter-bits,
+     * --pred-threshold.
+     */
+    static StudyConfig fromOptions(const Options &options);
+};
+
+} // namespace casim
+
+#endif // CASIM_SIM_CONFIG_HH

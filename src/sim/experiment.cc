@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Implementation of the shared experiment toolkit.
+ */
+
+#include "sim/experiment.hh"
+
+#include "core/sharing_aware.hh"
+#include "mem/repl/factory.hh"
+#include "mem/repl/opt.hh"
+#include "sim/stream_sim.hh"
+
+namespace casim {
+
+CapturedWorkload
+captureWorkload(const std::string &name, const StudyConfig &config)
+{
+    CapturedWorkload captured;
+    captured.info = workloadInfo(name);
+
+    const Trace trace = makeWorkloadTrace(name, config.workload);
+    captured.demandAccesses = trace.size();
+    captured.footprintBlocks = trace.footprintBlocks();
+
+    HierarchyConfig hier = config.hierarchy;
+    hier.numCores = config.workload.threads;
+    hier.llc = config.llcGeometry(config.llcSmallBytes);
+
+    captured.stream = Trace(name + ".llc", config.workload.threads);
+    captured.hierarchy = runHierarchy(trace, hier,
+                                      makePolicyFactory("lru"),
+                                      &captured.stream);
+    return captured;
+}
+
+std::vector<CapturedWorkload>
+captureAllWorkloads(const StudyConfig &config)
+{
+    std::vector<CapturedWorkload> captured;
+    for (const auto &info : allWorkloads())
+        captured.push_back(captureWorkload(info.name, config));
+    return captured;
+}
+
+std::uint64_t
+replayMisses(const Trace &stream, const CacheGeometry &geo,
+             const ReplPolicyFactory &factory)
+{
+    StreamSim sim(stream, geo, factory(geo.numSets(), geo.ways));
+    sim.run();
+    return sim.misses();
+}
+
+std::uint64_t
+replayMissesOpt(const Trace &stream, const NextUseIndex &index,
+                const CacheGeometry &geo)
+{
+    StreamSim sim(stream, geo,
+                  std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
+                                              index));
+    sim.run();
+    return sim.misses();
+}
+
+std::uint64_t
+replayMissesWrapped(const Trace &stream, const CacheGeometry &geo,
+                    const ReplPolicyFactory &base, FillLabeler &labeler,
+                    const StudyConfig &config)
+{
+    auto wrapped = std::make_unique<SharingAwareWrapper>(
+        base(geo.numSets(), geo.ways), config.protectionRounds,
+        config.postShareRounds, config.protectionQuota,
+        config.dueling);
+    StreamSim sim(stream, geo, std::move(wrapped));
+    sim.setLabeler(&labeler);
+    sim.run();
+    return sim.misses();
+}
+
+OracleLabeler
+makeOracle(const NextUseIndex &index, const StudyConfig &config,
+           std::uint64_t llc_bytes)
+{
+    return OracleLabeler(index, config.oracleWindow(llc_bytes),
+                         config.oracleNearWindow(llc_bytes));
+}
+
+SharingSummary
+replaySharing(const Trace &stream, const CacheGeometry &geo,
+              const ReplPolicyFactory &factory, unsigned num_cores)
+{
+    StreamSim sim(stream, geo, factory(geo.numSets(), geo.ways));
+    SharingTracker tracker(num_cores);
+    sim.setObserver(&tracker);
+    sim.run();
+    return SharingSummary::from(tracker, num_cores);
+}
+
+} // namespace casim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared experiment toolkit used by the bench binaries: the standard
+ * capture-then-replay flow plus one-line replay helpers for plain,
+ * optimal, and labeler-wrapped policies.
+ */
+
+#ifndef CASIM_SIM_EXPERIMENT_HH
+#define CASIM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/hierarchy_sim.hh"
+#include "trace/next_use.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+
+/** A workload generated, simulated and captured once for replay. */
+struct CapturedWorkload
+{
+    /** Workload metadata. */
+    WorkloadInfo info;
+
+    /** Demand references in the generated trace. */
+    std::uint64_t demandAccesses = 0;
+
+    /** Distinct 64 B blocks in the generated trace. */
+    std::uint64_t footprintBlocks = 0;
+
+    /** Full-hierarchy results at the capture LLC size (LRU). */
+    HierarchyRunResult hierarchy;
+
+    /** The captured LLC reference stream. */
+    Trace stream{"", 1};
+};
+
+/**
+ * Generate the named workload and run it through the full hierarchy
+ * (LRU LLC at config.llcSmallBytes), capturing the LLC stream.
+ *
+ * The same captured stream is replayed at every LLC size under study:
+ * the private-cache filter is replacement- and capacity-independent to
+ * first order (back-invalidation feedback is the only coupling), which
+ * puts every policy and capacity on an identical reference stream.
+ */
+CapturedWorkload captureWorkload(const std::string &name,
+                                 const StudyConfig &config);
+
+/** Capture every registered workload in suite order. */
+std::vector<CapturedWorkload>
+captureAllWorkloads(const StudyConfig &config);
+
+/** Replay misses under a named or custom base policy. */
+std::uint64_t replayMisses(const Trace &stream, const CacheGeometry &geo,
+                           const ReplPolicyFactory &factory);
+
+/** Replay misses under Belady's OPT. */
+std::uint64_t replayMissesOpt(const Trace &stream,
+                              const NextUseIndex &index,
+                              const CacheGeometry &geo);
+
+/**
+ * Replay misses under a base policy wrapped by the sharing-aware victim
+ * filter fed from `labeler`, using the protection budgets and quota
+ * from `config`.
+ */
+std::uint64_t replayMissesWrapped(const Trace &stream,
+                                  const CacheGeometry &geo,
+                                  const ReplPolicyFactory &base,
+                                  FillLabeler &labeler,
+                                  const StudyConfig &config);
+
+/** Build the study's oracle labeler for one LLC capacity. */
+OracleLabeler makeOracle(const NextUseIndex &index,
+                         const StudyConfig &config,
+                         std::uint64_t llc_bytes);
+
+/** Replay under a policy and return the sharing characterization. */
+SharingSummary replaySharing(const Trace &stream,
+                             const CacheGeometry &geo,
+                             const ReplPolicyFactory &factory,
+                             unsigned num_cores);
+
+} // namespace casim
+
+#endif // CASIM_SIM_EXPERIMENT_HH

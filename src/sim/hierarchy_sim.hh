@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One-call full-hierarchy simulation with sharing characterization and
+ * optional LLC-stream capture.
+ */
+
+#ifndef CASIM_SIM_HIERARCHY_SIM_HH
+#define CASIM_SIM_HIERARCHY_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "core/sharing_tracker.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace casim {
+
+/** Snapshot of a SharingTracker's residency-attributed metrics. */
+struct SharingSummary
+{
+    /** Fraction of LLC hit volume served by shared residencies. */
+    double sharedHitFraction = 0.0;
+
+    /** Hits served by shared / private residencies. */
+    std::uint64_t sharedHits = 0;
+    std::uint64_t privateHits = 0;
+
+    /** Hits by sharing class, indexed by SharingClass. */
+    std::uint64_t classHits[4] = {0, 0, 0, 0};
+
+    /** Residencies by sharing class, indexed by SharingClass. */
+    std::uint64_t classResidencies[4] = {0, 0, 0, 0};
+
+    /** Hits by residency sharer count; index 0 = one core. */
+    std::vector<std::uint64_t> sharerHits;
+
+    /** Residencies that served zero hits. */
+    std::uint64_t deadResidencies = 0;
+
+    /** Extract a snapshot from a tracker. */
+    static SharingSummary from(const SharingTracker &tracker,
+                               unsigned num_cores);
+};
+
+/** Result of one full-hierarchy run. */
+struct HierarchyRunResult
+{
+    /** Demand references issued by the cores. */
+    std::uint64_t demandAccesses = 0;
+
+    /** References that reached the LLC (misses + upgrades). */
+    std::uint64_t llcAccesses = 0;
+
+    /** LLC demand hits / misses. */
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+
+    /** LLC misses per kilo demand reference (the paper's MPKI proxy). */
+    double llcMpkr = 0.0;
+
+    /** Coherence activity. */
+    std::uint64_t upgrades = 0;
+    std::uint64_t interventions = 0;
+    std::uint64_t backInvalidations = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWritebacks = 0;
+
+    /** Fixed-latency cycle accounting. */
+    Tick cycles = 0;
+
+    /** Residency sharing characterization of the LLC. */
+    SharingSummary sharing;
+};
+
+/**
+ * Run `trace` through a freshly built hierarchy.
+ *
+ * @param trace      The workload's interleaved demand trace.
+ * @param config     CMP parameters.
+ * @param llc_policy Factory for the LLC policy (normally LRU).
+ * @param capture    If non-null, receives the LLC reference stream.
+ */
+HierarchyRunResult runHierarchy(const Trace &trace,
+                                const HierarchyConfig &config,
+                                const ReplPolicyFactory &llc_policy,
+                                Trace *capture = nullptr);
+
+} // namespace casim
+
+#endif // CASIM_SIM_HIERARCHY_SIM_HH

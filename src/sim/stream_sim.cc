@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of the LLC stream replayer.
+ */
+
+#include "sim/stream_sim.hh"
+
+#include "common/logging.hh"
+
+namespace casim {
+
+StreamSim::StreamSim(const Trace &stream, const CacheGeometry &geo,
+                     std::unique_ptr<ReplPolicy> policy)
+    : stream_(stream),
+      cache_(std::make_unique<Cache>("llc", geo, std::move(policy)))
+{
+    cache_->setObserver(this);
+}
+
+void
+StreamSim::run()
+{
+    casim_assert(!ran_, "StreamSim::run() called twice");
+    ran_ = true;
+    const std::size_t n = stream_.size();
+    for (SeqNo i = 0; i < n; ++i) {
+        now_ = i;
+        const MemAccess &access = stream_[i];
+        ReplContext ctx{access.blockAddr(), access.pc, access.core,
+                        access.isWrite, i, false};
+        CacheBlock *hit = cache_->access(ctx);
+        if (hit != nullptr) {
+            if (hit->prefetched) {
+                hit->prefetched = false;
+                if (prefetcher_ != nullptr)
+                    prefetcher_->recordUseful();
+            }
+        } else {
+            if (labeler_ != nullptr)
+                ctx.predictedShared = labeler_->predictShared(ctx);
+            cache_->fill(ctx, [this, i](const CacheBlock &victim) {
+                if (scorer_ == nullptr)
+                    return;
+                // The handler runs before the overwrite, so the
+                // victim reference points into the intact set.
+                const unsigned set = cache_->setIndex(victim.addr);
+                const unsigned way = static_cast<unsigned>(
+                    &victim - &cache_->blockAt(set, 0));
+                scorer_->onEviction(*cache_, set, way, i);
+            });
+        }
+        if (prefetcher_ != nullptr)
+            runPrefetcher(access, i);
+    }
+    cache_->flushResidencies();
+}
+
+void
+StreamSim::runPrefetcher(const MemAccess &access, SeqNo position)
+{
+    prefetchQueue_.clear();
+    prefetcher_->observe(access.pc, access.blockAddr(),
+                         prefetchQueue_);
+    for (const Addr target : prefetchQueue_) {
+        if (cache_->probe(target) != nullptr)
+            continue;
+        // Prefetch fills carry the triggering reference's core/PC and
+        // consult the labeler, but bypass demand accounting.
+        ReplContext ctx{target, access.pc, access.core, false,
+                        position, false};
+        if (labeler_ != nullptr)
+            ctx.predictedShared = labeler_->predictShared(ctx);
+        CacheBlock &block = cache_->fill(ctx);
+        block.prefetched = true;
+    }
+}
+
+double
+StreamSim::missRatio() const
+{
+    const std::uint64_t total = cache_->demandAccesses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(cache_->demandMisses()) /
+           static_cast<double>(total);
+}
+
+void
+StreamSim::onHit(const CacheBlock &block, const ReplContext &ctx)
+{
+    if (chained_ != nullptr)
+        chained_->onHit(block, ctx);
+}
+
+void
+StreamSim::onMiss(const ReplContext &ctx)
+{
+    if (chained_ != nullptr)
+        chained_->onMiss(ctx);
+}
+
+void
+StreamSim::onFill(const CacheBlock &block, const ReplContext &ctx)
+{
+    if (chained_ != nullptr)
+        chained_->onFill(block, ctx);
+}
+
+void
+StreamSim::onResidencyEnd(const CacheBlock &block)
+{
+    if (labeler_ != nullptr)
+        labeler_->train(block);
+    if (chained_ != nullptr)
+        chained_->onResidencyEnd(block);
+}
+
+} // namespace casim

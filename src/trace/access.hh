@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The memory-access record that flows through the whole simulator.
+ */
+
+#ifndef CASIM_TRACE_ACCESS_HH
+#define CASIM_TRACE_ACCESS_HH
+
+#include "common/types.hh"
+
+namespace casim {
+
+/**
+ * One demand memory reference issued by a core.
+ *
+ * Workload generators emit a globally interleaved sequence of these; the
+ * hierarchy simulator consumes them in order.  The same record type is
+ * used for captured LLC reference streams, where each record is an access
+ * that missed in the issuing core's private cache.
+ */
+struct MemAccess
+{
+    /** Byte address referenced (block-aligned by the generators). */
+    Addr addr = 0;
+
+    /** Program counter of the load/store instruction. */
+    PC pc = 0;
+
+    /** Issuing core. */
+    CoreId core = 0;
+
+    /** True for a store, false for a load. */
+    bool isWrite = false;
+
+    /** Block-aligned address of the reference. */
+    Addr blockAddr() const { return blockAlign(addr); }
+};
+
+} // namespace casim
+
+#endif // CASIM_TRACE_ACCESS_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Implementation of the offline per-block reference index.
+ */
+
+#include "trace/next_use.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+NextUseIndex::NextUseIndex(const Trace &trace)
+{
+    casim_assert(trace.size() < kNone, "trace too large for 32-bit index");
+    const std::size_t n = trace.size();
+    next_.assign(n, kNone);
+    perBlock_.reserve(n / 8 + 16);
+
+    // Forward pass fills the per-block reference lists in order.
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &refs = perBlock_[trace[i].blockAddr()];
+        refs.pos.push_back(static_cast<std::uint32_t>(i));
+        refs.core.push_back(trace[i].core);
+    }
+
+    // The next-use chain falls out of consecutive list entries.
+    for (auto &[block, refs] : perBlock_) {
+        for (std::size_t k = 0; k + 1 < refs.pos.size(); ++k)
+            next_[refs.pos[k]] = refs.pos[k + 1];
+    }
+}
+
+const NextUseIndex::BlockRefs *
+NextUseIndex::refsFor(Addr block) const
+{
+    auto it = perBlock_.find(block);
+    return it == perBlock_.end() ? nullptr : &it->second;
+}
+
+unsigned
+NextUseIndex::distinctCoresFrom(Addr block, SeqNo from, SeqNo window,
+                                unsigned cap) const
+{
+    const BlockRefs *refs = refsFor(block);
+    if (refs == nullptr)
+        return 0;
+
+    const SeqNo limit =
+        (from > kSeqNever - window) ? kSeqNever : from + window;
+    auto it = std::lower_bound(refs->pos.begin(), refs->pos.end(),
+                               static_cast<std::uint32_t>(from));
+    std::uint64_t mask = 0;
+    unsigned count = 0;
+    for (; it != refs->pos.end() && *it < limit; ++it) {
+        const std::size_t k =
+            static_cast<std::size_t>(it - refs->pos.begin());
+        const std::uint64_t bit = 1ULL << refs->core[k];
+        if ((mask & bit) == 0) {
+            mask |= bit;
+            if (++count >= cap)
+                return count;
+        }
+    }
+    return count;
+}
+
+std::uint64_t
+NextUseIndex::coreMaskWithin(Addr block, SeqNo from, SeqNo window) const
+{
+    const BlockRefs *refs = refsFor(block);
+    if (refs == nullptr)
+        return 0;
+    const SeqNo limit =
+        (from > kSeqNever - window) ? kSeqNever : from + window;
+    auto it = std::lower_bound(refs->pos.begin(), refs->pos.end(),
+                               static_cast<std::uint32_t>(from));
+    std::uint64_t mask = 0;
+    for (; it != refs->pos.end() && *it < limit; ++it) {
+        const std::size_t k =
+            static_cast<std::size_t>(it - refs->pos.begin());
+        mask |= 1ULL << refs->core[k];
+    }
+    return mask;
+}
+
+SeqNo
+NextUseIndex::nextUseByOther(Addr block, SeqNo from, CoreId by) const
+{
+    const BlockRefs *refs = refsFor(block);
+    if (refs == nullptr)
+        return kSeqNever;
+
+    auto it = std::lower_bound(refs->pos.begin(), refs->pos.end(),
+                               static_cast<std::uint32_t>(from));
+    for (; it != refs->pos.end(); ++it) {
+        const std::size_t k =
+            static_cast<std::size_t>(it - refs->pos.begin());
+        if (refs->core[k] != by)
+            return *it;
+    }
+    return kSeqNever;
+}
+
+std::size_t
+NextUseIndex::referenceCount(Addr block) const
+{
+    const BlockRefs *refs = refsFor(block);
+    return refs == nullptr ? 0 : refs->pos.size();
+}
+
+} // namespace casim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Offline per-block reference index over a trace.
+ *
+ * Precomputes (a) the classic next-use chain used by Belady's OPT and
+ * (b) per-block sorted reference lists with core ids, which the sharing
+ * oracle scans to decide whether a fill will be actively shared within a
+ * future window.  Positions are stored as 32-bit offsets; traces are
+ * bounded well below 4G references.
+ */
+
+#ifndef CASIM_TRACE_NEXT_USE_HH
+#define CASIM_TRACE_NEXT_USE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace casim {
+
+/** Offline next-use and per-block reference index. */
+class NextUseIndex
+{
+  public:
+    /** Build the index over the full trace (O(n) time). */
+    explicit NextUseIndex(const Trace &trace);
+
+    /** Position of the next reference to the same block, or kSeqNever. */
+    SeqNo
+    nextUse(SeqNo i) const
+    {
+        const std::uint32_t n = next_[i];
+        return n == kNone ? kSeqNever : n;
+    }
+
+    /** Number of references the index was built over. */
+    std::size_t size() const { return next_.size(); }
+
+    /**
+     * Count distinct cores referencing `block` within stream positions
+     * [from, from + window), stopping early once `cap` cores are seen.
+     *
+     * @param block  Block-aligned address.
+     * @param from   First stream position considered (inclusive).
+     * @param window Number of stream positions scanned.
+     * @param cap    Early-exit threshold (e.g. 2 for a shared test).
+     */
+    unsigned distinctCoresFrom(Addr block, SeqNo from, SeqNo window,
+                               unsigned cap) const;
+
+    /**
+     * True iff at least two distinct cores reference `block` within
+     * [from, from + window).  This is the oracle's fill-time SHARED
+     * label.
+     */
+    bool
+    sharedWithin(Addr block, SeqNo from, SeqNo window) const
+    {
+        return distinctCoresFrom(block, from, window, 2) >= 2;
+    }
+
+    /**
+     * Bitmask of the cores referencing `block` within stream positions
+     * [from, from + window).
+     */
+    std::uint64_t coreMaskWithin(Addr block, SeqNo from,
+                                 SeqNo window) const;
+
+    /**
+     * Position of the first reference to `block` at or after `from` that
+     * is issued by a core other than `by`, or kSeqNever.
+     */
+    SeqNo nextUseByOther(Addr block, SeqNo from, CoreId by) const;
+
+    /** Total number of references to `block` in the whole trace. */
+    std::size_t referenceCount(Addr block) const;
+
+  private:
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    /** Sorted reference positions and their issuing cores for a block. */
+    struct BlockRefs
+    {
+        std::vector<std::uint32_t> pos;
+        std::vector<CoreId> core;
+    };
+
+    const BlockRefs *refsFor(Addr block) const;
+
+    std::vector<std::uint32_t> next_;
+    std::unordered_map<Addr, BlockRefs> perBlock_;
+};
+
+} // namespace casim
+
+#endif // CASIM_TRACE_NEXT_USE_HH

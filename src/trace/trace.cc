@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Implementation of the trace container.
+ */
+
+#include "trace/trace.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+Trace::Trace(std::string name, unsigned num_cores)
+    : name_(std::move(name)), numCores_(num_cores)
+{
+    casim_assert(num_cores >= 1 && num_cores <= kMaxCores,
+                 "unsupported core count ", num_cores);
+}
+
+void
+Trace::append(const MemAccess &access)
+{
+    casim_assert(access.core < numCores_, "core id ",
+                 unsigned(access.core), " out of range in trace ", name_);
+    accesses_.push_back(access);
+}
+
+void
+Trace::append(Addr addr, PC pc, CoreId core, bool is_write)
+{
+    append(MemAccess{blockAlign(addr), pc, core, is_write});
+}
+
+std::size_t
+Trace::footprintBlocks() const
+{
+    std::unordered_set<Addr> blocks;
+    blocks.reserve(accesses_.size() / 8 + 16);
+    for (const auto &access : accesses_)
+        blocks.insert(access.blockAddr());
+    return blocks.size();
+}
+
+double
+Trace::writeFraction() const
+{
+    if (accesses_.empty())
+        return 0.0;
+    std::size_t writes = 0;
+    for (const auto &access : accesses_)
+        writes += access.isWrite ? 1 : 0;
+    return static_cast<double>(writes) /
+           static_cast<double>(accesses_.size());
+}
+
+std::size_t
+Trace::sharedFootprintBlocks() const
+{
+    // Map block -> (first core seen, shared flag).
+    std::unordered_map<Addr, std::pair<CoreId, bool>> seen;
+    seen.reserve(accesses_.size() / 8 + 16);
+    for (const auto &access : accesses_) {
+        auto [it, inserted] =
+            seen.try_emplace(access.blockAddr(),
+                             std::make_pair(access.core, false));
+        if (!inserted && it->second.first != access.core)
+            it->second.second = true;
+    }
+    std::size_t shared = 0;
+    for (const auto &[addr, info] : seen)
+        shared += info.second ? 1 : 0;
+    return shared;
+}
+
+} // namespace casim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * In-memory container for a globally interleaved memory reference trace.
+ */
+
+#ifndef CASIM_TRACE_TRACE_HH
+#define CASIM_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace casim {
+
+/**
+ * A named, globally interleaved sequence of memory references.
+ *
+ * The interleaving order is the order in which references reach the
+ * memory system, so the same container serves both generated workload
+ * traces (all demand references) and captured LLC streams (references
+ * that missed in private caches).
+ */
+class Trace
+{
+  public:
+    /**
+     * @param name     Human-readable workload name (e.g. "canneal").
+     * @param num_cores Number of distinct cores that may appear.
+     */
+    Trace(std::string name, unsigned num_cores);
+
+    /** Append one reference; core id must be < numCores(). */
+    void append(const MemAccess &access);
+
+    /** Append a block-aligned reference built from fields. */
+    void append(Addr addr, PC pc, CoreId core, bool is_write);
+
+    /** Number of references. */
+    std::size_t size() const { return accesses_.size(); }
+
+    /** True iff the trace holds no references. */
+    bool empty() const { return accesses_.empty(); }
+
+    /** Reference at position i. */
+    const MemAccess &operator[](std::size_t i) const
+    {
+        return accesses_[i];
+    }
+
+    /** Workload name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of cores the trace was generated for. */
+    unsigned numCores() const { return numCores_; }
+
+    /** Reserve storage for n references. */
+    void reserve(std::size_t n) { accesses_.reserve(n); }
+
+    /** Iteration support. */
+    auto begin() const { return accesses_.begin(); }
+    auto end() const { return accesses_.end(); }
+
+    /** Number of distinct 64-byte blocks referenced (footprint). */
+    std::size_t footprintBlocks() const;
+
+    /** Fraction of references that are writes. */
+    double writeFraction() const;
+
+    /**
+     * Number of distinct blocks referenced by two or more distinct cores
+     * anywhere in the trace (trace-lifetime shared footprint).
+     */
+    std::size_t sharedFootprintBlocks() const;
+
+  private:
+    std::string name_;
+    unsigned numCores_;
+    std::vector<MemAccess> accesses_;
+};
+
+} // namespace casim
+
+#endif // CASIM_TRACE_TRACE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of binary trace serialization.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeScalar(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+readScalar(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return is.good();
+}
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeScalar<std::uint32_t>(os, kVersion);
+    writeScalar<std::uint32_t>(os, trace.numCores());
+    const std::string &name = trace.name();
+    writeScalar<std::uint32_t>(
+        os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    writeScalar<std::uint64_t>(os, trace.size());
+    for (const auto &access : trace) {
+        writeScalar<std::uint64_t>(os, access.addr);
+        writeScalar<std::uint64_t>(os, access.pc);
+        writeScalar<std::uint8_t>(os, access.core);
+        writeScalar<std::uint8_t>(os, access.isWrite ? 1 : 0);
+    }
+    return os.good();
+}
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        casim_fatal("cannot open '", path, "' for writing");
+    return writeTrace(trace, os);
+}
+
+Trace
+readTrace(std::istream &is, std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error != nullptr)
+            *error = what;
+        return Trace("", 1);
+    };
+
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return fail("bad magic");
+    std::uint32_t version = 0, num_cores = 0, name_len = 0;
+    if (!readScalar(is, version) || version != kVersion)
+        return fail("unsupported version");
+    if (!readScalar(is, num_cores) || num_cores == 0 ||
+        num_cores > kMaxCores)
+        return fail("bad core count");
+    if (!readScalar(is, name_len) || name_len > 4096)
+        return fail("bad name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is.good())
+        return fail("truncated name");
+    std::uint64_t count = 0;
+    if (!readScalar(is, count))
+        return fail("truncated count");
+
+    Trace trace(name, num_cores);
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t addr = 0, pc = 0;
+        std::uint8_t core = 0, is_write = 0;
+        if (!readScalar(is, addr) || !readScalar(is, pc) ||
+            !readScalar(is, core) || !readScalar(is, is_write))
+            return fail("truncated records");
+        if (core >= num_cores)
+            return fail("record core out of range");
+        trace.append(addr, pc, static_cast<CoreId>(core),
+                     is_write != 0);
+    }
+    if (error != nullptr)
+        error->clear();
+    return trace;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        casim_fatal("cannot open '", path, "' for reading");
+    std::string error;
+    Trace trace = readTrace(is, &error);
+    if (!error.empty())
+        casim_fatal("cannot load trace '", path, "': ", error);
+    return trace;
+}
+
+} // namespace casim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binary serialization of traces.
+ *
+ * Captured LLC streams are expensive to regenerate (a full hierarchy
+ * simulation); saving them lets experiment binaries share one capture.
+ * The format is a fixed little-endian header followed by packed
+ * records:
+ *
+ *   magic "CSTR" | version u32 | num_cores u32 | name_len u32 |
+ *   name bytes | count u64 | count x { addr u64 | pc u64 | core u8 |
+ *   is_write u8 }
+ */
+
+#ifndef CASIM_TRACE_TRACE_IO_HH
+#define CASIM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace casim {
+
+/** Serialize a trace to a stream; returns false on I/O failure. */
+bool writeTrace(const Trace &trace, std::ostream &os);
+
+/** Serialize a trace to a file; fatal on open failure. */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Deserialize a trace from a stream.
+ *
+ * @param is    Input stream positioned at the header.
+ * @param error Receives a diagnostic on failure.
+ * @return The trace, or an empty single-core trace on failure (check
+ *         `error`).
+ */
+Trace readTrace(std::istream &is, std::string *error = nullptr);
+
+/** Deserialize a trace from a file; fatal on open or format errors. */
+Trace loadTrace(const std::string &path);
+
+} // namespace casim
+
+#endif // CASIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of the synthetic address-space allocator.
+ */
+
+#include "wgen/address_space.hh"
+
+#include "common/logging.hh"
+
+namespace casim {
+
+Region
+Region::slice(std::uint64_t first, std::uint64_t count,
+              const std::string &sub_label) const
+{
+    casim_assert(first + count <= blocks(), "slice [", first, ", ",
+                 first + count, ") exceeds region '", label, "' with ",
+                 blocks(), " blocks");
+    return Region{base + first * kBlockBytes, count * kBlockBytes,
+                  sub_label};
+}
+
+Region
+AddressSpace::allocate(std::uint64_t bytes, const std::string &label)
+{
+    casim_assert(bytes > 0, "empty allocation for '", label, "'");
+    const std::uint64_t rounded =
+        (bytes + kBlockBytes - 1) / kBlockBytes * kBlockBytes;
+    Region region{next_, rounded, label};
+    next_ += rounded + kGuardBytes;
+    regions_.push_back(region);
+    return region;
+}
+
+std::uint64_t
+AddressSpace::allocatedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &region : regions_)
+        total += region.bytes;
+    return total;
+}
+
+} // namespace casim

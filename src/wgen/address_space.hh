@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic address-space layout for workload generators.
+ *
+ * Generators carve a flat physical address space into named,
+ * block-aligned, non-overlapping regions (per-thread heaps, shared
+ * arrays, queue buffers).  A guard gap between regions keeps accidental
+ * overlap bugs loud in tests.
+ */
+
+#ifndef CASIM_WGEN_ADDRESS_SPACE_HH
+#define CASIM_WGEN_ADDRESS_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace casim {
+
+/** A contiguous, block-aligned address range. */
+struct Region
+{
+    /** First byte address (block aligned). */
+    Addr base = 0;
+
+    /** Size in bytes (multiple of the block size). */
+    std::uint64_t bytes = 0;
+
+    /** Debug label. */
+    std::string label;
+
+    /** Number of cache blocks covered. */
+    std::uint64_t blocks() const { return bytes / kBlockBytes; }
+
+    /** Address of the i-th block (i < blocks()). */
+    Addr
+    blockAddr(std::uint64_t i) const
+    {
+        return base + i * kBlockBytes;
+    }
+
+    /** True iff the block-aligned address lies inside the region. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < base + bytes;
+    }
+
+    /**
+     * Sub-range covering blocks [first, first + count).  Used to give
+     * each thread its partition of a shared array.
+     */
+    Region slice(std::uint64_t first, std::uint64_t count,
+                 const std::string &sub_label) const;
+};
+
+/** Bump allocator of non-overlapping regions. */
+class AddressSpace
+{
+  public:
+    /** @param base First address handed out (defaults past page 0). */
+    explicit AddressSpace(Addr base = 0x10000) : next_(blockAlign(base))
+    {
+    }
+
+    /**
+     * Allocate a region of at least `bytes` bytes (rounded up to whole
+     * blocks), separated from the previous region by a guard gap.
+     */
+    Region allocate(std::uint64_t bytes, const std::string &label);
+
+    /** Allocate a region sized in cache blocks. */
+    Region
+    allocateBlocks(std::uint64_t blocks, const std::string &label)
+    {
+        return allocate(blocks * kBlockBytes, label);
+    }
+
+    /** All regions allocated so far, in order. */
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Total bytes allocated (excluding guard gaps). */
+    std::uint64_t allocatedBytes() const;
+
+  private:
+    static constexpr std::uint64_t kGuardBytes = 4096;
+
+    Addr next_;
+    std::vector<Region> regions_;
+};
+
+} // namespace casim
+
+#endif // CASIM_WGEN_ADDRESS_SPACE_HH

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * PARSEC-like application models.
+ *
+ * Each model reproduces the published sharing structure of its namesake
+ * (Bienia et al., PACT 2008; Barrow-Williams et al., IISWC 2009):
+ * which regions are private, which are read-only shared, which are
+ * read-write shared, and on what reuse pattern — not the computation
+ * itself, which is irrelevant to LLC replacement behaviour.
+ */
+
+#include "common/rng.hh"
+#include "wgen/pattern.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+
+namespace {
+
+/** Per-generator RNG stream, decorrelated across apps by name hash. */
+Rng
+appRng(const WorkloadParams &params, std::uint64_t app_tag)
+{
+    return Rng(params.seed ^ mix64(app_tag));
+}
+
+} // namespace
+
+Trace
+genBlackscholes(const WorkloadParams &params)
+{
+    // Embarrassingly parallel option pricing: every thread repeatedly
+    // sweeps its private chunk of options; a small read-only pricing
+    // table is the only shared data.
+    Rng rng = appRng(params, 0xb5c);
+    Trace trace("blackscholes", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t chunk_blocks = params.scaled(24576, 64);
+    const std::uint64_t table_blocks = params.scaled(256, 16);
+    std::vector<Region> chunks;
+    for (unsigned t = 0; t < params.threads; ++t)
+        chunks.push_back(mem.allocateBlocks(
+            chunk_blocks, "options_t" + std::to_string(t)));
+    const Region table = mem.allocateBlocks(table_blocks, "price_table");
+    const ZipfSampler table_zipf(table.blocks(), 0.7);
+
+    const PC sweep_pc = pcs.next();
+    const PC write_pc = pcs.next();
+    const PC table_pc = pcs.next();
+    const unsigned passes = 4;
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, chunks[t], sweep_pc, chunk_blocks, 0.0,
+                       rng);
+            emitStream(phase, t, chunks[t], write_pc, chunk_blocks / 4,
+                       1.0, rng, rng.below(chunk_blocks));
+            emitZipf(phase, t, table, table_pc,
+                     params.scaled(2000, 32), 0.0, table_zipf, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genBodytrack(const WorkloadParams &params)
+{
+    // Particle-filter body tracking: all threads evaluate particles
+    // against the same read-only image/model data; particle state is
+    // private and rewritten every frame.
+    Rng rng = appRng(params, 0xb0d);
+    Trace trace("bodytrack", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region model =
+        mem.allocateBlocks(params.scaled(131072, 256), "model");
+    std::vector<Region> particles;
+    for (unsigned t = 0; t < params.threads; ++t)
+        particles.push_back(mem.allocateBlocks(
+            params.scaled(4096, 32), "particles_t" + std::to_string(t)));
+    const ZipfSampler model_zipf(model.blocks(), 0.55);
+
+    const PC model_pc = pcs.next();
+    const PC part_read_pc = pcs.next();
+    const PC part_write_pc = pcs.next();
+    const unsigned frames = 4;
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitZipf(phase, t, model, model_pc,
+                     params.scaled(48000, 64), 0.0, model_zipf, rng);
+            emitStream(phase, t, particles[t], part_read_pc,
+                       particles[t].blocks(), 0.0, rng);
+            emitStream(phase, t, particles[t], part_write_pc,
+                       particles[t].blocks(), 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genCanneal(const WorkloadParams &params)
+{
+    // Simulated annealing over a netlist far larger than the LLC:
+    // threads pick random elements and swap them, producing fine-grain
+    // read-write sharing with a hot head of popular nets.
+    Rng rng = appRng(params, 0xca2);
+    Trace trace("canneal", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region netlist =
+        mem.allocateBlocks(params.scaled(262144, 1024), "netlist");
+    const std::uint64_t hot_blocks =
+        std::max<std::uint64_t>(netlist.blocks() / 16, 64);
+    const ZipfSampler hot_zipf(hot_blocks, 0.9);
+    const Region hot = netlist.slice(0, hot_blocks, "hot_nets");
+
+    const PC hot_pc = pcs.next();
+    const PC cold_pc = pcs.next();
+    const PC chase_pc = pcs.next();
+    const unsigned rounds = 3;
+    for (unsigned round = 0; round < rounds; ++round) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitZipf(phase, t, hot, hot_pc, params.scaled(36000, 64),
+                     0.3, hot_zipf, rng);
+            emitRandom(phase, t, netlist, cold_pc,
+                       params.scaled(16000, 32), 0.3, rng);
+            emitChase(phase, t, netlist, chase_pc,
+                      params.scaled(8000, 32), 0.1, rng,
+                      rng.below(netlist.blocks()));
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genDedup(const WorkloadParams &params)
+{
+    // Deduplication pipeline: chunker threads hand blocks to
+    // compressors through queues; a shared hash table of fingerprints
+    // is probed and updated by every worker.
+    Rng rng = appRng(params, 0xded);
+    Trace trace("dedup", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region hash_table =
+        mem.allocateBlocks(params.scaled(98304, 512), "hash_table");
+    const ZipfSampler hash_zipf(hash_table.blocks(), 0.65);
+    std::vector<Region> queues;
+    const unsigned stages = std::max(2u, params.threads / 2);
+    for (unsigned q = 0; q < stages; ++q)
+        queues.push_back(mem.allocateBlocks(
+            params.scaled(2048, 16), "queue_" + std::to_string(q)));
+    std::vector<Region> input;
+    for (unsigned t = 0; t < params.threads; ++t)
+        input.push_back(mem.allocateBlocks(
+            params.scaled(8192, 32), "input_t" + std::to_string(t)));
+
+    const PC in_pc = pcs.next();
+    const PC produce_pc = pcs.next();
+    const PC consume_pc = pcs.next();
+    const PC hash_pc = pcs.next();
+    const unsigned rounds = 3;
+    for (unsigned round = 0; round < rounds; ++round) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, input[t], in_pc, input[t].blocks(), 0.0,
+                       rng);
+            emitZipf(phase, t, hash_table, hash_pc,
+                     params.scaled(20000, 32), 0.15, hash_zipf, rng);
+        }
+        // Neighbouring threads form the pipeline stages.
+        for (unsigned q = 0; q < stages; ++q) {
+            const unsigned producer = q % params.threads;
+            const unsigned consumer = (q + 1) % params.threads;
+            emitQueue(phase, producer, consumer, queues[q], produce_pc,
+                      consume_pc, params.scaled(6000, 32), 2);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genFerret(const WorkloadParams &params)
+{
+    // Content-based similarity search pipeline: middle stages probe a
+    // large read-only image database; stages communicate via queues.
+    Rng rng = appRng(params, 0xfe6);
+    Trace trace("ferret", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region database =
+        mem.allocateBlocks(params.scaled(196608, 512), "database");
+    const ZipfSampler db_zipf(database.blocks(), 0.7);
+    std::vector<Region> queues;
+    const unsigned stages = std::max(2u, params.threads / 2);
+    for (unsigned q = 0; q < stages; ++q)
+        queues.push_back(mem.allocateBlocks(
+            params.scaled(1024, 16), "queue_" + std::to_string(q)));
+
+    const PC db_pc = pcs.next();
+    const PC produce_pc = pcs.next();
+    const PC consume_pc = pcs.next();
+    const PC private_pc = pcs.next();
+    std::vector<Region> scratch;
+    for (unsigned t = 0; t < params.threads; ++t)
+        scratch.push_back(mem.allocateBlocks(
+            params.scaled(2048, 16), "scratch_t" + std::to_string(t)));
+
+    const unsigned rounds = 3;
+    for (unsigned round = 0; round < rounds; ++round) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitZipf(phase, t, database, db_pc,
+                     params.scaled(36000, 64), 0.0, db_zipf, rng);
+            emitStream(phase, t, scratch[t], private_pc,
+                       scratch[t].blocks() * 2, 0.5, rng);
+        }
+        for (unsigned q = 0; q < stages; ++q) {
+            const unsigned producer = q % params.threads;
+            const unsigned consumer = (q + 1) % params.threads;
+            emitQueue(phase, producer, consumer, queues[q], produce_pc,
+                      consume_pc, params.scaled(4000, 32), 1);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genFluidanimate(const WorkloadParams &params)
+{
+    // Particle fluid simulation on a spatially partitioned grid: each
+    // thread updates its slab; cells on slab boundaries are read and
+    // written by both neighbouring threads every time step.
+    Rng rng = appRng(params, 0xf1d);
+    Trace trace("fluidanimate", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t slab_blocks = params.scaled(24576, 128);
+    const std::uint64_t boundary_blocks =
+        std::max<std::uint64_t>(slab_blocks / 24, 8);
+    std::vector<Region> slabs;
+    for (unsigned t = 0; t < params.threads; ++t)
+        slabs.push_back(mem.allocateBlocks(
+            slab_blocks, "slab_t" + std::to_string(t)));
+
+    const PC update_pc = pcs.next();
+    const PC write_pc = pcs.next();
+    const PC boundary_pc = pcs.next();
+    const unsigned steps = 6;
+    for (unsigned step = 0; step < steps; ++step) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, slabs[t], update_pc, slab_blocks, 0.0,
+                       rng);
+            emitStream(phase, t, slabs[t], write_pc, slab_blocks / 2,
+                       1.0, rng);
+            // Boundary strips of the two neighbouring slabs, touched
+            // read-write by this thread as well as their owners.
+            const unsigned left = (t + params.threads - 1) %
+                                  params.threads;
+            const unsigned right = (t + 1) % params.threads;
+            const Region left_edge = slabs[left].slice(
+                slab_blocks - boundary_blocks, boundary_blocks, "edge");
+            const Region right_edge =
+                slabs[right].slice(0, boundary_blocks, "edge");
+            emitStream(phase, t, left_edge, boundary_pc,
+                       boundary_blocks * 2, 0.3, rng);
+            emitStream(phase, t, right_edge, boundary_pc,
+                       boundary_blocks * 2, 0.3, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genStreamcluster(const WorkloadParams &params)
+{
+    // Online clustering: every point (streamed once, private) is
+    // compared against the shared set of candidate centers, which all
+    // threads re-read constantly with mild skew.
+    Rng rng = appRng(params, 0x5c1);
+    Trace trace("streamcluster", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region centers =
+        mem.allocateBlocks(params.scaled(98304, 256), "centers");
+    const ZipfSampler center_zipf(centers.blocks(), 0.5);
+    std::vector<Region> points;
+    for (unsigned t = 0; t < params.threads; ++t)
+        points.push_back(mem.allocateBlocks(
+            params.scaled(49152, 128), "points_t" + std::to_string(t)));
+
+    const PC point_pc = pcs.next();
+    const PC center_pc = pcs.next();
+    const PC assign_pc = pcs.next();
+    const unsigned rounds = 2;
+    for (unsigned round = 0; round < rounds; ++round) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            const std::uint64_t npoints = params.scaled(24000, 64);
+            std::uint64_t block = 0;
+            for (std::uint64_t i = 0; i < npoints; ++i) {
+                phase.emit(t, points[t].blockAddr(block), point_pc,
+                           false);
+                block = (block + 2) % points[t].blocks();
+                for (unsigned k = 0; k < 3; ++k) {
+                    phase.emit(
+                        t,
+                        centers.blockAddr(center_zipf.sample(rng)),
+                        center_pc, false);
+                }
+                if (rng.chance(0.02)) {
+                    phase.emit(
+                        t,
+                        centers.blockAddr(center_zipf.sample(rng)),
+                        assign_pc, true);
+                }
+            }
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genSwaptions(const WorkloadParams &params)
+{
+    // Independent Monte-Carlo pricing: essentially no sharing; each
+    // thread re-simulates over its own scratch arrays many times.
+    Rng rng = appRng(params, 0x5a9);
+    Trace trace("swaptions", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    std::vector<Region> scratch;
+    for (unsigned t = 0; t < params.threads; ++t)
+        scratch.push_back(mem.allocateBlocks(
+            params.scaled(20480, 64), "scratch_t" + std::to_string(t)));
+    const Region config = mem.allocateBlocks(params.scaled(64, 8),
+                                             "config");
+
+    const PC config_pc = pcs.next();
+    const PC sim_read_pc = pcs.next();
+    const PC sim_write_pc = pcs.next();
+    const unsigned passes = 6;
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, config, config_pc, config.blocks(), 0.0,
+                       rng);
+            emitStream(phase, t, scratch[t], sim_read_pc,
+                       scratch[t].blocks(), 0.0, rng);
+            emitStream(phase, t, scratch[t], sim_write_pc,
+                       scratch[t].blocks() / 2, 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genX264(const WorkloadParams &params)
+{
+    // Sliding-window video encoding: thread t encodes frame t by
+    // writing its own frame buffer while motion search reads the frame
+    // just produced by thread t-1 (neighbour producer-consumer).
+    Rng rng = appRng(params, 0x264);
+    Trace trace("x264", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t frame_blocks = params.scaled(24576, 64);
+    std::vector<Region> frames;
+    for (unsigned t = 0; t < params.threads; ++t)
+        frames.push_back(mem.allocateBlocks(
+            frame_blocks, "frame_t" + std::to_string(t)));
+
+    const PC encode_pc = pcs.next();
+    const PC refine_pc = pcs.next();
+    const PC motion_pc = pcs.next();
+    const unsigned gops = 3;
+    for (unsigned gop = 0; gop < gops; ++gop) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            const unsigned ref = (t + params.threads - 1) %
+                                 params.threads;
+            emitStream(phase, t, frames[t], encode_pc, frame_blocks,
+                       0.7, rng);
+            emitStream(phase, t, frames[t], refine_pc, frame_blocks / 2,
+                       0.5, rng);
+            // Motion search re-reads the reference frame with locality.
+            emitStream(phase, t, frames[ref], motion_pc,
+                       frame_blocks + frame_blocks / 2, 0.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+
+Trace
+genFacesim(const WorkloadParams &params)
+{
+    // Face animation: a shared face mesh is partitioned; threads
+    // iterate Newton steps over their partitions and repeatedly read a
+    // shared stiffness matrix; partition-boundary vertices are
+    // read-write shared with neighbours.
+    Rng rng = appRng(params, 0xface);
+    Trace trace("facesim", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region stiffness =
+        mem.allocateBlocks(params.scaled(65536, 256), "stiffness");
+    const ZipfSampler stiff_zipf(stiffness.blocks(), 0.45);
+    const std::uint64_t part_blocks = params.scaled(12288, 64);
+    const std::uint64_t boundary_blocks =
+        std::max<std::uint64_t>(part_blocks / 16, 8);
+    std::vector<Region> partitions;
+    for (unsigned t = 0; t < params.threads; ++t)
+        partitions.push_back(mem.allocateBlocks(
+            part_blocks, "mesh_t" + std::to_string(t)));
+
+    const PC stiff_pc = pcs.next();
+    const PC mesh_read_pc = pcs.next();
+    const PC mesh_write_pc = pcs.next();
+    const PC boundary_pc = pcs.next();
+    const unsigned newton_steps = 4;
+    for (unsigned step = 0; step < newton_steps; ++step) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitZipf(phase, t, stiffness, stiff_pc,
+                     params.scaled(30000, 64), 0.0, stiff_zipf, rng);
+            emitStream(phase, t, partitions[t], mesh_read_pc,
+                       part_blocks, 0.0, rng);
+            emitStream(phase, t, partitions[t], mesh_write_pc,
+                       part_blocks / 2, 1.0, rng);
+            const unsigned next = (t + 1) % params.threads;
+            const Region edge =
+                partitions[next].slice(0, boundary_blocks, "edge");
+            emitStream(phase, t, edge, boundary_pc,
+                       boundary_blocks * 2, 0.25, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genVips(const WorkloadParams &params)
+{
+    // Image processing pipeline: tiles of a shared input image are
+    // claimed from a work queue, transformed through private scratch,
+    // and written to a shared output image (disjoint tiles, but the
+    // queue and image headers are contended).
+    Rng rng = appRng(params, 0x715);
+    Trace trace("vips", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t tile_blocks = params.scaled(1024, 16);
+    const unsigned tiles = 96;
+    const Region input = mem.allocateBlocks(
+        tile_blocks * tiles, "input_image");
+    const Region output = mem.allocateBlocks(
+        tile_blocks * tiles, "output_image");
+    const Region queue = mem.allocateBlocks(params.scaled(128, 8),
+                                            "work_queue");
+    std::vector<Region> scratch;
+    for (unsigned t = 0; t < params.threads; ++t)
+        scratch.push_back(mem.allocateBlocks(
+            params.scaled(2048, 16), "scratch_t" + std::to_string(t)));
+
+    const PC queue_pc = pcs.next();
+    const PC in_pc = pcs.next();
+    const PC scratch_pc = pcs.next();
+    const PC out_pc = pcs.next();
+    const unsigned rounds = 2;
+    for (unsigned round = 0; round < rounds; ++round) {
+        PhaseBuilder phase(params.threads);
+        // Tiles are claimed dynamically (random winner per round, as
+        // under a contended work queue), so the same tile is processed
+        // by different threads across rounds; each claim also touches
+        // the hot queue block (read-modify-write by every thread).
+        for (unsigned tile = 0; tile < tiles; ++tile) {
+            const unsigned t =
+                static_cast<unsigned>(rng.below(params.threads));
+            const Addr slot =
+                queue.blockAddr(tile % queue.blocks());
+            phase.emit(t, slot, queue_pc, false);
+            phase.emit(t, slot, queue_pc, true);
+            const Region in_tile = input.slice(
+                static_cast<std::uint64_t>(tile) * tile_blocks,
+                tile_blocks, "tile");
+            const Region out_tile = output.slice(
+                static_cast<std::uint64_t>(tile) * tile_blocks,
+                tile_blocks, "tile");
+            emitStream(phase, t, in_tile, in_pc, tile_blocks, 0.0,
+                       rng);
+            emitStream(phase, t, scratch[t], scratch_pc,
+                       scratch[t].blocks(), 0.5, rng);
+            emitStream(phase, t, out_tile, out_pc, tile_blocks, 1.0,
+                       rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+} // namespace casim

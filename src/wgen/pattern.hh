@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sharing-pattern primitives for the synthetic workload generators.
+ *
+ * Each application model is composed from a handful of canonical memory
+ * reference patterns (sequential streams, random and Zipf touches,
+ * pointer chases, producer-consumer hand-offs, migratory objects).  A
+ * PhaseBuilder collects per-thread access sequences for one barrier
+ * phase and interleaves them into the global trace with fine, randomly
+ * skewed granularity, the way a CMP would observe concurrently running
+ * threads between two barriers.
+ */
+
+#ifndef CASIM_WGEN_PATTERN_HH
+#define CASIM_WGEN_PATTERN_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/trace.hh"
+#include "wgen/address_space.hh"
+
+namespace casim {
+
+/**
+ * Collects one barrier phase worth of per-thread accesses, then
+ * interleaves them into a trace.
+ */
+class PhaseBuilder
+{
+  public:
+    /** @param threads Thread count of the phase. */
+    explicit PhaseBuilder(unsigned threads);
+
+    /** Append one access to thread `tid`'s program order. */
+    void emit(unsigned tid, Addr addr, PC pc, bool is_write);
+
+    /** Accesses queued for thread `tid`. */
+    std::size_t threadSize(unsigned tid) const;
+
+    /** Total accesses queued across threads. */
+    std::size_t totalSize() const;
+
+    /**
+     * Interleave all per-thread sequences into `trace` and clear the
+     * builder.  Threads advance in randomized round-robin order, each
+     * turn emitting a short random burst, which produces the
+     * fine-grained interleavings shared-memory programs exhibit.
+     *
+     * @param max_burst Longest per-turn burst (>= 1).
+     */
+    void interleaveInto(Trace &trace, Rng &rng, unsigned max_burst = 4);
+
+  private:
+    unsigned threads_;
+    std::vector<std::vector<MemAccess>> perThread_;
+};
+
+/** A distinct synthetic PC for each static load/store site. */
+class PcAllocator
+{
+  public:
+    /** @param base Code base address of the app (any value). */
+    explicit PcAllocator(PC base = 0x400000) : next_(base) {}
+
+    /** Allocate the next instruction address. */
+    PC
+    next()
+    {
+        const PC pc = next_;
+        next_ += 4;
+        return pc;
+    }
+
+  private:
+    PC next_;
+};
+
+/** Sequential walk over `count` blocks of a region with a stride. */
+void emitStream(PhaseBuilder &phase, unsigned tid, const Region &region,
+                PC pc, std::uint64_t count, double write_frac, Rng &rng,
+                std::uint64_t start_block = 0, std::uint64_t stride = 1);
+
+/** Uniform-random block touches within a region. */
+void emitRandom(PhaseBuilder &phase, unsigned tid, const Region &region,
+                PC pc, std::uint64_t count, double write_frac, Rng &rng);
+
+/** Zipf-skewed block touches (hot head) within a region. */
+void emitZipf(PhaseBuilder &phase, unsigned tid, const Region &region,
+              PC pc, std::uint64_t count, double write_frac,
+              const ZipfSampler &sampler, Rng &rng);
+
+/**
+ * Pointer-chase walk: follows a deterministic pseudo-random permutation
+ * of the region's blocks (an LCG cycle), `count` steps from a seed
+ * position.  Models linked traversals (canneal's netlist).
+ */
+void emitChase(PhaseBuilder &phase, unsigned tid, const Region &region,
+               PC pc, std::uint64_t count, double write_frac, Rng &rng,
+               std::uint64_t start_block = 0);
+
+/**
+ * Producer-consumer hand-off: the producer writes `count` blocks of the
+ * queue region in order; the consumer reads the same blocks `reads`
+ * times each.  Interleaving makes the hand-off overlap in time, so the
+ * queue blocks become read-write shared in the LLC.
+ */
+void emitQueue(PhaseBuilder &phase, unsigned producer, unsigned consumer,
+               const Region &queue, PC produce_pc, PC consume_pc,
+               std::uint64_t count, unsigned reads = 1);
+
+/**
+ * Migratory object access: each listed thread in turn reads then writes
+ * every block of the object region (read-modify-write passing between
+ * threads), the canonical migratory sharing pattern.
+ */
+void emitMigratory(PhaseBuilder &phase,
+                   const std::vector<unsigned> &thread_order,
+                   const Region &object, PC read_pc, PC write_pc,
+                   unsigned rounds = 1);
+
+} // namespace casim
+
+#endif // CASIM_WGEN_PATTERN_HH

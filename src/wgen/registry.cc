@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Implementation of the workload registry.
+ */
+
+#include "wgen/registry.hh"
+
+#include "common/logging.hh"
+
+namespace casim {
+
+namespace {
+
+struct Entry
+{
+    WorkloadInfo info;
+    Trace (*generate)(const WorkloadParams &);
+};
+
+const std::vector<Entry> &
+entries()
+{
+    static const std::vector<Entry> table = {
+        {{"blackscholes", "parsec",
+          "data-parallel option pricing; private chunks, tiny shared "
+          "dictionary"},
+         genBlackscholes},
+        {{"bodytrack", "parsec",
+          "particle tracking; read-shared model data, private particles"},
+         genBodytrack},
+        {{"canneal", "parsec",
+          "simulated annealing over a large read-write shared netlist"},
+         genCanneal},
+        {{"dedup", "parsec",
+          "pipeline with shared hash table and inter-stage queues"},
+         genDedup},
+        {{"ferret", "parsec",
+          "pipelined similarity search over a read-shared database"},
+         genFerret},
+        {{"fluidanimate", "parsec",
+          "partitioned grid with read-write boundary sharing"},
+         genFluidanimate},
+        {{"streamcluster", "parsec",
+          "streamed private points against hot read-shared centers"},
+         genStreamcluster},
+        {{"swaptions", "parsec",
+          "independent Monte-Carlo simulations; almost fully private"},
+         genSwaptions},
+        {{"x264", "parsec",
+          "sliding-window encoding; neighbour producer-consumer frames"},
+         genX264},
+        {{"facesim", "parsec",
+          "face mesh Newton steps; shared stiffness, boundary vertices"},
+         genFacesim},
+        {{"vips", "parsec",
+          "tiled image pipeline; shared images, hot work queue"},
+         genVips},
+        {{"barnes", "splash2",
+          "octree N-body; hot read-shared tree, migratory bodies"},
+         genBarnes},
+        {{"fft", "splash2",
+          "six-step FFT; all-to-all transpose sharing between phases"},
+         genFft},
+        {{"lu", "splash2",
+          "blocked LU; per-step read-shared pivot block"},
+         genLu},
+        {{"ocean", "splash2",
+          "multigrid stencils with boundary-row sharing per phase"},
+         genOcean},
+        {{"radix", "splash2",
+          "radix sort; shared histogram and permutation scatter"},
+         genRadix},
+        {{"water", "splash2",
+          "molecular dynamics; migratory pairwise force updates"},
+         genWater},
+        {{"cholesky", "splash2",
+          "sparse factorization; fan-out read sharing of supernodes"},
+         genCholesky},
+        {{"raytrace", "splash2",
+          "ray tracing; hot read-shared BVH, private rays and tiles"},
+         genRaytrace},
+        {{"volrend", "splash2",
+          "volume rendering; overlapping read-shared voxel slabs"},
+         genVolrend},
+        {{"swim_omp", "specomp",
+          "shallow-water stencil; huge streaming arrays, boundary rows"},
+         genSwimOmp},
+        {{"art_omp", "specomp",
+          "neural-net recognition; weights re-scanned by every thread"},
+         genArtOmp},
+        {{"equake_omp", "specomp",
+          "sparse earthquake solver; read-shared vector, private rows"},
+         genEquakeOmp},
+        {{"mgrid_omp", "specomp",
+          "multigrid V-cycles; shared coarse grids, slab boundaries"},
+         genMgridOmp},
+        {{"applu_omp", "specomp",
+          "SSOR wavefront sweeps; pipelined boundary-plane sharing"},
+         genApplluOmp},
+        {{"ammp_omp", "specomp",
+          "molecular mechanics; shared neighbour list and multipoles"},
+         genAmmpOmp},
+    };
+    return table;
+}
+
+const Entry &
+findEntry(const std::string &name)
+{
+    for (const auto &entry : entries()) {
+        if (entry.info.name == name)
+            return entry;
+    }
+    casim_fatal("unknown workload '", name, "'");
+}
+
+} // namespace
+
+std::vector<WorkloadInfo>
+allWorkloads()
+{
+    std::vector<WorkloadInfo> infos;
+    for (const auto &entry : entries())
+        infos.push_back(entry.info);
+    return infos;
+}
+
+std::vector<WorkloadInfo>
+workloadsInSuite(const std::string &suite)
+{
+    std::vector<WorkloadInfo> infos;
+    for (const auto &entry : entries()) {
+        if (entry.info.suite == suite)
+            infos.push_back(entry.info);
+    }
+    return infos;
+}
+
+WorkloadInfo
+workloadInfo(const std::string &name)
+{
+    return findEntry(name).info;
+}
+
+Trace
+makeWorkloadTrace(const std::string &name, const WorkloadParams &params)
+{
+    casim_assert(params.threads >= 2,
+                 "sharing study needs at least two threads");
+    return findEntry(name).generate(params);
+}
+
+} // namespace casim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Registry of all built-in application models across the three suites.
+ */
+
+#ifndef CASIM_WGEN_REGISTRY_HH
+#define CASIM_WGEN_REGISTRY_HH
+
+#include <vector>
+
+#include "wgen/workload.hh"
+
+namespace casim {
+
+/** Metadata of every registered workload, in canonical suite order. */
+std::vector<WorkloadInfo> allWorkloads();
+
+/** Metadata of the workloads belonging to one suite. */
+std::vector<WorkloadInfo> workloadsInSuite(const std::string &suite);
+
+/** Metadata for a single workload; fatal on unknown names. */
+WorkloadInfo workloadInfo(const std::string &name);
+
+/** Generate the trace of the named workload; fatal on unknown names. */
+Trace makeWorkloadTrace(const std::string &name,
+                        const WorkloadParams &params);
+
+// Individual generators (grouped by suite source file); exposed so
+// tests can target one model without the registry.
+
+/** @{ PARSEC-like models. */
+Trace genBlackscholes(const WorkloadParams &params);
+Trace genBodytrack(const WorkloadParams &params);
+Trace genCanneal(const WorkloadParams &params);
+Trace genDedup(const WorkloadParams &params);
+Trace genFerret(const WorkloadParams &params);
+Trace genFluidanimate(const WorkloadParams &params);
+Trace genStreamcluster(const WorkloadParams &params);
+Trace genSwaptions(const WorkloadParams &params);
+Trace genX264(const WorkloadParams &params);
+Trace genFacesim(const WorkloadParams &params);
+Trace genVips(const WorkloadParams &params);
+/** @} */
+
+/** @{ SPLASH-2-like models. */
+Trace genBarnes(const WorkloadParams &params);
+Trace genFft(const WorkloadParams &params);
+Trace genLu(const WorkloadParams &params);
+Trace genOcean(const WorkloadParams &params);
+Trace genRadix(const WorkloadParams &params);
+Trace genWater(const WorkloadParams &params);
+Trace genCholesky(const WorkloadParams &params);
+Trace genRaytrace(const WorkloadParams &params);
+Trace genVolrend(const WorkloadParams &params);
+/** @} */
+
+/** @{ SPEC-OMP-like models. */
+Trace genSwimOmp(const WorkloadParams &params);
+Trace genArtOmp(const WorkloadParams &params);
+Trace genEquakeOmp(const WorkloadParams &params);
+Trace genMgridOmp(const WorkloadParams &params);
+Trace genApplluOmp(const WorkloadParams &params);
+Trace genAmmpOmp(const WorkloadParams &params);
+/** @} */
+
+} // namespace casim
+
+#endif // CASIM_WGEN_REGISTRY_HH

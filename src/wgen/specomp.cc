@@ -1,0 +1,331 @@
+/**
+ * @file
+ * SPEC-OMP-like application models.
+ *
+ * The SPEC OMP codes are loop-parallel scientific kernels: huge
+ * row-partitioned arrays with boundary sharing (swim), repeatedly
+ * re-scanned read-shared weight data (art), and sparse solvers with a
+ * read-shared vector (equake).
+ */
+
+#include "common/rng.hh"
+#include "wgen/pattern.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+
+namespace {
+
+Rng
+appRng(const WorkloadParams &params, std::uint64_t app_tag)
+{
+    return Rng(params.seed ^ mix64(app_tag));
+}
+
+} // namespace
+
+Trace
+genSwimOmp(const WorkloadParams &params)
+{
+    // Shallow-water modelling: three large grids swept in their
+    // entirety every iteration.  Slabs are private; only boundary rows
+    // are exchanged.  Streaming dominates, so LLC reuse is poor.
+    Rng rng = appRng(params, 0x5317);
+    Trace trace("swim_omp", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const unsigned arrays = 3;
+    const std::uint64_t slab_blocks = params.scaled(16384, 128);
+    const std::uint64_t boundary_blocks =
+        std::max<std::uint64_t>(slab_blocks / 64, 4);
+    std::vector<std::vector<Region>> slabs(arrays);
+    for (unsigned a = 0; a < arrays; ++a) {
+        for (unsigned t = 0; t < params.threads; ++t) {
+            slabs[a].push_back(mem.allocateBlocks(
+                slab_blocks, "arr" + std::to_string(a) + "_slab" +
+                                 std::to_string(t)));
+        }
+    }
+
+    const PC read_pc = pcs.next();
+    const PC write_pc = pcs.next();
+    const PC boundary_pc = pcs.next();
+    const unsigned iterations = 3;
+    for (unsigned it = 0; it < iterations; ++it) {
+        for (unsigned a = 0; a < arrays; ++a) {
+            PhaseBuilder phase(params.threads);
+            for (unsigned t = 0; t < params.threads; ++t) {
+                emitStream(phase, t, slabs[a][t], read_pc, slab_blocks,
+                           0.0, rng);
+                emitStream(phase, t, slabs[(a + 1) % arrays][t],
+                           write_pc, slab_blocks, 1.0, rng);
+                const unsigned up =
+                    (t + params.threads - 1) % params.threads;
+                const Region row = slabs[a][up].slice(
+                    slab_blocks - boundary_blocks, boundary_blocks,
+                    "row");
+                emitStream(phase, t, row, boundary_pc,
+                           boundary_blocks * 2, 0.0, rng);
+            }
+            phase.interleaveInto(trace, rng);
+        }
+    }
+    return trace;
+}
+
+Trace
+genArtOmp(const WorkloadParams &params)
+{
+    // Adaptive resonance theory image recognition: the weight matrices
+    // (larger than a 4 MB LLC, close to an 8 MB one) are scanned by
+    // every thread for every input — the canonical read-shared working
+    // set whose retention the sharing-aware oracle rewards.
+    Rng rng = appRng(params, 0xa67);
+    Trace trace("art_omp", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region weights =
+        mem.allocateBlocks(params.scaled(98304, 256), "weights");
+    std::vector<Region> inputs;
+    for (unsigned t = 0; t < params.threads; ++t)
+        inputs.push_back(mem.allocateBlocks(
+            params.scaled(8192, 32), "input_t" + std::to_string(t)));
+
+    const PC scan_pc = pcs.next();
+    const PC input_pc = pcs.next();
+    const PC learn_pc = pcs.next();
+    const unsigned epochs = 3;
+    for (unsigned epoch = 0; epoch < epochs; ++epoch) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, inputs[t], input_pc,
+                       inputs[t].blocks(), 0.1, rng);
+            // Two staggered full scans of the shared weights per epoch.
+            emitStream(phase, t, weights, scan_pc, weights.blocks(), 0.0,
+                       rng, t * (weights.blocks() / params.threads));
+            emitStream(phase, t, weights, scan_pc, weights.blocks(), 0.0,
+                       rng, t * (weights.blocks() / params.threads));
+            // Sparse weight updates from the winning neurons.
+            emitRandom(phase, t, weights, learn_pc,
+                       params.scaled(1500, 8), 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genEquakeOmp(const WorkloadParams &params)
+{
+    // Earthquake simulation (sparse matrix-vector): matrix rows are
+    // streamed privately; the multiplicand vector is read-shared with
+    // locality skew; the result vector is written privately.
+    Rng rng = appRng(params, 0xe9a);
+    Trace trace("equake_omp", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t rows_blocks = params.scaled(24576, 128);
+    std::vector<Region> rows, result;
+    for (unsigned t = 0; t < params.threads; ++t) {
+        rows.push_back(mem.allocateBlocks(
+            rows_blocks, "rows_t" + std::to_string(t)));
+        result.push_back(mem.allocateBlocks(
+            params.scaled(2048, 16), "result_t" + std::to_string(t)));
+    }
+    const Region vector =
+        mem.allocateBlocks(params.scaled(32768, 128), "x_vector");
+    const ZipfSampler vector_zipf(vector.blocks(), 0.35);
+
+    const PC row_pc = pcs.next();
+    const PC vec_pc = pcs.next();
+    const PC res_pc = pcs.next();
+    const unsigned timesteps = 3;
+    for (unsigned step = 0; step < timesteps; ++step) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            const std::uint64_t nnz = params.scaled(30000, 64);
+            std::uint64_t row_block = 0;
+            for (std::uint64_t i = 0; i < nnz; ++i) {
+                phase.emit(t, rows[t].blockAddr(row_block), row_pc,
+                           false);
+                row_block = (row_block + 1) % rows[t].blocks();
+                phase.emit(
+                    t, vector.blockAddr(vector_zipf.sample(rng)),
+                    vec_pc, false);
+                if (i % 8 == 0) {
+                    phase.emit(t,
+                               result[t].blockAddr(
+                                   (i / 8) % result[t].blocks()),
+                               res_pc, true);
+                }
+            }
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+
+Trace
+genMgridOmp(const WorkloadParams &params)
+{
+    // Multigrid solver: V-cycles over a pyramid of grids.  The finest
+    // grid dominates the footprint and is slab-partitioned with
+    // boundary sharing; coarse grids are small enough that every
+    // thread touches most of them (naturally shared).
+    Rng rng = appRng(params, 0x3961d);
+    Trace trace("mgrid_omp", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const unsigned levels = 4;
+    std::vector<std::vector<Region>> grids(levels);
+    std::uint64_t level_blocks = params.scaled(16384, 128);
+    for (unsigned level = 0; level < levels; ++level) {
+        for (unsigned t = 0; t < params.threads; ++t) {
+            grids[level].push_back(mem.allocateBlocks(
+                std::max<std::uint64_t>(level_blocks, 8),
+                "lvl" + std::to_string(level) + "_slab" +
+                    std::to_string(t)));
+        }
+        level_blocks /= 8; // grid shrinks per level
+    }
+
+    const PC smooth_pc = pcs.next();
+    const PC restrict_pc = pcs.next();
+    const PC boundary_pc = pcs.next();
+    const unsigned vcycles = 2;
+    for (unsigned cycle = 0; cycle < vcycles; ++cycle) {
+        for (unsigned level = 0; level < levels; ++level) {
+            PhaseBuilder phase(params.threads);
+            for (unsigned t = 0; t < params.threads; ++t) {
+                const Region &mine = grids[level][t];
+                emitStream(phase, t, mine, smooth_pc,
+                           mine.blocks() * 2, 0.5, rng);
+                // Coarse levels: threads also read the other slabs.
+                if (level >= 2) {
+                    for (unsigned o = 0; o < params.threads; ++o) {
+                        if (o != t)
+                            emitStream(phase, t, grids[level][o],
+                                       restrict_pc,
+                                       grids[level][o].blocks(), 0.0,
+                                       rng);
+                    }
+                } else {
+                    const unsigned up =
+                        (t + params.threads - 1) % params.threads;
+                    const std::uint64_t edge = std::max<std::uint64_t>(
+                        mine.blocks() / 32, 4);
+                    const Region row = grids[level][up].slice(
+                        grids[level][up].blocks() - edge, edge, "row");
+                    emitStream(phase, t, row, boundary_pc, edge * 2,
+                               0.0, rng);
+                }
+            }
+            phase.interleaveInto(trace, rng);
+        }
+    }
+    return trace;
+}
+
+Trace
+genApplluOmp(const WorkloadParams &params)
+{
+    // SSOR solver (applu): wavefront sweeps over a 3-D grid; each
+    // thread's slab depends on the previous thread's freshly written
+    // boundary plane, producing pipelined producer-consumer sharing.
+    Rng rng = appRng(params, 0xa991);
+    Trace trace("applu_omp", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t slab_blocks = params.scaled(20480, 128);
+    const std::uint64_t plane_blocks =
+        std::max<std::uint64_t>(slab_blocks / 20, 8);
+    std::vector<Region> slabs;
+    for (unsigned t = 0; t < params.threads; ++t)
+        slabs.push_back(mem.allocateBlocks(
+            slab_blocks, "slab_t" + std::to_string(t)));
+
+    const PC sweep_pc = pcs.next();
+    const PC write_pc = pcs.next();
+    const PC plane_pc = pcs.next();
+    const unsigned sweeps = 3;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, slabs[t], sweep_pc, slab_blocks, 0.0,
+                       rng);
+            emitStream(phase, t, slabs[t], write_pc, slab_blocks, 1.0,
+                       rng);
+            // Wavefront dependency: read the upstream thread's last
+            // plane (which it writes during this phase).
+            const unsigned up =
+                (t + params.threads - 1) % params.threads;
+            const Region plane = slabs[up].slice(
+                slab_blocks - plane_blocks, plane_blocks, "plane");
+            emitStream(phase, t, plane, plane_pc, plane_blocks * 3,
+                       0.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genAmmpOmp(const WorkloadParams &params)
+{
+    // Molecular mechanics (ammp): atoms in per-thread cells plus a
+    // shared neighbour list rebuilt each step; long-range terms make
+    // every thread read a shared multipole tree with strong skew.
+    Rng rng = appRng(params, 0xa339);
+    Trace trace("ammp_omp", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region neighbours =
+        mem.allocateBlocks(params.scaled(49152, 128), "neighbour_list");
+    const Region multipole =
+        mem.allocateBlocks(params.scaled(12288, 64), "multipole");
+    const ZipfSampler pole_zipf(multipole.blocks(), 0.85);
+    std::vector<Region> cells;
+    for (unsigned t = 0; t < params.threads; ++t)
+        cells.push_back(mem.allocateBlocks(
+            params.scaled(8192, 64), "cell_t" + std::to_string(t)));
+
+    const PC neigh_pc = pcs.next();
+    const PC pole_pc = pcs.next();
+    const PC cell_read_pc = pcs.next();
+    const PC cell_write_pc = pcs.next();
+    const unsigned steps = 3;
+    for (unsigned step = 0; step < steps; ++step) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            // Everyone scans its stripe of the shared neighbour list
+            // plus a slice of the next thread's stripe.
+            const std::uint64_t stripe =
+                neighbours.blocks() / params.threads;
+            const Region mine = neighbours.slice(t * stripe, stripe,
+                                                 "stripe");
+            emitStream(phase, t, mine, neigh_pc, stripe, 0.1, rng);
+            const unsigned next = (t + 1) % params.threads;
+            const Region spill = neighbours.slice(
+                next * stripe, stripe / 4, "spill");
+            emitStream(phase, t, spill, neigh_pc, stripe / 4, 0.0,
+                       rng);
+            emitZipf(phase, t, multipole, pole_pc,
+                     params.scaled(15000, 32), 0.0, pole_zipf, rng);
+            emitStream(phase, t, cells[t], cell_read_pc,
+                       cells[t].blocks(), 0.0, rng);
+            emitStream(phase, t, cells[t], cell_write_pc,
+                       cells[t].blocks(), 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+} // namespace casim

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * SPLASH-2-like application models.
+ *
+ * Sharing structures follow the classic characterizations (Woo et al.,
+ * ISCA 1995): hot read-shared tree levels in barnes, all-to-all
+ * transpose sharing in fft, per-step pivot broadcast in lu, boundary
+ * rows in ocean, scatter writes in radix, and migratory molecule
+ * updates in water.
+ */
+
+#include "common/rng.hh"
+#include "wgen/pattern.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+
+namespace {
+
+Rng
+appRng(const WorkloadParams &params, std::uint64_t app_tag)
+{
+    return Rng(params.seed ^ mix64(app_tag));
+}
+
+} // namespace
+
+Trace
+genBarnes(const WorkloadParams &params)
+{
+    // Barnes-Hut N-body: the octree's upper levels are re-read by every
+    // thread for every body (hot, read-shared); bodies live in
+    // per-thread slices but force updates occasionally cross slices
+    // (migratory).
+    Rng rng = appRng(params, 0xba6);
+    Trace trace("barnes", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region tree = mem.allocateBlocks(params.scaled(32768, 128),
+                                           "octree");
+    const ZipfSampler tree_zipf(tree.blocks(), 1.05);
+    std::vector<Region> bodies;
+    for (unsigned t = 0; t < params.threads; ++t)
+        bodies.push_back(mem.allocateBlocks(
+            params.scaled(16384, 64), "bodies_t" + std::to_string(t)));
+
+    const PC tree_pc = pcs.next();
+    const PC body_read_pc = pcs.next();
+    const PC body_write_pc = pcs.next();
+    const PC remote_pc = pcs.next();
+    const unsigned steps = 4;
+    for (unsigned step = 0; step < steps; ++step) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitZipf(phase, t, tree, tree_pc, params.scaled(30000, 64),
+                     0.02, tree_zipf, rng);
+            emitStream(phase, t, bodies[t], body_read_pc,
+                       bodies[t].blocks(), 0.0, rng);
+            emitStream(phase, t, bodies[t], body_write_pc,
+                       bodies[t].blocks() / 2, 1.0, rng);
+            // Cross-slice force contributions: read-modify-write of a
+            // few bodies owned by other threads.
+            for (std::uint64_t i = 0; i < params.scaled(1200, 8); ++i) {
+                const unsigned other = static_cast<unsigned>(
+                    rng.below(params.threads));
+                const Addr addr = bodies[other].blockAddr(
+                    rng.below(bodies[other].blocks()));
+                phase.emit(t, addr, remote_pc, false);
+                phase.emit(t, addr, remote_pc, true);
+            }
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genFft(const WorkloadParams &params)
+{
+    // Six-step FFT: compute phases stream each thread's own stripe; the
+    // transpose phase reads blocks scattered across every other
+    // thread's stripe, turning the whole matrix shared two ways.
+    Rng rng = appRng(params, 0xff7);
+    Trace trace("fft", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t stripe_blocks = params.scaled(32768, 128);
+    std::vector<Region> stripes;
+    for (unsigned t = 0; t < params.threads; ++t)
+        stripes.push_back(mem.allocateBlocks(
+            stripe_blocks, "stripe_t" + std::to_string(t)));
+
+    const PC compute_pc = pcs.next();
+    const PC write_pc = pcs.next();
+    const PC transpose_pc = pcs.next();
+    const unsigned iterations = 2;
+    for (unsigned it = 0; it < iterations; ++it) {
+        // Compute phase: private streaming over own stripe.
+        {
+            PhaseBuilder phase(params.threads);
+            for (unsigned t = 0; t < params.threads; ++t) {
+                emitStream(phase, t, stripes[t], compute_pc,
+                           stripe_blocks, 0.0, rng);
+                emitStream(phase, t, stripes[t], write_pc,
+                           stripe_blocks, 1.0, rng);
+            }
+            phase.interleaveInto(trace, rng);
+        }
+        // Transpose phase: strided reads across all stripes.
+        {
+            PhaseBuilder phase(params.threads);
+            const std::uint64_t chunk =
+                stripe_blocks / params.threads;
+            for (unsigned t = 0; t < params.threads; ++t) {
+                for (unsigned src = 0; src < params.threads; ++src) {
+                    emitStream(phase, t, stripes[src], transpose_pc,
+                               chunk, 0.0, rng, t * chunk);
+                }
+                emitStream(phase, t, stripes[t], write_pc,
+                           stripe_blocks, 1.0, rng);
+            }
+            phase.interleaveInto(trace, rng);
+        }
+    }
+    return trace;
+}
+
+Trace
+genLu(const WorkloadParams &params)
+{
+    // Blocked dense LU: at step k the pivot block is broadcast-read by
+    // every thread while each updates the trailing blocks it owns.
+    Rng rng = appRng(params, 0x1c0);
+    Trace trace("lu", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const unsigned grid = 6; // grid x grid blocks
+    const std::uint64_t block_blocks = params.scaled(4608, 32);
+    std::vector<Region> blocks;
+    for (unsigned b = 0; b < grid * grid; ++b)
+        blocks.push_back(mem.allocateBlocks(
+            block_blocks, "block_" + std::to_string(b)));
+
+    const PC pivot_pc = pcs.next();
+    const PC update_read_pc = pcs.next();
+    const PC update_write_pc = pcs.next();
+    for (unsigned k = 0; k < grid; ++k) {
+        PhaseBuilder phase(params.threads);
+        const Region &pivot = blocks[k * grid + k];
+        for (unsigned t = 0; t < params.threads; ++t) {
+            // Everyone reads the pivot block (twice: factor + solve).
+            emitStream(phase, t, pivot, pivot_pc, pivot.blocks() * 2,
+                       0.0, rng);
+            // Trailing submatrix updates on owned blocks.
+            for (unsigned i = k; i < grid; ++i) {
+                for (unsigned j = k; j < grid; ++j) {
+                    const unsigned owner =
+                        (i * grid + j) % params.threads;
+                    if (owner != t || (i == k && j == k))
+                        continue;
+                    const Region &blk = blocks[i * grid + j];
+                    emitStream(phase, t, blk, update_read_pc,
+                               blk.blocks(), 0.0, rng);
+                    emitStream(phase, t, blk, update_write_pc,
+                               blk.blocks() / 2, 1.0, rng);
+                }
+            }
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genOcean(const WorkloadParams &params)
+{
+    // Ocean currents: several whole-grid stencil sweeps per time step;
+    // each thread owns a horizontal slab and re-reads the boundary rows
+    // of its neighbours.
+    Rng rng = appRng(params, 0x0cea);
+    Trace trace("ocean", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const unsigned grids = 3;
+    const std::uint64_t slab_blocks = params.scaled(8192, 64);
+    const std::uint64_t boundary_blocks =
+        std::max<std::uint64_t>(slab_blocks / 32, 8);
+    // grid_slabs[g][t]
+    std::vector<std::vector<Region>> grid_slabs(grids);
+    for (unsigned g = 0; g < grids; ++g) {
+        for (unsigned t = 0; t < params.threads; ++t) {
+            grid_slabs[g].push_back(mem.allocateBlocks(
+                slab_blocks, "grid" + std::to_string(g) + "_slab" +
+                                 std::to_string(t)));
+        }
+    }
+
+    const PC stencil_pc = pcs.next();
+    const PC write_pc = pcs.next();
+    const PC boundary_pc = pcs.next();
+    const unsigned sweeps = 8;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+        const unsigned g = sweep % grids;
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            const auto &slabs = grid_slabs[g];
+            emitStream(phase, t, slabs[t], stencil_pc, slab_blocks, 0.0,
+                       rng);
+            emitStream(phase, t, slabs[t], write_pc, slab_blocks, 1.0,
+                       rng);
+            const unsigned up = (t + params.threads - 1) %
+                                params.threads;
+            const unsigned down = (t + 1) % params.threads;
+            const Region top = slabs[up].slice(
+                slab_blocks - boundary_blocks, boundary_blocks, "row");
+            const Region bottom =
+                slabs[down].slice(0, boundary_blocks, "row");
+            emitStream(phase, t, top, boundary_pc, boundary_blocks * 3,
+                       0.0, rng);
+            emitStream(phase, t, bottom, boundary_pc,
+                       boundary_blocks * 3, 0.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genRadix(const WorkloadParams &params)
+{
+    // Radix sort: a hot shared histogram is built by all threads, then
+    // keys are scattered into a destination array by rank, writing
+    // blocks that other threads will read in the next round.
+    Rng rng = appRng(params, 0x6ad);
+    Trace trace("radix", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t keys_blocks = params.scaled(16384, 128);
+    std::vector<Region> keys;
+    for (unsigned t = 0; t < params.threads; ++t)
+        keys.push_back(mem.allocateBlocks(
+            keys_blocks, "keys_t" + std::to_string(t)));
+    const Region dest =
+        mem.allocateBlocks(keys_blocks * params.threads, "dest");
+    const Region histogram =
+        mem.allocateBlocks(params.scaled(512, 16), "histogram");
+
+    const PC key_pc = pcs.next();
+    const PC hist_pc = pcs.next();
+    const PC scatter_pc = pcs.next();
+    const PC gather_pc = pcs.next();
+    const unsigned digits = 2;
+    for (unsigned digit = 0; digit < digits; ++digit) {
+        // Histogram phase: shared read-write counters.
+        {
+            PhaseBuilder phase(params.threads);
+            for (unsigned t = 0; t < params.threads; ++t) {
+                emitStream(phase, t, keys[t], key_pc, keys_blocks, 0.0,
+                           rng);
+                emitRandom(phase, t, histogram, hist_pc,
+                           params.scaled(12000, 32), 0.5, rng);
+            }
+            phase.interleaveInto(trace, rng);
+        }
+        // Scatter phase: writes land anywhere in the shared dest.
+        {
+            PhaseBuilder phase(params.threads);
+            for (unsigned t = 0; t < params.threads; ++t) {
+                emitStream(phase, t, keys[t], key_pc, keys_blocks, 0.0,
+                           rng);
+                emitRandom(phase, t, dest, scatter_pc, keys_blocks, 1.0,
+                           rng);
+                // Read back a slice of dest written mostly by others.
+                const Region slice = dest.slice(
+                    ((t + 3) % params.threads) * keys_blocks,
+                    keys_blocks / 2, "readback");
+                emitStream(phase, t, slice, gather_pc,
+                           slice.blocks(), 0.0, rng);
+            }
+            phase.interleaveInto(trace, rng);
+        }
+    }
+    return trace;
+}
+
+Trace
+genWater(const WorkloadParams &params)
+{
+    // Water-nsquared molecular dynamics: pairwise force accumulation
+    // makes molecule records migrate between the threads that touch
+    // them read-modify-write.
+    Rng rng = appRng(params, 0x0a7e6);
+    Trace trace("water", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const std::uint64_t slice_blocks = params.scaled(24576, 64);
+    std::vector<Region> molecules;
+    for (unsigned t = 0; t < params.threads; ++t)
+        molecules.push_back(mem.allocateBlocks(
+            slice_blocks, "molecules_t" + std::to_string(t)));
+
+    const PC own_read_pc = pcs.next();
+    const PC own_write_pc = pcs.next();
+    const PC pair_pc = pcs.next();
+    const unsigned steps = 4;
+    for (unsigned step = 0; step < steps; ++step) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitStream(phase, t, molecules[t], own_read_pc,
+                       slice_blocks, 0.0, rng);
+            emitStream(phase, t, molecules[t], own_write_pc,
+                       slice_blocks, 1.0, rng);
+            // Pairwise interactions with molecules of other threads:
+            // read then write (force accumulation) — migratory.
+            for (std::uint64_t i = 0; i < params.scaled(9000, 32); ++i) {
+                const unsigned other = static_cast<unsigned>(
+                    rng.below(params.threads));
+                const Addr addr = molecules[other].blockAddr(
+                    rng.below(slice_blocks));
+                phase.emit(t, addr, pair_pc, false);
+                phase.emit(t, addr, pair_pc, true);
+            }
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+
+Trace
+genCholesky(const WorkloadParams &params)
+{
+    // Sparse Cholesky factorization: supernodes are factored by their
+    // owners and then read by every thread that updates a dependent
+    // column (fan-out read sharing along the elimination tree).
+    Rng rng = appRng(params, 0xc401);
+    Trace trace("cholesky", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const unsigned supernodes = 24;
+    const std::uint64_t node_blocks = params.scaled(6144, 32);
+    std::vector<Region> nodes;
+    for (unsigned n = 0; n < supernodes; ++n)
+        nodes.push_back(mem.allocateBlocks(
+            node_blocks, "supernode_" + std::to_string(n)));
+
+    const PC factor_pc = pcs.next();
+    const PC read_pc = pcs.next();
+    const PC update_pc = pcs.next();
+    for (unsigned n = 0; n < supernodes; ++n) {
+        PhaseBuilder phase(params.threads);
+        const unsigned owner = n % params.threads;
+        // The owner factors the supernode in place.
+        emitStream(phase, owner, nodes[n], factor_pc,
+                   node_blocks * 2, 0.5, rng);
+        // Dependent threads read it and update their own supernodes.
+        for (unsigned t = 0; t < params.threads; ++t) {
+            if (t == owner)
+                continue;
+            emitStream(phase, t, nodes[n], read_pc, node_blocks, 0.0,
+                       rng);
+            const unsigned mine =
+                (n + 1 + t) % supernodes;
+            emitStream(phase, t, nodes[mine], update_pc,
+                       node_blocks / 2, 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genRaytrace(const WorkloadParams &params)
+{
+    // Ray tracing: the scene's BVH and geometry are read-shared by all
+    // threads with strong skew toward the upper hierarchy; rays and
+    // framebuffer tiles are private.
+    Rng rng = appRng(params, 0x6a97);
+    Trace trace("raytrace", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region scene =
+        mem.allocateBlocks(params.scaled(131072, 256), "scene_bvh");
+    const ZipfSampler scene_zipf(scene.blocks(), 0.8);
+    std::vector<Region> rays, tiles;
+    for (unsigned t = 0; t < params.threads; ++t) {
+        rays.push_back(mem.allocateBlocks(
+            params.scaled(2048, 16), "rays_t" + std::to_string(t)));
+        tiles.push_back(mem.allocateBlocks(
+            params.scaled(4096, 16), "tile_t" + std::to_string(t)));
+    }
+
+    const PC traverse_pc = pcs.next();
+    const PC ray_pc = pcs.next();
+    const PC shade_pc = pcs.next();
+    const unsigned frames = 3;
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            emitZipf(phase, t, scene, traverse_pc,
+                     params.scaled(60000, 128), 0.0, scene_zipf, rng);
+            emitStream(phase, t, rays[t], ray_pc,
+                       rays[t].blocks() * 3, 0.4, rng);
+            emitStream(phase, t, tiles[t], shade_pc,
+                       tiles[t].blocks(), 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+Trace
+genVolrend(const WorkloadParams &params)
+{
+    // Volume rendering: the voxel volume is read-shared (rays from
+    // different threads traverse overlapping regions); an octree of
+    // opacity metadata is a hot shared index; output tiles private.
+    Rng rng = appRng(params, 0x7017);
+    Trace trace("volrend", params.threads);
+    AddressSpace mem;
+    PcAllocator pcs;
+
+    const Region volume =
+        mem.allocateBlocks(params.scaled(163840, 256), "volume");
+    const Region octree =
+        mem.allocateBlocks(params.scaled(8192, 64), "octree");
+    const ZipfSampler octree_zipf(octree.blocks(), 0.9);
+    std::vector<Region> images;
+    for (unsigned t = 0; t < params.threads; ++t)
+        images.push_back(mem.allocateBlocks(
+            params.scaled(2048, 16), "image_t" + std::to_string(t)));
+
+    const PC octree_pc = pcs.next();
+    const PC voxel_pc = pcs.next();
+    const PC image_pc = pcs.next();
+    const unsigned frames = 3;
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        PhaseBuilder phase(params.threads);
+        for (unsigned t = 0; t < params.threads; ++t) {
+            // Rays traverse a contiguous slab plus octree lookups;
+            // neighbouring threads' slabs overlap by a quarter.
+            const std::uint64_t slab =
+                volume.blocks() / params.threads;
+            const std::uint64_t start =
+                (t * slab * 3 / 4) % volume.blocks();
+            std::uint64_t count =
+                std::min<std::uint64_t>(slab + slab / 4,
+                                        volume.blocks() - start);
+            const Region view = volume.slice(start, count, "view");
+            emitStream(phase, t, view, voxel_pc, count, 0.0, rng);
+            emitZipf(phase, t, octree, octree_pc,
+                     params.scaled(20000, 64), 0.0, octree_zipf, rng);
+            emitStream(phase, t, images[t], image_pc,
+                       images[t].blocks(), 1.0, rng);
+        }
+        phase.interleaveInto(trace, rng);
+    }
+    return trace;
+}
+
+} // namespace casim

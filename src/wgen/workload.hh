@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Workload model declarations: parameters, metadata and the generator
+ * signature shared by every application model.
+ */
+
+#ifndef CASIM_WGEN_WORKLOAD_HH
+#define CASIM_WGEN_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace casim {
+
+/** Parameters common to all application models. */
+struct WorkloadParams
+{
+    /** Thread (= core) count. */
+    unsigned threads = 8;
+
+    /**
+     * Linear scale on footprints and access counts.  1.0 is the paper
+     * configuration (multi-megabyte footprints, millions of
+     * references); tests use small fractions.
+     */
+    double scale = 1.0;
+
+    /** Seed for all randomness in the generator. */
+    std::uint64_t seed = 42;
+
+    /** Scale a nominal count, keeping at least `min`. */
+    std::uint64_t
+    scaled(std::uint64_t nominal, std::uint64_t min = 1) const
+    {
+        const auto v =
+            static_cast<std::uint64_t>(nominal * scale);
+        return v < min ? min : v;
+    }
+};
+
+/** Static metadata of one application model. */
+struct WorkloadInfo
+{
+    /** Application name (e.g. "canneal"). */
+    std::string name;
+
+    /** Source suite: "parsec", "splash2" or "specomp". */
+    std::string suite;
+
+    /** One-line description of the modeled sharing behaviour. */
+    std::string description;
+};
+
+/** Generator signature: builds a full interleaved trace. */
+using WorkloadGenerator = std::function<Trace(const WorkloadParams &)>;
+
+} // namespace casim
+
+#endif // CASIM_WGEN_WORKLOAD_HH

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache tag store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "mem/repl/lru.hh"
+
+namespace casim {
+namespace {
+
+CacheGeometry
+tinyGeometry()
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    return CacheGeometry{512, 2, kBlockBytes};
+}
+
+std::unique_ptr<Cache>
+makeTinyCache()
+{
+    const CacheGeometry geo = tinyGeometry();
+    return std::make_unique<Cache>(
+        "test", geo,
+        std::make_unique<LruPolicy>(geo.numSets(), geo.ways));
+}
+
+ReplContext
+ctxFor(Addr addr, CoreId core = 0, bool write = false, SeqNo seq = 0,
+       PC pc = 0x400)
+{
+    return ReplContext{blockAlign(addr), pc, core, write, seq, false};
+}
+
+TEST(CacheGeometry, DerivedValues)
+{
+    const CacheGeometry geo = tinyGeometry();
+    EXPECT_EQ(geo.numSets(), 4u);
+    geo.check(); // must not die
+}
+
+TEST(CacheGeometry, PaperLlcGeometry)
+{
+    const CacheGeometry geo{4ULL * 1024 * 1024, 16, 64};
+    EXPECT_EQ(geo.numSets(), 4096u);
+    geo.check();
+}
+
+TEST(Cache, MissThenHit)
+{
+    auto cache = makeTinyCache();
+    EXPECT_EQ(cache->access(ctxFor(0x1000)), nullptr);
+    cache->fill(ctxFor(0x1000));
+    EXPECT_NE(cache->access(ctxFor(0x1000)), nullptr);
+    EXPECT_EQ(cache->demandHits(), 1u);
+    EXPECT_EQ(cache->demandMisses(), 1u);
+}
+
+TEST(Cache, SetIndexUsesLowBits)
+{
+    auto cache = makeTinyCache();
+    EXPECT_EQ(cache->setIndex(0x000), 0u);
+    EXPECT_EQ(cache->setIndex(0x040), 1u);
+    EXPECT_EQ(cache->setIndex(0x0c0), 3u);
+    EXPECT_EQ(cache->setIndex(0x100), 0u); // wraps
+}
+
+TEST(Cache, ProbeDoesNotTouchState)
+{
+    auto cache = makeTinyCache();
+    cache->fill(ctxFor(0x1000));
+    EXPECT_NE(cache->probe(0x1000), nullptr);
+    EXPECT_EQ(cache->probe(0x2000), nullptr);
+    EXPECT_EQ(cache->demandHits(), 0u);
+    const auto *block = cache->probe(0x1000);
+    EXPECT_EQ(block->hitsDuringResidency, 0u);
+}
+
+TEST(Cache, FillsInvalidWaysFirst)
+{
+    auto cache = makeTinyCache();
+    cache->fill(ctxFor(0x000)); // set 0
+    cache->fill(ctxFor(0x100)); // set 0, second way
+    EXPECT_EQ(cache->validBlocks(), 2u);
+    EXPECT_NE(cache->probe(0x000), nullptr);
+    EXPECT_NE(cache->probe(0x100), nullptr);
+}
+
+TEST(Cache, EvictsLruVictim)
+{
+    auto cache = makeTinyCache();
+    cache->access(ctxFor(0x000));
+    cache->fill(ctxFor(0x000)); // set 0
+    cache->access(ctxFor(0x100));
+    cache->fill(ctxFor(0x100)); // set 0
+    cache->access(ctxFor(0x000)); // touch 0x000: 0x100 becomes LRU
+
+    Addr victim_addr = 0;
+    cache->access(ctxFor(0x200));
+    cache->fill(ctxFor(0x200), [&](const CacheBlock &victim) {
+        victim_addr = victim.addr;
+    });
+    EXPECT_EQ(victim_addr, 0x100u);
+    EXPECT_EQ(cache->probe(0x100), nullptr);
+    EXPECT_NE(cache->probe(0x000), nullptr);
+}
+
+TEST(Cache, ResidencyInstrumentation)
+{
+    auto cache = makeTinyCache();
+    cache->fill(ctxFor(0x1000, 0, false, 7, 0xabc));
+    const CacheBlock *block = cache->probe(0x1000);
+    ASSERT_NE(block, nullptr);
+    EXPECT_EQ(block->fillSeq, 7u);
+    EXPECT_EQ(block->fillPC, 0xabcu);
+    EXPECT_EQ(block->fillCore, 0);
+    EXPECT_EQ(block->touchedMask, 1ULL);
+    EXPECT_FALSE(block->writtenDuringResidency);
+    EXPECT_FALSE(block->sharedThisResidency());
+
+    cache->access(ctxFor(0x1000, 2, true));
+    EXPECT_EQ(block->touchedMask, 0b101ULL);
+    EXPECT_TRUE(block->writtenDuringResidency);
+    EXPECT_TRUE(block->sharedThisResidency());
+    EXPECT_EQ(block->hitsDuringResidency, 1u);
+    EXPECT_EQ(block->touchedCores(), 2u);
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    auto cache = makeTinyCache();
+    cache->fill(ctxFor(0x1000));
+    EXPECT_TRUE(cache->invalidate(0x1000));
+    EXPECT_EQ(cache->probe(0x1000), nullptr);
+    EXPECT_FALSE(cache->invalidate(0x1000));
+    EXPECT_EQ(cache->validBlocks(), 0u);
+}
+
+TEST(Cache, DirtyTracking)
+{
+    auto cache = makeTinyCache();
+    cache->fill(ctxFor(0x000, 0, true)); // write fill -> dirty
+    EXPECT_TRUE(cache->probe(0x000)->dirty);
+    cache->fill(ctxFor(0x040, 0, false));
+    EXPECT_FALSE(cache->probe(0x040)->dirty);
+}
+
+struct RecordingObserver : public CacheObserver
+{
+    unsigned hits = 0, misses = 0, fills = 0, residencies = 0;
+    std::uint64_t lastResidencyHits = 0;
+    bool lastWasShared = false;
+
+    void
+    onHit(const CacheBlock &, const ReplContext &) override
+    {
+        ++hits;
+    }
+    void onMiss(const ReplContext &) override { ++misses; }
+    void
+    onFill(const CacheBlock &, const ReplContext &) override
+    {
+        ++fills;
+    }
+    void
+    onResidencyEnd(const CacheBlock &block) override
+    {
+        ++residencies;
+        lastResidencyHits = block.hitsDuringResidency;
+        lastWasShared = block.sharedThisResidency();
+    }
+};
+
+TEST(Cache, ObserverSeesLifecycle)
+{
+    auto cache = makeTinyCache();
+    RecordingObserver observer;
+    cache->setObserver(&observer);
+
+    cache->access(ctxFor(0x000));
+    cache->fill(ctxFor(0x000));
+    cache->access(ctxFor(0x000, 1));
+    cache->access(ctxFor(0x000, 1));
+    cache->invalidate(0x000);
+
+    EXPECT_EQ(observer.misses, 1u);
+    EXPECT_EQ(observer.fills, 1u);
+    EXPECT_EQ(observer.hits, 2u);
+    EXPECT_EQ(observer.residencies, 1u);
+    EXPECT_EQ(observer.lastResidencyHits, 2u);
+    EXPECT_TRUE(observer.lastWasShared);
+}
+
+TEST(Cache, FlushReportsAllResidencies)
+{
+    auto cache = makeTinyCache();
+    RecordingObserver observer;
+    cache->setObserver(&observer);
+    cache->fill(ctxFor(0x000));
+    cache->fill(ctxFor(0x040));
+    cache->fill(ctxFor(0x080));
+    cache->flushResidencies();
+    EXPECT_EQ(observer.residencies, 3u);
+    EXPECT_EQ(cache->validBlocks(), 0u);
+}
+
+TEST(Cache, StatsCounters)
+{
+    auto cache = makeTinyCache();
+    cache->access(ctxFor(0x000, 0, true)); // write miss
+    cache->fill(ctxFor(0x000, 0, true));
+    cache->access(ctxFor(0x000, 0, true)); // write hit
+    cache->access(ctxFor(0x000, 0, false)); // read hit
+
+    const auto *wh = dynamic_cast<const stats::Counter *>(
+        cache->stats().find("test.write_hits"));
+    const auto *wm = dynamic_cast<const stats::Counter *>(
+        cache->stats().find("test.write_misses"));
+    ASSERT_NE(wh, nullptr);
+    ASSERT_NE(wm, nullptr);
+    EXPECT_EQ(wh->value(), 1u);
+    EXPECT_EQ(wm->value(), 1u);
+    EXPECT_EQ(cache->demandAccesses(), 3u);
+}
+
+// Property test: after any access pattern the number of valid blocks
+// never exceeds capacity and every resident block is found by probe.
+TEST(CacheProperty, OccupancyBounded)
+{
+    auto cache = makeTinyCache();
+    Rng rng(31);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(64) * kBlockBytes;
+        const auto ctx = ctxFor(addr, static_cast<CoreId>(rng.below(4)),
+                                rng.chance(0.3), i);
+        if (cache->access(ctx) == nullptr)
+            cache->fill(ctx);
+        ASSERT_LE(cache->validBlocks(), 8u);
+        ASSERT_NE(cache->probe(blockAlign(addr)), nullptr);
+    }
+    EXPECT_EQ(cache->demandAccesses(), 5000u);
+}
+
+} // namespace
+} // namespace casim

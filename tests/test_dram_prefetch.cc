@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the DRAM latency model and the stride prefetcher,
+ * plus their integration points (hierarchy timing, stream-sim
+ * prefetch fills).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/prefetcher.hh"
+#include "mem/repl/factory.hh"
+#include "mem/repl/lru.hh"
+#include "sim/stream_sim.hh"
+
+namespace casim {
+namespace {
+
+TEST(Dram, RowBufferHitsAndMisses)
+{
+    DramConfig config;
+    config.banks = 4;
+    config.rowBytes = 4096;
+    DramModel dram(config);
+
+    // First touch opens the row.
+    EXPECT_EQ(dram.access(0x0000), config.rowMissLatency);
+    // Same row: hit.
+    EXPECT_EQ(dram.access(0x0040), config.rowHitLatency);
+    EXPECT_EQ(dram.access(0x0fc0), config.rowHitLatency);
+    // Same bank, different row (bank stride = rowBytes * banks).
+    EXPECT_EQ(dram.access(0x0000 + 4096ull * 4), config.rowMissLatency);
+    EXPECT_EQ(dram.rowHits(), 2u);
+    EXPECT_EQ(dram.rowMisses(), 2u);
+    EXPECT_DOUBLE_EQ(dram.rowHitRate(), 0.5);
+}
+
+TEST(Dram, BanksAreIndependent)
+{
+    DramConfig config;
+    config.banks = 4;
+    config.rowBytes = 4096;
+    DramModel dram(config);
+
+    // Consecutive rows map to different banks; opening one bank's row
+    // does not close another's.
+    dram.access(0x0000);          // bank 0
+    dram.access(0x1000);          // bank 1
+    EXPECT_EQ(dram.bankOf(0x0000), 0u);
+    EXPECT_EQ(dram.bankOf(0x1000), 1u);
+    EXPECT_EQ(dram.access(0x0040), config.rowHitLatency);
+    EXPECT_EQ(dram.access(0x1040), config.rowHitLatency);
+}
+
+TEST(Dram, StreamingRotatesBanks)
+{
+    DramModel dram;
+    // A long sequential sweep should enjoy a high row hit rate.
+    for (Addr addr = 0; addr < 1 << 20; addr += kBlockBytes)
+        dram.access(addr);
+    EXPECT_GT(dram.rowHitRate(), 0.9);
+}
+
+TEST(Dram, HierarchyUsesModelWhenEnabled)
+{
+    HierarchyConfig config;
+    config.numCores = 1;
+    config.l1 = CacheGeometry{1024, 2, kBlockBytes};
+    config.llc = CacheGeometry{8 * 1024, 4, kBlockBytes};
+    config.useDramModel = true;
+    Hierarchy hierarchy(config, makePolicyFactory("lru"));
+    hierarchy.access(MemAccess{0x0000, 0x400, 0, false});
+    EXPECT_EQ(hierarchy.dram().accesses(), 1u);
+    EXPECT_EQ(hierarchy.cycles(),
+              config.l1Latency + config.llcLatency +
+                  config.dram.rowMissLatency);
+    // Nearby block: row-buffer hit latency.
+    hierarchy.access(MemAccess{0x0040, 0x400, 0, false});
+    EXPECT_EQ(hierarchy.dram().rowHits(), 1u);
+}
+
+TEST(Prefetcher, LearnsConstantStride)
+{
+    StridePrefetcher prefetcher;
+    std::vector<Addr> out;
+    const PC pc = 0x400;
+    // Feed a +1-block stride; first touches only train.
+    for (int i = 0; i < 3; ++i) {
+        out.clear();
+        prefetcher.observe(pc, static_cast<Addr>(i) * kBlockBytes,
+                           out);
+        EXPECT_TRUE(out.empty()) << "iteration " << i;
+    }
+    out.clear();
+    prefetcher.observe(pc, 3 * kBlockBytes, out);
+    ASSERT_EQ(out.size(), 2u); // default degree
+    EXPECT_EQ(out[0], 4 * kBlockBytes);
+    EXPECT_EQ(out[1], 5 * kBlockBytes);
+}
+
+TEST(Prefetcher, DifferentPcsAreIndependent)
+{
+    StridePrefetcher prefetcher;
+    std::vector<Addr> out;
+    for (int i = 0; i < 8; ++i) {
+        prefetcher.observe(0x400, static_cast<Addr>(i) * kBlockBytes,
+                           out);
+    }
+    out.clear();
+    // A different PC starts untrained.
+    prefetcher.observe(0x999, 0x80000, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, RandomAccessesStayQuiet)
+{
+    StridePrefetcher prefetcher;
+    Rng rng(5);
+    std::vector<Addr> out;
+    for (int i = 0; i < 2000; ++i) {
+        prefetcher.observe(0x400, rng.below(1 << 20) * kBlockBytes,
+                           out);
+    }
+    // Random strides should almost never reach confidence.
+    EXPECT_LT(prefetcher.issued(), 50u);
+}
+
+TEST(Prefetcher, NegativeStrideSupported)
+{
+    StridePrefetcher prefetcher;
+    std::vector<Addr> out;
+    const Addr base = 1 << 20;
+    for (int i = 0; i < 4; ++i) {
+        out.clear();
+        prefetcher.observe(0x400,
+                           base - static_cast<Addr>(i) * kBlockBytes,
+                           out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], base - 4 * kBlockBytes);
+}
+
+TEST(Prefetcher, AccuracyTracksUsefulness)
+{
+    StridePrefetcher prefetcher;
+    std::vector<Addr> out;
+    for (int i = 0; i < 10; ++i)
+        prefetcher.observe(0x400, static_cast<Addr>(i) * kBlockBytes,
+                           out);
+    ASSERT_GT(prefetcher.issued(), 0u);
+    prefetcher.recordUseful();
+    EXPECT_GT(prefetcher.accuracy(), 0.0);
+    EXPECT_LE(prefetcher.accuracy(), 1.0);
+}
+
+TEST(StreamSimPrefetch, SequentialStreamBenefits)
+{
+    // A long sequential scan: with the prefetcher, later blocks are
+    // resident before their demand access arrives.
+    Trace trace("seq", 1);
+    for (int pass = 0; pass < 2; ++pass)
+        for (int i = 0; i < 4096; ++i)
+            trace.append(static_cast<Addr>(i) * kBlockBytes, 0x400, 0,
+                         false);
+    const CacheGeometry geo{64 * 1024, 8, kBlockBytes};
+
+    StreamSim plain(trace, geo,
+                    makePolicyFactory("lru")(geo.numSets(), geo.ways));
+    plain.run();
+
+    StridePrefetcher prefetcher;
+    StreamSim fetched(trace, geo,
+                      makePolicyFactory("lru")(geo.numSets(),
+                                               geo.ways));
+    fetched.setPrefetcher(&prefetcher);
+    fetched.run();
+
+    EXPECT_LT(fetched.misses(), plain.misses() / 2);
+    EXPECT_GT(prefetcher.useful(), 0u);
+    // Degree-2 prefetching re-issues the overlap of consecutive
+    // triggers (skipped as already resident but still counted), so
+    // accuracy saturates just below 1/2.
+    EXPECT_GT(prefetcher.accuracy(), 0.45);
+}
+
+TEST(StreamSimPrefetch, PrefetchedFlagClearsOnDemandHit)
+{
+    Trace trace("t", 1);
+    for (int i = 0; i < 64; ++i)
+        trace.append(static_cast<Addr>(i) * kBlockBytes, 0x400, 0,
+                     false);
+    const CacheGeometry geo{8 * 1024, 4, kBlockBytes};
+    StridePrefetcher prefetcher;
+    StreamSim sim(trace, geo,
+                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+    sim.setPrefetcher(&prefetcher);
+    sim.run();
+    // Every resident block that was demanded has its flag cleared.
+    std::uint64_t still_flagged = 0;
+    for (unsigned set = 0; set < geo.numSets(); ++set) {
+        for (unsigned way = 0; way < geo.ways; ++way) {
+            const CacheBlock &block = sim.cache().blockAt(set, way);
+            still_flagged += block.valid && block.prefetched ? 1 : 0;
+        }
+    }
+    // Blocks past the end of the scan were prefetched but never used;
+    // run() flushes residencies so nothing remains valid.
+    EXPECT_EQ(still_flagged, 0u);
+    EXPECT_EQ(sim.cache().validBlocks(), 0u);
+}
+
+} // namespace
+} // namespace casim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the logging / error-exit helpers (death tests) and the
+ * remaining table-printer behaviours.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace casim {
+namespace {
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(casim_panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(casim_fatal("bad config ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(casim_assert(1 == 2, "math broke"),
+                 "assertion '1 == 2' failed: math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    casim_assert(2 + 2 == 4, "never shown");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    casim_warn("just a warning ", 1);
+    casim_inform("just info ", 2);
+    SUCCEED();
+}
+
+TEST(Table, SeparatorDrawsRule)
+{
+    TablePrinter table("T", {"a", "b"});
+    table.addRow({"x", "1"});
+    table.addSeparator();
+    table.addRow({"mean", "1"});
+    std::ostringstream os;
+    table.print(os);
+    // Two rules: one under the header, one before the summary row.
+    const std::string text = os.str();
+    std::size_t rules = 0, pos = 0;
+    while ((pos = text.find("----", pos)) != std::string::npos) {
+        ++rules;
+        pos = text.find('\n', pos);
+    }
+    EXPECT_EQ(rules, 2u);
+}
+
+TEST(Table, MismatchedRowWidthPanics)
+{
+    TablePrinter table("T", {"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Table, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "geomean needs positive");
+}
+
+} // namespace
+} // namespace casim

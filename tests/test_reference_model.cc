@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cross-validation of the simulator against independent reference
+ * models: a from-first-principles set-associative LRU simulator (kept
+ * deliberately naive — std::list based — so it shares no code or
+ * structure with the production cache), and closed-form miss counts
+ * for analytically tractable access patterns.
+ */
+
+#include <list>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/repl/factory.hh"
+#include "mem/repl/opt.hh"
+#include "sim/stream_sim.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+namespace {
+
+/** Naive reference LRU cache: one std::list of tags per set. */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(unsigned num_sets, unsigned ways)
+        : numSets_(num_sets), ways_(ways), sets_(num_sets)
+    {
+    }
+
+    /** Access one block address; returns true on hit. */
+    bool
+    access(Addr block_addr)
+    {
+        const unsigned set = static_cast<unsigned>(
+            (block_addr / kBlockBytes) % numSets_);
+        auto &lru = sets_[set];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == block_addr) {
+                lru.erase(it);
+                lru.push_front(block_addr);
+                return true;
+            }
+        }
+        lru.push_front(block_addr);
+        if (lru.size() > ways_)
+            lru.pop_back();
+        return false;
+    }
+
+  private:
+    unsigned numSets_;
+    unsigned ways_;
+    std::vector<std::list<Addr>> sets_;
+};
+
+TEST(ReferenceModel, LruMatchesOnRandomStreams)
+{
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        Rng rng(seed);
+        Trace trace("ref", 4);
+        for (int i = 0; i < 50000; ++i)
+            trace.append(rng.below(1024) * kBlockBytes,
+                         0x400 + rng.below(8),
+                         static_cast<CoreId>(rng.below(4)),
+                         rng.chance(0.3));
+
+        const CacheGeometry geo{32 * 1024, 8, kBlockBytes};
+        StreamSim sim(trace, geo,
+                      makePolicyFactory("lru")(geo.numSets(),
+                                               geo.ways));
+        sim.run();
+
+        ReferenceLru reference(geo.numSets(), geo.ways);
+        std::uint64_t ref_misses = 0;
+        for (const auto &access : trace)
+            ref_misses += reference.access(access.blockAddr()) ? 0 : 1;
+
+        ASSERT_EQ(sim.misses(), ref_misses) << "seed " << seed;
+    }
+}
+
+TEST(ReferenceModel, LruMatchesOnGeneratedWorkload)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 0.03;
+    params.seed = 12;
+    const Trace trace = makeWorkloadTrace("ocean", params);
+
+    const CacheGeometry geo{64 * 1024, 4, kBlockBytes};
+    StreamSim sim(trace, geo,
+                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+    sim.run();
+
+    ReferenceLru reference(geo.numSets(), geo.ways);
+    std::uint64_t ref_misses = 0;
+    for (const auto &access : trace)
+        ref_misses += reference.access(access.blockAddr()) ? 0 : 1;
+    EXPECT_EQ(sim.misses(), ref_misses);
+}
+
+TEST(ReferenceModel, CyclicScanClosedForm)
+{
+    // Scanning N blocks cyclically through a fully-utilised LRU cache
+    // of capacity C < N (all one set) misses on every reference.
+    const unsigned ways = 8;
+    const unsigned blocks = 12;
+    Trace trace("scan", 1);
+    for (int pass = 0; pass < 10; ++pass)
+        for (unsigned b = 0; b < blocks; ++b)
+            trace.append(static_cast<Addr>(b) * kBlockBytes, 0x400, 0,
+                         false);
+    const CacheGeometry geo{ways * kBlockBytes, ways, kBlockBytes};
+    StreamSim sim(trace, geo,
+                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+    sim.run();
+    EXPECT_EQ(sim.misses(), trace.size());
+}
+
+TEST(ReferenceModel, CyclicScanOptAnalyticBounds)
+{
+    // Under OPT a cyclic scan of N blocks through a C-way cache costs
+    // at least N - C new blocks per pass (information-theoretic lower
+    // bound: a miss can pre-empt at most one future miss) and far
+    // fewer than LRU's every-reference miss.
+    const unsigned ways = 8;
+    const unsigned blocks = 12;
+    const int passes = 10;
+    Trace trace("scan", 1);
+    for (int pass = 0; pass < passes; ++pass)
+        for (unsigned b = 0; b < blocks; ++b)
+            trace.append(static_cast<Addr>(b) * kBlockBytes, 0x400, 0,
+                         false);
+    const CacheGeometry geo{ways * kBlockBytes, ways, kBlockBytes};
+    const NextUseIndex index(trace);
+    StreamSim sim(trace, geo,
+                  std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
+                                              index));
+    sim.run();
+    const std::uint64_t lower =
+        blocks + (passes - 1) * (blocks - ways);
+    // Steady state approaches (N - C) / (N - 1) misses per reference.
+    const auto steady = static_cast<std::uint64_t>(
+        blocks + 1.10 * (passes - 1) * blocks *
+                     (blocks - ways) / (blocks - 1.0));
+    EXPECT_GE(sim.misses(), lower);
+    EXPECT_LE(sim.misses(), steady);
+    EXPECT_LT(sim.misses(), trace.size() / 2); // far below LRU's 100%
+}
+
+TEST(ReferenceModel, WorkingSetThatFitsMissesOnlyCold)
+{
+    // Any demand-fill policy over a working set smaller than the
+    // cache incurs exactly one cold miss per block.
+    Rng rng(9);
+    Trace trace("fits", 2);
+    for (int i = 0; i < 20000; ++i)
+        trace.append(rng.below(256) * kBlockBytes, 0x400,
+                     static_cast<CoreId>(rng.below(2)),
+                     rng.chance(0.5));
+    const CacheGeometry geo{64 * 1024, 8, kBlockBytes}; // 1024 blocks
+    for (const auto &policy : builtinPolicyNames()) {
+        StreamSim sim(trace, geo,
+                      makePolicyFactory(policy)(geo.numSets(),
+                                                geo.ways));
+        sim.run();
+        EXPECT_EQ(sim.misses(), trace.footprintBlocks()) << policy;
+    }
+}
+
+} // namespace
+} // namespace casim

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Integration tests for the simulation drivers: study configuration,
+ * the one-call hierarchy run, and the capture-then-replay flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/repl/factory.hh"
+#include "sim/experiment.hh"
+
+namespace casim {
+namespace {
+
+StudyConfig
+tinyStudy()
+{
+    StudyConfig config;
+    config.workload.threads = 4;
+    config.workload.scale = 0.02;
+    config.workload.seed = 11;
+    config.hierarchy.numCores = 4;
+    config.hierarchy.l1 = CacheGeometry{4 * 1024, 4, kBlockBytes};
+    config.llcSmallBytes = 64 * 1024;
+    config.llcLargeBytes = 128 * 1024;
+    config.llcWays = 8;
+    return config;
+}
+
+TEST(StudyConfig, Defaults)
+{
+    const StudyConfig config;
+    EXPECT_EQ(config.llcSmallBytes, 4ULL << 20);
+    EXPECT_EQ(config.llcLargeBytes, 8ULL << 20);
+    EXPECT_EQ(config.llcWays, 16u);
+    EXPECT_EQ(config.llcGeometry(4ULL << 20).numSets(), 4096u);
+    // Window = factor * blocks.
+    EXPECT_EQ(config.oracleWindow(4ULL << 20),
+              static_cast<SeqNo>(config.oracleWindowFactor * 65536));
+}
+
+TEST(StudyConfig, OptionOverrides)
+{
+    const char *argv[] = {"prog",
+                          "--threads=4",
+                          "--scale=0.5",
+                          "--seed=99",
+                          "--llc-small-mb=2",
+                          "--llc-large-mb=16",
+                          "--llc-ways=8",
+                          "--window-factor=2.5",
+                          "--protection-rounds=32",
+                          "--post-rounds=7",
+                          "--pred-index-bits=10"};
+    const Options options(11, argv);
+    const StudyConfig config = StudyConfig::fromOptions(options);
+    EXPECT_EQ(config.workload.threads, 4u);
+    EXPECT_DOUBLE_EQ(config.workload.scale, 0.5);
+    EXPECT_EQ(config.workload.seed, 99u);
+    EXPECT_EQ(config.llcSmallBytes, 2ULL << 20);
+    EXPECT_EQ(config.llcLargeBytes, 16ULL << 20);
+    EXPECT_EQ(config.llcWays, 8u);
+    EXPECT_DOUBLE_EQ(config.oracleWindowFactor, 2.5);
+    EXPECT_EQ(config.protectionRounds, 32u);
+    EXPECT_EQ(config.postShareRounds, 7u);
+    EXPECT_EQ(config.predictor.indexBits, 10u);
+    EXPECT_EQ(config.hierarchy.numCores, 4u);
+}
+
+TEST(WorkloadParams, ScaledCounts)
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    EXPECT_EQ(params.scaled(1000), 100u);
+    EXPECT_EQ(params.scaled(5, 3), 3u); // clamped to min
+    params.scale = 2.0;
+    EXPECT_EQ(params.scaled(1000), 2000u);
+}
+
+TEST(HierarchySim, RunProducesConsistentCounts)
+{
+    const StudyConfig config = tinyStudy();
+    const Trace trace =
+        makeWorkloadTrace("fluidanimate", config.workload);
+    HierarchyConfig hier = config.hierarchy;
+    hier.llc = config.llcGeometry(config.llcSmallBytes);
+
+    Trace captured("cap", config.workload.threads);
+    const HierarchyRunResult result = runHierarchy(
+        trace, hier, makePolicyFactory("lru"), &captured);
+
+    EXPECT_EQ(result.demandAccesses, trace.size());
+    EXPECT_EQ(result.llcAccesses, result.llcHits + result.llcMisses);
+    EXPECT_EQ(captured.size(), result.llcAccesses);
+    EXPECT_GT(result.llcMisses, 0u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GE(result.llcMpkr, 0.0);
+    // Fills come from memory.
+    EXPECT_EQ(result.memReads, result.llcMisses);
+}
+
+TEST(HierarchySim, SharingSummaryAddsUp)
+{
+    const StudyConfig config = tinyStudy();
+    const Trace trace = makeWorkloadTrace("barnes", config.workload);
+    HierarchyConfig hier = config.hierarchy;
+    hier.llc = config.llcGeometry(config.llcSmallBytes);
+
+    const HierarchyRunResult result =
+        runHierarchy(trace, hier, makePolicyFactory("lru"), nullptr);
+    const auto &sharing = result.sharing;
+
+    // Class hits partition total hits.
+    const std::uint64_t class_total =
+        sharing.classHits[0] + sharing.classHits[1] +
+        sharing.classHits[2] + sharing.classHits[3];
+    EXPECT_EQ(class_total, sharing.sharedHits + sharing.privateHits);
+    EXPECT_EQ(class_total, result.llcHits);
+
+    // Sharer-count hits partition total hits too.
+    std::uint64_t sharer_total = 0;
+    for (const auto hits : sharing.sharerHits)
+        sharer_total += hits;
+    EXPECT_EQ(sharer_total, result.llcHits);
+
+    // Multi-threaded app with cross-thread data: both kinds present.
+    EXPECT_GT(sharing.sharedHits, 0u);
+    EXPECT_GT(sharing.privateHits, 0u);
+}
+
+TEST(Experiment, CaptureWorkloadIsDeterministic)
+{
+    const StudyConfig config = tinyStudy();
+    const CapturedWorkload a = captureWorkload("lu", config);
+    const CapturedWorkload b = captureWorkload("lu", config);
+    EXPECT_EQ(a.demandAccesses, b.demandAccesses);
+    EXPECT_EQ(a.stream.size(), b.stream.size());
+    EXPECT_EQ(a.hierarchy.llcMisses, b.hierarchy.llcMisses);
+    for (std::size_t i = 0; i < a.stream.size(); i += 97)
+        EXPECT_EQ(a.stream[i].addr, b.stream[i].addr);
+}
+
+TEST(Experiment, ReplayLruMatchesCaptureRunMisses)
+{
+    // Replaying the captured stream at the capture geometry under the
+    // capture policy (LRU) must reproduce the hierarchy's LLC miss
+    // count exactly: the stream replayer sees the same references in
+    // the same order.
+    const StudyConfig config = tinyStudy();
+    const CapturedWorkload wl = captureWorkload("ocean", config);
+    const auto replayed =
+        replayMisses(wl.stream, config.llcGeometry(config.llcSmallBytes),
+                     makePolicyFactory("lru"));
+    EXPECT_EQ(replayed, wl.hierarchy.llcMisses);
+}
+
+TEST(Experiment, LargerLlcNeverMissesMoreUnderLru)
+{
+    const StudyConfig config = tinyStudy();
+    const CapturedWorkload wl = captureWorkload("canneal", config);
+    const auto small =
+        replayMisses(wl.stream, config.llcGeometry(config.llcSmallBytes),
+                     makePolicyFactory("lru"));
+    const auto large =
+        replayMisses(wl.stream, config.llcGeometry(config.llcLargeBytes),
+                     makePolicyFactory("lru"));
+    // LRU's stack property: inclusion holds for same-associativity...
+    // only guaranteed when sets grow, but in practice the doubled
+    // cache must not miss more on these streams.
+    EXPECT_LE(large, small);
+}
+
+TEST(Experiment, OptIsOptimalAcrossPolicies)
+{
+    const StudyConfig config = tinyStudy();
+    const CapturedWorkload wl = captureWorkload("dedup", config);
+    const CacheGeometry geo =
+        config.llcGeometry(config.llcSmallBytes);
+    const NextUseIndex index(wl.stream);
+    const auto opt = replayMissesOpt(wl.stream, index, geo);
+    for (const auto &policy : builtinPolicyNames()) {
+        const auto misses =
+            replayMisses(wl.stream, geo, makePolicyFactory(policy));
+        EXPECT_LE(opt, misses) << policy;
+    }
+}
+
+TEST(Experiment, OracleWrapperNeverBeatsOpt)
+{
+    const StudyConfig config = tinyStudy();
+    const CapturedWorkload wl =
+        captureWorkload("streamcluster", config);
+    const CacheGeometry geo =
+        config.llcGeometry(config.llcSmallBytes);
+    const NextUseIndex index(wl.stream);
+    const auto opt = replayMissesOpt(wl.stream, index, geo);
+    OracleLabeler oracle =
+        makeOracle(index, config, config.llcSmallBytes);
+    const auto aware = replayMissesWrapped(
+        wl.stream, geo, makePolicyFactory("lru"), oracle, config);
+    EXPECT_GE(aware, opt);
+}
+
+TEST(Experiment, ReplaySharingMatchesDirectTracker)
+{
+    const StudyConfig config = tinyStudy();
+    const CapturedWorkload wl = captureWorkload("fft", config);
+    const CacheGeometry geo =
+        config.llcGeometry(config.llcSmallBytes);
+    const SharingSummary summary = replaySharing(
+        wl.stream, geo, makePolicyFactory("lru"),
+        config.workload.threads);
+    const std::uint64_t hits =
+        summary.sharedHits + summary.privateHits;
+    const auto misses =
+        replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+    EXPECT_EQ(hits + misses, wl.stream.size());
+}
+
+} // namespace
+} // namespace casim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the trace container and the offline next-use index.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "trace/next_use.hh"
+#include "trace/trace.hh"
+
+namespace casim {
+namespace {
+
+Trace
+makeSimpleTrace()
+{
+    // Block stream (by block index): A B A C B A, cores 0 1 0 1 0 1.
+    Trace trace("t", 2);
+    trace.append(0x000, 0x40, 0, false); // A by core 0
+    trace.append(0x040, 0x44, 1, false); // B by core 1
+    trace.append(0x000, 0x40, 0, true);  // A by core 0
+    trace.append(0x080, 0x48, 1, false); // C by core 1
+    trace.append(0x040, 0x44, 0, false); // B by core 0
+    trace.append(0x000, 0x40, 1, false); // A by core 1
+    return trace;
+}
+
+TEST(Trace, AppendAndIndex)
+{
+    const Trace trace = makeSimpleTrace();
+    EXPECT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[0].blockAddr(), 0x000u);
+    EXPECT_EQ(trace[3].blockAddr(), 0x080u);
+    EXPECT_EQ(trace[2].isWrite, true);
+    EXPECT_EQ(trace[5].core, 1);
+}
+
+TEST(Trace, AlignsAddresses)
+{
+    Trace trace("t", 1);
+    trace.append(0x1234, 0, 0, false);
+    EXPECT_EQ(trace[0].addr, blockAlign(0x1234));
+}
+
+TEST(Trace, Footprint)
+{
+    const Trace trace = makeSimpleTrace();
+    EXPECT_EQ(trace.footprintBlocks(), 3u);
+}
+
+TEST(Trace, WriteFraction)
+{
+    const Trace trace = makeSimpleTrace();
+    EXPECT_NEAR(trace.writeFraction(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Trace, SharedFootprint)
+{
+    const Trace trace = makeSimpleTrace();
+    // A touched by cores 0 and 1; B by 1 and 0; C only by core 1.
+    EXPECT_EQ(trace.sharedFootprintBlocks(), 2u);
+}
+
+TEST(Trace, EmptyTraceDefaults)
+{
+    Trace trace("empty", 4);
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.footprintBlocks(), 0u);
+    EXPECT_DOUBLE_EQ(trace.writeFraction(), 0.0);
+    EXPECT_EQ(trace.sharedFootprintBlocks(), 0u);
+}
+
+TEST(NextUse, ChainIsCorrect)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    EXPECT_EQ(index.nextUse(0), 2u);         // A -> A at 2
+    EXPECT_EQ(index.nextUse(1), 4u);         // B -> B at 4
+    EXPECT_EQ(index.nextUse(2), 5u);         // A -> A at 5
+    EXPECT_EQ(index.nextUse(3), kSeqNever);  // C never again
+    EXPECT_EQ(index.nextUse(4), kSeqNever);  // B never again
+    EXPECT_EQ(index.nextUse(5), kSeqNever);  // last A
+}
+
+TEST(NextUse, ReferenceCounts)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    EXPECT_EQ(index.referenceCount(0x000), 3u);
+    EXPECT_EQ(index.referenceCount(0x040), 2u);
+    EXPECT_EQ(index.referenceCount(0x080), 1u);
+    EXPECT_EQ(index.referenceCount(0xfc0), 0u);
+}
+
+TEST(NextUse, DistinctCoresWindow)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    // Block A: cores 0 (pos 0), 0 (pos 2), 1 (pos 5).
+    EXPECT_EQ(index.distinctCoresFrom(0x000, 0, 3, 8), 1u);
+    EXPECT_EQ(index.distinctCoresFrom(0x000, 0, 6, 8), 2u);
+    EXPECT_EQ(index.distinctCoresFrom(0x000, 3, 3, 8), 1u);
+    EXPECT_EQ(index.distinctCoresFrom(0x000, 6, 100, 8), 0u);
+}
+
+TEST(NextUse, SharedWithin)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    EXPECT_FALSE(index.sharedWithin(0x000, 0, 5)); // only core 0 in [0,5)
+    EXPECT_TRUE(index.sharedWithin(0x000, 0, 6));  // core 1 at pos 5
+    EXPECT_TRUE(index.sharedWithin(0x040, 0, 6));  // cores 1 and 0
+    EXPECT_FALSE(index.sharedWithin(0x080, 0, 6)); // core 1 only
+}
+
+TEST(NextUse, EarlyExitCap)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    // cap=1 returns as soon as one core is seen.
+    EXPECT_EQ(index.distinctCoresFrom(0x000, 0, 6, 1), 1u);
+}
+
+TEST(NextUse, NextUseByOther)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    // Block A accessed by core 1 first at position 5.
+    EXPECT_EQ(index.nextUseByOther(0x000, 0, 0), 5u);
+    // From position 0, the next non-core-1 access to B is position 4.
+    EXPECT_EQ(index.nextUseByOther(0x040, 0, 1), 4u);
+    // C is only touched by core 1.
+    EXPECT_EQ(index.nextUseByOther(0x080, 0, 1), kSeqNever);
+    // Unknown block.
+    EXPECT_EQ(index.nextUseByOther(0xfc0, 0, 0), kSeqNever);
+}
+
+TEST(NextUse, WindowClampsAtStreamEnd)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    // A huge window must not overflow or crash.
+    EXPECT_TRUE(index.sharedWithin(0x000, 0, kSeqNever - 1));
+    EXPECT_EQ(index.distinctCoresFrom(0x000, 5, kSeqNever - 1, 8), 1u);
+}
+
+TEST(NextUse, SizeMatchesTrace)
+{
+    const Trace trace = makeSimpleTrace();
+    const NextUseIndex index(trace);
+    EXPECT_EQ(index.size(), trace.size());
+}
+
+// Property test: next-use chain agrees with a brute-force scan on a
+// randomized trace.
+TEST(NextUseProperty, MatchesBruteForce)
+{
+    Rng rng(77);
+    Trace trace("rand", 4);
+    for (int i = 0; i < 2000; ++i) {
+        trace.append(rng.below(64) * kBlockBytes, 0x400 + rng.below(8),
+                     static_cast<CoreId>(rng.below(4)),
+                     rng.chance(0.3));
+    }
+    const NextUseIndex index(trace);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        SeqNo expected = kSeqNever;
+        for (std::size_t j = i + 1; j < trace.size(); ++j) {
+            if (trace[j].blockAddr() == trace[i].blockAddr()) {
+                expected = j;
+                break;
+            }
+        }
+        ASSERT_EQ(index.nextUse(i), expected) << "position " << i;
+    }
+}
+
+// Property test: sharedWithin agrees with a brute-force window scan.
+TEST(NextUseProperty, SharedWithinMatchesBruteForce)
+{
+    Rng rng(99);
+    Trace trace("rand2", 3);
+    for (int i = 0; i < 1500; ++i) {
+        trace.append(rng.below(32) * kBlockBytes, 0x400,
+                     static_cast<CoreId>(rng.below(3)),
+                     rng.chance(0.5));
+    }
+    const NextUseIndex index(trace);
+    for (SeqNo from = 0; from < trace.size(); from += 37) {
+        for (const SeqNo window : {1u, 10u, 100u, 1000u}) {
+            for (Addr block = 0; block < 32 * kBlockBytes;
+                 block += 7 * kBlockBytes) {
+                std::uint64_t mask = 0;
+                const SeqNo limit =
+                    std::min<SeqNo>(trace.size(), from + window);
+                for (SeqNo j = from; j < limit; ++j) {
+                    if (trace[j].blockAddr() == block)
+                        mask |= 1ULL << trace[j].core;
+                }
+                const bool expected = popCount(mask) >= 2;
+                ASSERT_EQ(index.sharedWithin(block, from, window),
+                          expected)
+                    << "block " << block << " from " << from
+                    << " window " << window;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace casim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for binary trace serialization.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "trace/trace_io.hh"
+
+namespace casim {
+namespace {
+
+Trace
+makeTrace(unsigned cores = 4, int count = 500)
+{
+    Rng rng(404);
+    Trace trace("roundtrip", cores);
+    for (int i = 0; i < count; ++i) {
+        trace.append(rng.below(1 << 16) * kBlockBytes,
+                     0x400 + rng.below(32) * 4,
+                     static_cast<CoreId>(rng.below(cores)),
+                     rng.chance(0.3));
+    }
+    return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const Trace original = makeTrace();
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+
+    std::string error;
+    const Trace loaded = readTrace(buffer, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(loaded.numCores(), original.numCores());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(loaded[i].addr, original[i].addr);
+        ASSERT_EQ(loaded[i].pc, original[i].pc);
+        ASSERT_EQ(loaded[i].core, original[i].core);
+        ASSERT_EQ(loaded[i].isWrite, original[i].isWrite);
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    Trace original("empty", 2);
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    std::string error;
+    const Trace loaded = readTrace(buffer, &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.numCores(), 2u);
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer("NOPE this is not a trace");
+    std::string error;
+    readTrace(buffer, &error);
+    EXPECT_EQ(error, "bad magic");
+}
+
+TEST(TraceIo, RejectsTruncatedStream)
+{
+    const Trace original = makeTrace(2, 100);
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    const std::string full = buffer.str();
+
+    // Cut the stream in the middle of the records.
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    std::string error;
+    readTrace(cut, &error);
+    EXPECT_EQ(error, "truncated records");
+}
+
+TEST(TraceIo, RejectsCorruptCoreId)
+{
+    Trace original("t", 2);
+    original.append(0x1000, 0x400, 1, false);
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    std::string bytes = buffer.str();
+    // The core byte is 10th from the end (addr u64 + pc u64 + core u8
+    // + is_write u8 trail the stream).
+    bytes[bytes.size() - 2] = 9;
+    std::stringstream corrupt(bytes);
+    std::string error;
+    readTrace(corrupt, &error);
+    EXPECT_EQ(error, "record core out of range");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace original = makeTrace(8, 2000);
+    const std::string path = "/tmp/casim_test_trace.bin";
+    ASSERT_TRUE(saveTrace(original, path));
+    const Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.footprintBlocks(), original.footprintBlocks());
+    EXPECT_EQ(loaded.sharedFootprintBlocks(),
+              original.sharedFootprintBlocks());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace casim
