@@ -5,7 +5,7 @@
  * LRU evolve with capacity — the paper's 4 MB -> 8 MB trend (bigger
  * caches reward sharing-awareness more) extended across the range.
  *
- * Usage: ablation_capacity [--scale=1] [--threads=8] [--csv]
+ * Usage: ablation_capacity [--scale=1] [--threads=8] [--jobs=N] [--csv]
  */
 
 #include <iostream>
@@ -14,8 +14,23 @@
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
+
+namespace {
+
+/** Metrics of one (capacity, workload) simulation cell. */
+struct Cell
+{
+    bool skip = true;
+    double missRatio = 0.0;
+    double sharedPct = 0.0;
+    double oracleGain = 0.0;
+    double optGain = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,44 +40,62 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> capacities{
         1ULL << 20, 2ULL << 20, 4ULL << 20, 8ULL << 20, 16ULL << 20};
 
-    const auto captured = captureAllWorkloads(config);
+    ParallelRunner runner(options.jobs());
+    const auto captured = captureAllWorkloads(config, runner);
 
     TablePrinter table("A2: capacity sweep, means across all workloads",
                        {"llc", "lru_miss_ratio", "shared_hit%",
                         "oracle_gain%", "opt_gain%"});
 
-    for (const std::uint64_t bytes : capacities) {
-        const CacheGeometry geo = config.llcGeometry(bytes);
-        const SeqNo window = config.oracleWindow(bytes);
-        std::vector<double> miss_ratios, shared_fracs, oracle_gains,
-            opt_gains;
-        for (const auto &wl : captured) {
+    // One cell per (capacity, workload); each owns its replays and
+    // next-use index, sharing only the read-only captured stream.
+    const auto cells = runner.map<Cell>(
+        capacities.size() * captured.size(), [&](std::size_t c) {
+            const std::uint64_t bytes = capacities[c / captured.size()];
+            const CapturedWorkload &wl = captured[c % captured.size()];
+            const CacheGeometry geo = config.llcGeometry(bytes);
+
+            Cell cell;
             const NextUseIndex index(wl.stream);
             const auto lru =
                 replayMisses(wl.stream, geo, makePolicyFactory("lru"));
             if (lru == 0 || wl.stream.empty())
-                continue;
-            miss_ratios.push_back(
-                static_cast<double>(lru) /
-                static_cast<double>(wl.stream.size()));
+                return cell;
+            cell.skip = false;
+            cell.missRatio = static_cast<double>(lru) /
+                             static_cast<double>(wl.stream.size());
             const SharingSummary sharing = replaySharing(
                 wl.stream, geo, makePolicyFactory("lru"),
                 config.workload.threads);
-            shared_fracs.push_back(100.0 * sharing.sharedHitFraction);
+            cell.sharedPct = 100.0 * sharing.sharedHitFraction;
 
             OracleLabeler oracle = makeOracle(index, config, bytes);
             const auto aware = replayMissesWrapped(
                 wl.stream, geo, makePolicyFactory("lru"), oracle,
                 config);
-            oracle_gains.push_back(
+            cell.oracleGain =
                 100.0 * (1.0 - static_cast<double>(aware) /
-                                   static_cast<double>(lru)));
+                                   static_cast<double>(lru));
             const auto opt = replayMissesOpt(wl.stream, index, geo);
-            opt_gains.push_back(
+            cell.optGain =
                 100.0 * (1.0 - static_cast<double>(opt) /
-                                   static_cast<double>(lru)));
+                                   static_cast<double>(lru));
+            return cell;
+        });
+
+    for (std::size_t k = 0; k < capacities.size(); ++k) {
+        std::vector<double> miss_ratios, shared_fracs, oracle_gains,
+            opt_gains;
+        for (std::size_t w = 0; w < captured.size(); ++w) {
+            const Cell &cell = cells[k * captured.size() + w];
+            if (cell.skip)
+                continue;
+            miss_ratios.push_back(cell.missRatio);
+            shared_fracs.push_back(cell.sharedPct);
+            oracle_gains.push_back(cell.oracleGain);
+            opt_gains.push_back(cell.optGain);
         }
-        table.addRow(std::to_string(bytes >> 20) + "MB",
+        table.addRow(std::to_string(capacities[k] >> 20) + "MB",
                      {mean(miss_ratios), mean(shared_fracs),
                       mean(oracle_gains), mean(opt_gains)},
                      2);

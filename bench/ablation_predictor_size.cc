@@ -18,6 +18,7 @@
 #include "core/sharing_aware.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "sim/stream_sim.hh"
 
 using namespace casim;
@@ -64,7 +65,8 @@ main(int argc, char **argv)
     const SeqNo window = config.oracleWindow(llc_bytes);
     const std::vector<unsigned> index_bits{10, 12, 14, 16, 18};
 
-    const auto captured = captureAllWorkloads(config);
+    ParallelRunner runner(options.jobs());
+    const auto captured = captureAllWorkloads(config, runner);
 
     TablePrinter table(
         "A3: predictor accuracy vs table size (mean across workloads), "

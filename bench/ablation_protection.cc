@@ -20,6 +20,7 @@
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -47,7 +48,8 @@ main(int argc, char **argv)
     const auto posts =
         parseList(options.getString("post", "32,64,128"));
 
-    const auto captured = captureAllWorkloads(config);
+    ParallelRunner runner(options.jobs());
+    const auto captured = captureAllWorkloads(config, runner);
 
     for (const std::uint64_t bytes :
          {config.llcSmallBytes, config.llcLargeBytes}) {

@@ -5,7 +5,7 @@
  * studies an 8-core CMP; this bench checks the trend is not an
  * artifact of that choice).
  *
- * Usage: ablation_threads [--scale=1] [--csv]
+ * Usage: ablation_threads [--scale=1] [--jobs=N] [--csv]
  */
 
 #include <iostream>
@@ -14,8 +14,22 @@
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
+
+namespace {
+
+/** Metrics of one (thread count, workload) simulation cell. */
+struct Cell
+{
+    bool skip = true;
+    double missRatio = 0.0;
+    double sharedPct = 0.0;
+    double gain = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,41 +41,58 @@ main(int argc, char **argv)
         "A5: thread-count sweep, means across all workloads, 4MB LLC",
         {"threads", "llc_miss_ratio", "shared_hit%", "oracle_gain%"});
 
-    for (const unsigned threads : thread_counts) {
-        StudyConfig config = StudyConfig::fromOptions(options);
-        config.workload.threads = threads;
-        config.hierarchy.numCores = threads;
-        const CacheGeometry geo =
-            config.llcGeometry(config.llcSmallBytes);
-        const SeqNo window =
-            config.oracleWindow(config.llcSmallBytes);
+    const auto infos = allWorkloads();
+    ParallelRunner runner(options.jobs());
 
-        std::vector<double> miss_ratios, shared_fracs, gains;
-        for (const auto &info : allWorkloads()) {
+    // One cell per (thread count, workload): the capture itself depends
+    // on the thread count, so each cell runs its own capture + replays.
+    const auto cells = runner.map<Cell>(
+        thread_counts.size() * infos.size(), [&](std::size_t c) {
+            const unsigned threads = thread_counts[c / infos.size()];
+            const auto &info = infos[c % infos.size()];
+
+            StudyConfig config = StudyConfig::fromOptions(options);
+            config.workload.threads = threads;
+            config.hierarchy.numCores = threads;
+            const CacheGeometry geo =
+                config.llcGeometry(config.llcSmallBytes);
+
+            Cell cell;
             const CapturedWorkload wl =
                 captureWorkload(info.name, config);
             if (wl.stream.empty())
-                continue;
+                return cell;
             const NextUseIndex index(wl.stream);
             const auto lru = replayMisses(wl.stream, geo,
                                           makePolicyFactory("lru"));
             if (lru == 0)
-                continue;
-            miss_ratios.push_back(
-                static_cast<double>(lru) /
-                static_cast<double>(wl.stream.size()));
-            shared_fracs.push_back(
-                100.0 * wl.hierarchy.sharing.sharedHitFraction);
+                return cell;
+            cell.skip = false;
+            cell.missRatio = static_cast<double>(lru) /
+                             static_cast<double>(wl.stream.size());
+            cell.sharedPct =
+                100.0 * wl.hierarchy.sharing.sharedHitFraction;
             OracleLabeler oracle =
                 makeOracle(index, config, config.llcSmallBytes);
             const auto aware = replayMissesWrapped(
                 wl.stream, geo, makePolicyFactory("lru"), oracle,
                 config);
-            gains.push_back(100.0 *
-                            (1.0 - static_cast<double>(aware) /
-                                       static_cast<double>(lru)));
+            cell.gain = 100.0 * (1.0 - static_cast<double>(aware) /
+                                           static_cast<double>(lru));
+            return cell;
+        });
+
+    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+        std::vector<double> miss_ratios, shared_fracs, gains;
+        for (std::size_t w = 0; w < infos.size(); ++w) {
+            const Cell &cell = cells[t * infos.size() + w];
+            if (cell.skip)
+                continue;
+            miss_ratios.push_back(cell.missRatio);
+            shared_fracs.push_back(cell.sharedPct);
+            gains.push_back(cell.gain);
         }
-        table.addRow(std::to_string(threads),
+        table.addRow(std::to_string(thread_counts[t]),
                      {mean(miss_ratios), mean(shared_fracs),
                       mean(gains)},
                      2);

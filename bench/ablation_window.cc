@@ -20,6 +20,7 @@
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -49,7 +50,8 @@ main(int argc, char **argv)
         parseList(options.getString("rounds", "32,128,512"));
 
     // Capture every workload once; replays sweep the parameters.
-    const auto captured = captureAllWorkloads(config);
+    ParallelRunner runner(options.jobs());
+    const auto captured = captureAllWorkloads(config, runner);
 
     std::vector<std::string> headers{"window_x_capacity"};
     for (const double r : rounds_list)

@@ -7,7 +7,7 @@
  * sharing-awareness) remains.
  *
  * Usage: fig5_policy_comparison [--scale=1] [--threads=8]
- *        [--llc-mb=4] [--csv]
+ *        [--llc-mb=4] [--jobs=N] [--csv]
  */
 
 #include <iostream>
@@ -16,6 +16,7 @@
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -41,27 +42,41 @@ main(int argc, char **argv)
                            std::to_string(llc_bytes >> 20) + "MB LLC",
                        headers);
 
+    ParallelRunner runner(options.jobs());
+    const auto captured = captureAllWorkloads(config, runner);
+
+    // Fan out one cell per (workload, policy): slot layout is
+    // [workload][lru, policies..., opt], so assembly below reads the
+    // same numbers the serial loop produced.
+    const std::size_t num_cells = policies.size() + 2;
+    const auto misses = runner.map<std::uint64_t>(
+        captured.size() * num_cells, [&](std::size_t cell) {
+            const CapturedWorkload &wl = captured[cell / num_cells];
+            const std::size_t p = cell % num_cells;
+            if (p == 0)
+                return replayMisses(wl.stream, geo,
+                                    makePolicyFactory("lru"));
+            if (p <= policies.size())
+                return replayMisses(wl.stream, geo,
+                                    makePolicyFactory(policies[p - 1]));
+            const NextUseIndex index(wl.stream);
+            return replayMissesOpt(wl.stream, index, geo);
+        });
+
     std::vector<std::vector<double>> columns(policies.size() + 1);
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        const auto lru =
-            replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+    for (std::size_t w = 0; w < captured.size(); ++w) {
+        const std::uint64_t *cells = &misses[w * num_cells];
+        const std::uint64_t lru = cells[0];
         if (lru == 0)
             continue;
         const double base = static_cast<double>(lru);
 
         std::vector<double> row{1.0};
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const auto misses = replayMisses(
-                wl.stream, geo, makePolicyFactory(policies[p]));
-            row.push_back(misses / base);
-            columns[p].push_back(misses / base);
+        for (std::size_t p = 0; p < policies.size() + 1; ++p) {
+            row.push_back(cells[p + 1] / base);
+            columns[p].push_back(cells[p + 1] / base);
         }
-        const NextUseIndex index(wl.stream);
-        const auto opt = replayMissesOpt(wl.stream, index, geo);
-        row.push_back(opt / base);
-        columns[policies.size()].push_back(opt / base);
-        table.addRow(info.name, row, 3);
+        table.addRow(captured[w].info.name, row, 3);
     }
     table.addSeparator();
     std::vector<double> means{1.0};

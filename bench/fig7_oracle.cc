@@ -9,15 +9,17 @@
  * is policy-generic.
  *
  * Usage: fig7_oracle [--scale=1] [--threads=8] [--window-factor=4]
- *        [--protection-rounds=128] [--post-rounds=0] [--csv]
+ *        [--protection-rounds=128] [--post-rounds=0] [--jobs=N] [--csv]
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/options.hh"
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -38,37 +40,59 @@ main(int argc, char **argv)
         "base policy",
         headers);
 
+    ParallelRunner runner(options.jobs());
+    const auto captured = captureAllWorkloads(config, runner);
+
+    // The next-use index of a workload is shared read-only by all of
+    // its cells; build each one once, in parallel.
+    const auto indices = runner.map<std::unique_ptr<NextUseIndex>>(
+        captured.size(), [&](std::size_t i) {
+            return std::make_unique<NextUseIndex>(captured[i].stream);
+        });
+
+    // One cell per (workload, base policy, LLC capacity); each cell
+    // owns its oracle, wrapper and both replays.  Slot layout is
+    // [workload][base][capacity].
+    const std::vector<std::uint64_t> capacities{config.llcSmallBytes,
+                                                config.llcLargeBytes};
+    const std::size_t cells_per_wl = bases.size() * capacities.size();
+    const auto ratios = runner.map<double>(
+        captured.size() * cells_per_wl, [&](std::size_t cell) {
+            const std::size_t w = cell / cells_per_wl;
+            const std::size_t b =
+                (cell % cells_per_wl) / capacities.size();
+            const std::uint64_t bytes =
+                capacities[cell % capacities.size()];
+            const CapturedWorkload &wl = captured[w];
+            const NextUseIndex &index = *indices[w];
+
+            const CacheGeometry geo = config.llcGeometry(bytes);
+            OracleLabeler oracle = makeOracle(index, config, bytes);
+            const auto plain = replayMisses(
+                wl.stream, geo, makePolicyFactory(bases[b]));
+            const auto aware = replayMissesWrapped(
+                wl.stream, geo, makePolicyFactory(bases[b]), oracle,
+                config);
+            return plain == 0 ? 1.0
+                              : static_cast<double>(aware) /
+                                    static_cast<double>(plain);
+        });
+
     // columns[base][size] -> per-app ratios.
     std::vector<std::vector<std::vector<double>>> columns(
         bases.size(), std::vector<std::vector<double>>(2));
-
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex index(wl.stream);
-
+    for (std::size_t w = 0; w < captured.size(); ++w) {
         std::vector<double> row;
         for (std::size_t b = 0; b < bases.size(); ++b) {
-            int k = 0;
-            for (const std::uint64_t bytes :
-                 {config.llcSmallBytes, config.llcLargeBytes}) {
-                const CacheGeometry geo = config.llcGeometry(bytes);
-                OracleLabeler oracle =
-                    makeOracle(index, config, bytes);
-                const auto plain = replayMisses(
-                    wl.stream, geo, makePolicyFactory(bases[b]));
-                const auto aware = replayMissesWrapped(
-                    wl.stream, geo, makePolicyFactory(bases[b]),
-                    oracle, config);
+            for (std::size_t k = 0; k < capacities.size(); ++k) {
                 const double ratio =
-                    plain == 0 ? 1.0
-                               : static_cast<double>(aware) /
-                                     static_cast<double>(plain);
+                    ratios[w * cells_per_wl + b * capacities.size() +
+                           k];
                 row.push_back(ratio);
                 columns[b][k].push_back(ratio);
-                ++k;
             }
         }
-        table.addRow(info.name, row, 3);
+        table.addRow(captured[w].info.name, row, 3);
     }
     table.addSeparator();
     std::vector<double> means;

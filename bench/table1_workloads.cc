@@ -5,17 +5,35 @@
  * kilo demand reference (MPKR, our MPKI proxy) under LRU at both
  * studied LLC capacities.
  *
- * Usage: table1_workloads [--scale=1] [--threads=8] [--csv]
+ * Usage: table1_workloads [--scale=1] [--threads=8] [--jobs=N] [--csv]
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/options.hh"
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace casim;
+
+namespace {
+
+/** One workload's fully computed table row. */
+struct Row
+{
+    double refsK = 0.0;
+    double footprintMb = 0.0;
+    double sharedFp = 0.0;
+    double writePct = 0.0;
+    double llcRefsK = 0.0;
+    double mpkrSmall = 0.0;
+    double mpkrLarge = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -29,19 +47,28 @@ main(int argc, char **argv)
         {"app", "suite", "refs(K)", "fp(MB)", "shared_fp%", "wr%",
          "llc_refs(K)", "mpkr_4mb", "mpkr_8mb"});
 
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
+    const auto infos = allWorkloads();
+    ParallelRunner runner(options.jobs());
+
+    // Each cell captures one workload and computes its whole row; no
+    // state is shared between cells, and results land in suite order.
+    const auto rows = runner.map<Row>(infos.size(), [&](std::size_t i) {
+        const CapturedWorkload wl =
+            captureWorkload(infos[i].name, config);
 
         // Trace-level properties need the original trace; regenerate
         // cheaply (generation is a small fraction of simulation).
-        const Trace trace = makeWorkloadTrace(info.name,
+        const Trace trace = makeWorkloadTrace(infos[i].name,
                                               config.workload);
-        const double shared_fp =
+        Row row;
+        row.refsK = wl.demandAccesses / 1000.0;
+        row.footprintMb = wl.footprintBlocks * kBlockBytes / 1048576.0;
+        row.sharedFp =
             100.0 * static_cast<double>(trace.sharedFootprintBlocks()) /
             static_cast<double>(std::max<std::size_t>(
                 1, trace.footprintBlocks()));
-
-        const double refs_k = wl.demandAccesses / 1000.0;
+        row.writePct = 100.0 * trace.writeFraction();
+        row.llcRefsK = wl.stream.size() / 1000.0;
         const auto mpkr = [&](std::uint64_t llc_bytes) {
             const auto misses =
                 replayMisses(wl.stream, config.llcGeometry(llc_bytes),
@@ -49,16 +76,21 @@ main(int argc, char **argv)
             return 1000.0 * static_cast<double>(misses) /
                    static_cast<double>(wl.demandAccesses);
         };
+        row.mpkrSmall = mpkr(config.llcSmallBytes);
+        row.mpkrLarge = mpkr(config.llcLargeBytes);
+        return row;
+    });
 
-        table.addRow(
-            {info.name, info.suite, TablePrinter::fmt(refs_k, 0),
-             TablePrinter::fmt(
-                 wl.footprintBlocks * kBlockBytes / 1048576.0, 1),
-             TablePrinter::fmt(shared_fp, 1),
-             TablePrinter::fmt(100.0 * trace.writeFraction(), 1),
-             TablePrinter::fmt(wl.stream.size() / 1000.0, 0),
-             TablePrinter::fmt(mpkr(config.llcSmallBytes), 2),
-             TablePrinter::fmt(mpkr(config.llcLargeBytes), 2)});
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const Row &row = rows[i];
+        table.addRow({infos[i].name, infos[i].suite,
+                      TablePrinter::fmt(row.refsK, 0),
+                      TablePrinter::fmt(row.footprintMb, 1),
+                      TablePrinter::fmt(row.sharedFp, 1),
+                      TablePrinter::fmt(row.writePct, 1),
+                      TablePrinter::fmt(row.llcRefsK, 0),
+                      TablePrinter::fmt(row.mpkrSmall, 2),
+                      TablePrinter::fmt(row.mpkrLarge, 2)});
     }
 
     if (options.has("csv"))

@@ -37,10 +37,7 @@ doCapture(const Options &options)
 
     std::cout << "Capturing LLC stream of '" << name << "'...\n";
     const CapturedWorkload wl = captureWorkload(name, config);
-    if (!saveTrace(wl.stream, out)) {
-        std::cerr << "write failed\n";
-        return 1;
-    }
+    saveTrace(wl.stream, out); // fatal on any write failure
     std::cout << "Wrote " << wl.stream.size() << " LLC references ("
               << wl.demandAccesses << " demand refs upstream) to "
               << out << "\n";

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build running the parallel-runner tests to catch data
+# races in the experiment fan-out.
+#
+# Usage: scripts/tier1.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+
+echo "== tier-1: standard build + ctest =="
+cmake -B "${prefix}" -S . >/dev/null
+cmake --build "${prefix}" -j
+ctest --test-dir "${prefix}" --output-on-failure -j
+
+echo "== tier-1: ThreadSanitizer build, parallel-runner tests =="
+cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread >/dev/null
+cmake --build "${prefix}-tsan" -j --target casim_tests
+"${prefix}-tsan"/tests/casim_tests --gtest_filter='ParallelRunner.*'
+
+echo "tier-1 OK"

@@ -41,6 +41,14 @@ class Options
     /** Boolean: bare --key, or --key=true/false/1/0. */
     bool getBool(const std::string &key, bool fallback) const;
 
+    /**
+     * Worker count for parallel experiment phases: --jobs=N if given,
+     * else the CASIM_JOBS environment variable, else the hardware
+     * concurrency.  Always >= 1; --jobs=1 selects the exact serial
+     * code path.
+     */
+    unsigned jobs() const;
+
     /** Positional (non --) arguments in order. */
     const std::vector<std::string> &positional() const
     {

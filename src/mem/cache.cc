@@ -156,7 +156,7 @@ Cache::fill(const ReplContext &ctx, const VictimHandler &on_victim)
             ++dirtyEvictions_;
         policy_->onEvict(set, way);
         if (on_victim)
-            on_victim(victim);
+            on_victim(victim, set, way);
         endResidency(victim, false);
     }
 

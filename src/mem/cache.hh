@@ -84,8 +84,14 @@ class CacheObserver
 class Cache
 {
   public:
-    /** Called with the victim block before a fill overwrites it. */
-    using VictimHandler = std::function<void(const CacheBlock &)>;
+    /**
+     * Called with the victim block before a fill overwrites it.  The
+     * victim's set and way are passed explicitly so handlers never have
+     * to recover them from the reference (which would tie the contract
+     * to the victim aliasing the tag array).
+     */
+    using VictimHandler =
+        std::function<void(const CacheBlock &, unsigned set, unsigned way)>;
 
     /**
      * @param name   Instance name used as the stats prefix (e.g. "llc").

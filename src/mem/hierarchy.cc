@@ -141,7 +141,8 @@ Hierarchy::accessLlc(const MemAccess &access, bool is_upgrade)
                          : config_.memLatency;
         ++memReads_;
         CacheBlock &filled =
-            llc_->fill(ctx, [this](const CacheBlock &victim) {
+            llc_->fill(ctx, [this](const CacheBlock &victim, unsigned,
+                                   unsigned) {
                 handleLlcVictim(victim);
             });
         filled.sharers = 0; // requester added on L1 fill below
@@ -156,7 +157,8 @@ Hierarchy::accessLlc(const MemAccess &access, bool is_upgrade)
     // Install in the requester's L1 and record it in the directory.
     const Addr llc_addr = lb->addr;
     CacheBlock &l1b = l1s_[access.core]->fill(
-        ctx, [this, core = access.core](const CacheBlock &victim) {
+        ctx, [this, core = access.core](const CacheBlock &victim,
+                                        unsigned, unsigned) {
             handleL1Victim(core, victim);
         });
     l1b.state = fill_state;

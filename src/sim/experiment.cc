@@ -42,6 +42,16 @@ captureAllWorkloads(const StudyConfig &config)
     return captured;
 }
 
+std::vector<CapturedWorkload>
+captureAllWorkloads(const StudyConfig &config, ParallelRunner &runner)
+{
+    const auto infos = allWorkloads();
+    return runner.map<CapturedWorkload>(
+        infos.size(), [&](std::size_t i) {
+            return captureWorkload(infos[i].name, config);
+        });
+}
+
 std::uint64_t
 replayMisses(const Trace &stream, const CacheGeometry &geo,
              const ReplPolicyFactory &factory)

@@ -13,6 +13,7 @@
 
 #include "sim/config.hh"
 #include "sim/hierarchy_sim.hh"
+#include "sim/parallel.hh"
 #include "trace/next_use.hh"
 #include "wgen/registry.hh"
 
@@ -49,9 +50,17 @@ struct CapturedWorkload
 CapturedWorkload captureWorkload(const std::string &name,
                                  const StudyConfig &config);
 
-/** Capture every registered workload in suite order. */
+/** Capture every registered workload serially in suite order. */
 std::vector<CapturedWorkload>
 captureAllWorkloads(const StudyConfig &config);
+
+/**
+ * Capture every registered workload, fanning the independent captures
+ * out over `runner`.  Results land in suite order regardless of
+ * scheduling, so the output is identical to the serial overload.
+ */
+std::vector<CapturedWorkload>
+captureAllWorkloads(const StudyConfig &config, ParallelRunner &runner);
 
 /** Replay misses under a named or custom base policy. */
 std::uint64_t replayMisses(const Trace &stream, const CacheGeometry &geo,

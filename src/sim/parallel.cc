@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the deterministic parallel runner.
+ */
+
+#include "sim/parallel.hh"
+
+namespace casim {
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? 1 : jobs)
+{
+    if (jobs_ == 1)
+        return; // serial mode: never touch threading machinery
+    workers_.reserve(jobs_);
+    for (unsigned w = 0; w < jobs_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ParallelRunner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                batchDone_.notify_all();
+        }
+    }
+}
+
+void
+ParallelRunner::run(std::size_t n,
+                    const std::function<void(std::size_t)> &task)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1 || n == 1) {
+        // The exact serial code path: inline, in index order.
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_ = n;
+        firstError_ = nullptr;
+        for (std::size_t i = 0; i < n; ++i) {
+            queue_.push_back([this, &task, i] {
+                try {
+                    task(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> guard(mutex_);
+                    if (!firstError_)
+                        firstError_ = std::current_exception();
+                }
+            });
+        }
+    }
+    workReady_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchDone_.wait(lock, [this] { return pending_ == 0; });
+    if (firstError_)
+        std::rethrow_exception(firstError_);
+}
+
+} // namespace casim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic parallel fan-out of independent simulation cells.
+ *
+ * Every bench binary sweeps a grid of (workload, policy, capacity)
+ * cells, and each cell owns its whole simulation state (StreamSim,
+ * Cache, policy instance), so the cells are embarrassingly parallel.
+ * ParallelRunner is the one concurrency primitive the experiment layer
+ * uses: a fixed-size worker pool with a job queue that executes indexed
+ * tasks and collects their results into deterministically ordered
+ * slots, making parallel output bit-identical to the serial path
+ * regardless of scheduling.
+ *
+ * Isolation rule: a task must only touch state it owns (plus read-only
+ * shared inputs such as captured traces and next-use indices).  Nothing
+ * in the simulator uses mutable global state, so this rule is purely
+ * local to the task lambdas the benches write.
+ */
+
+#ifndef CASIM_SIM_PARALLEL_HH
+#define CASIM_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace casim {
+
+/** Fixed-size worker pool executing indexed tasks deterministically. */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param jobs Worker count; 0 and 1 both mean "no threads": tasks
+     *             run inline on the caller in index order, which is the
+     *             exact serial code path.
+     */
+    explicit ParallelRunner(unsigned jobs);
+
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    /** Worker count this runner executes with (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute task(0) ... task(n-1), each exactly once, and return when
+     * all have finished.  With jobs() == 1 the tasks run inline in
+     * index order; otherwise they are fanned out to the pool and may
+     * run in any order, so tasks must be independent (see the isolation
+     * rule above).  The first exception thrown by a task is rethrown
+     * here after all tasks have drained.
+     */
+    void run(std::size_t n, const std::function<void(std::size_t)> &task);
+
+    /**
+     * Map fn over [0, n), collecting results into slot i of the
+     * returned vector — deterministically ordered regardless of which
+     * worker computed which cell.  Result must be default-constructible
+     * and movable.
+     */
+    template <typename Result>
+    std::vector<Result>
+    map(std::size_t n, const std::function<Result(std::size_t)> &fn)
+    {
+        std::vector<Result> out(n);
+        run(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** Worker main loop: pop jobs until asked to stop. */
+    void workerLoop();
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable batchDone_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t pending_ = 0;
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+};
+
+} // namespace casim
+
+#endif // CASIM_SIM_PARALLEL_HH

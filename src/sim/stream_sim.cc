@@ -38,21 +38,24 @@ StreamSim::run()
         } else {
             if (labeler_ != nullptr)
                 ctx.predictedShared = labeler_->predictShared(ctx);
-            cache_->fill(ctx, [this, i](const CacheBlock &victim) {
-                if (scorer_ == nullptr)
-                    return;
-                // The handler runs before the overwrite, so the
-                // victim reference points into the intact set.
-                const unsigned set = cache_->setIndex(victim.addr);
-                const unsigned way = static_cast<unsigned>(
-                    &victim - &cache_->blockAt(set, 0));
-                scorer_->onEviction(*cache_, set, way, i);
-            });
+            cache_->fill(ctx, scoringHandler(i));
         }
         if (prefetcher_ != nullptr)
             runPrefetcher(access, i);
     }
     cache_->flushResidencies();
+}
+
+Cache::VictimHandler
+StreamSim::scoringHandler(SeqNo now)
+{
+    if (scorer_ == nullptr)
+        return nullptr;
+    // The handler runs before the fill overwrites the victim, so the
+    // scorer sees the intact set.
+    return [this, now](const CacheBlock &, unsigned set, unsigned way) {
+        scorer_->onEviction(*cache_, set, way, now);
+    };
 }
 
 void
@@ -65,12 +68,15 @@ StreamSim::runPrefetcher(const MemAccess &access, SeqNo position)
         if (cache_->probe(target) != nullptr)
             continue;
         // Prefetch fills carry the triggering reference's core/PC and
-        // consult the labeler, but bypass demand accounting.
+        // consult the labeler, but bypass demand accounting.  Their
+        // evictions go through the same scoring handler as demand
+        // fills: a prefetch-induced eviction is just as much a
+        // replacement decision as a demand-induced one.
         ReplContext ctx{target, access.pc, access.core, false,
                         position, false};
         if (labeler_ != nullptr)
             ctx.predictedShared = labeler_->predictShared(ctx);
-        CacheBlock &block = cache_->fill(ctx);
+        CacheBlock &block = cache_->fill(ctx, scoringHandler(position));
         block.prefetched = true;
     }
 }

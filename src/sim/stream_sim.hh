@@ -79,6 +79,14 @@ class StreamSim : public CacheObserver
     void onResidencyEnd(const CacheBlock &block) override;
 
   private:
+    /**
+     * Victim handler reporting evictions at stream position `now` to
+     * the attached awareness scorer; null when no scorer is attached.
+     * Shared by the demand and prefetch fill paths so the scorer sees
+     * every replacement decision.
+     */
+    Cache::VictimHandler scoringHandler(SeqNo now);
+
     /** Issue the prefetches triggered by one demand reference. */
     void runPrefetcher(const MemAccess &access, SeqNo position);
 

@@ -5,6 +5,7 @@
 
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -18,6 +19,9 @@ namespace {
 
 constexpr char kMagic[4] = {'C', 'S', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
+
+/** On-disk record stride: addr u64 + pc u64 + core u8 + is_write u8. */
+constexpr std::uint64_t kRecordBytes = 8 + 8 + 1 + 1;
 
 template <typename T>
 void
@@ -56,13 +60,17 @@ writeTrace(const Trace &trace, std::ostream &os)
     return os.good();
 }
 
-bool
+void
 saveTrace(const Trace &trace, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
         casim_fatal("cannot open '", path, "' for writing");
-    return writeTrace(trace, os);
+    if (!writeTrace(trace, os))
+        casim_fatal("short write saving trace to '", path, "'");
+    os.flush();
+    if (!os)
+        casim_fatal("cannot flush trace to '", path, "'");
 }
 
 Trace
@@ -94,8 +102,32 @@ readTrace(std::istream &is, std::string *error)
     if (!readScalar(is, count))
         return fail("truncated count");
 
+    // Never trust the on-disk count blindly: a truncated or corrupt
+    // file could otherwise demand an absurd allocation before the
+    // record loop notices anything is wrong.  On seekable streams the
+    // claimed count is checked against the bytes actually remaining
+    // (fixed kRecordBytes stride); on non-seekable streams the reserve
+    // is merely capped and the record loop catches truncation.
+    std::uint64_t reserve_count = count;
+    const std::istream::pos_type here = is.tellg();
+    if (here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::istream::pos_type end_pos = is.tellg();
+        is.seekg(here);
+        if (!is.good() || end_pos < here)
+            return fail("unseekable stream");
+        const std::uint64_t remaining =
+            static_cast<std::uint64_t>(end_pos - here);
+        if (count > remaining / kRecordBytes)
+            return fail("truncated records");
+    } else {
+        is.clear();
+        reserve_count =
+            std::min<std::uint64_t>(count, std::uint64_t{1} << 20);
+    }
+
     Trace trace(name, num_cores);
-    trace.reserve(count);
+    trace.reserve(reserve_count);
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t addr = 0, pc = 0;
         std::uint8_t core = 0, is_write = 0;

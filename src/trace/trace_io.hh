@@ -25,8 +25,8 @@ namespace casim {
 /** Serialize a trace to a stream; returns false on I/O failure. */
 bool writeTrace(const Trace &trace, std::ostream &os);
 
-/** Serialize a trace to a file; fatal on open failure. */
-bool saveTrace(const Trace &trace, const std::string &path);
+/** Serialize a trace to a file; fatal on open or write failure. */
+void saveTrace(const Trace &trace, const std::string &path);
 
 /**
  * Deserialize a trace from a stream.

@@ -99,11 +99,20 @@ TEST(Cache, EvictsLruVictim)
     cache->access(ctxFor(0x000)); // touch 0x000: 0x100 becomes LRU
 
     Addr victim_addr = 0;
+    unsigned victim_set = 99, victim_way = 99;
     cache->access(ctxFor(0x200));
-    cache->fill(ctxFor(0x200), [&](const CacheBlock &victim) {
+    cache->fill(ctxFor(0x200), [&](const CacheBlock &victim,
+                                   unsigned set, unsigned way) {
         victim_addr = victim.addr;
+        victim_set = set;
+        victim_way = way;
     });
     EXPECT_EQ(victim_addr, 0x100u);
+    // The handler's set/way name the victim slot directly; no pointer
+    // arithmetic on the victim reference is needed.
+    EXPECT_EQ(victim_set, cache->setIndex(0x100));
+    EXPECT_EQ(&cache->blockAt(victim_set, victim_way),
+              cache->probe(0x200));
     EXPECT_EQ(cache->probe(0x100), nullptr);
     EXPECT_NE(cache->probe(0x000), nullptr);
 }

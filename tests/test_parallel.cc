@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the deterministic parallel experiment runner: ordered
+ * result collection, serial-path inlining, exception propagation, and
+ * bit-identical parallel vs serial workload capture.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+
+namespace casim {
+namespace {
+
+StudyConfig
+tinyStudy()
+{
+    StudyConfig config;
+    config.workload.threads = 4;
+    config.workload.scale = 0.02;
+    config.workload.seed = 11;
+    config.hierarchy.numCores = 4;
+    config.hierarchy.l1 = CacheGeometry{4 * 1024, 4, kBlockBytes};
+    config.llcSmallBytes = 64 * 1024;
+    config.llcLargeBytes = 128 * 1024;
+    config.llcWays = 8;
+    return config;
+}
+
+TEST(ParallelRunner, MapCollectsResultsInIndexOrder)
+{
+    ParallelRunner runner(4);
+    const auto out = runner.map<int>(
+        100, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelRunner, SingleJobRunsInlineInIndexOrder)
+{
+    // jobs <= 1 must be the exact serial code path: no worker threads,
+    // tasks executed on the caller in ascending index order.
+    for (const unsigned jobs : {0u, 1u}) {
+        ParallelRunner runner(jobs);
+        EXPECT_EQ(runner.jobs(), 1u);
+        std::vector<std::size_t> order;
+        runner.run(8, [&](std::size_t i) {
+            EXPECT_EQ(std::this_thread::get_id(),
+                      std::this_thread::get_id());
+            order.push_back(i);
+        });
+        ASSERT_EQ(order.size(), 8u);
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(ParallelRunner, SingleJobStaysOnCallerThread)
+{
+    ParallelRunner runner(1);
+    const auto caller = std::this_thread::get_id();
+    runner.run(4, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ParallelRunner, PropagatesFirstTaskException)
+{
+    ParallelRunner runner(4);
+    std::atomic<unsigned> executed{0};
+    EXPECT_THROW(
+        runner.run(32,
+                   [&](std::size_t i) {
+                       ++executed;
+                       if (i == 7)
+                           throw std::runtime_error("cell 7 failed");
+                   }),
+        std::runtime_error);
+    // The batch drains fully before the error is rethrown, so the
+    // runner is reusable afterwards.
+    EXPECT_EQ(executed.load(), 32u);
+    const auto out =
+        runner.map<int>(4, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(out.back(), 3);
+}
+
+TEST(ParallelRunner, RunnerIsReusableAcrossBatches)
+{
+    ParallelRunner runner(3);
+    for (int batch = 0; batch < 5; ++batch) {
+        std::atomic<int> sum{0};
+        runner.run(10, [&](std::size_t i) {
+            sum += static_cast<int>(i);
+        });
+        EXPECT_EQ(sum.load(), 45);
+    }
+}
+
+TEST(ParallelRunner, ParallelCaptureMatchesSerial)
+{
+    // The tentpole guarantee: fanning the capture of all workloads out
+    // to a pool yields bit-identical results to the serial loop.
+    const StudyConfig config = tinyStudy();
+    const auto serial = captureAllWorkloads(config);
+
+    ParallelRunner runner(4);
+    const auto parallel = captureAllWorkloads(config, runner);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t w = 0; w < serial.size(); ++w) {
+        const CapturedWorkload &a = serial[w];
+        const CapturedWorkload &b = parallel[w];
+        EXPECT_EQ(b.stream.name(), a.stream.name());
+        EXPECT_EQ(b.demandAccesses, a.demandAccesses);
+        EXPECT_EQ(b.hierarchy.llcMisses, a.hierarchy.llcMisses);
+        EXPECT_EQ(b.hierarchy.llcHits, a.hierarchy.llcHits);
+        EXPECT_EQ(b.hierarchy.sharing.sharedHits,
+                  a.hierarchy.sharing.sharedHits);
+        ASSERT_EQ(b.stream.size(), a.stream.size());
+        for (std::size_t i = 0; i < a.stream.size(); i += 61) {
+            ASSERT_EQ(b.stream[i].addr, a.stream[i].addr);
+            ASSERT_EQ(b.stream[i].core, a.stream[i].core);
+        }
+    }
+}
+
+} // namespace
+} // namespace casim

@@ -12,6 +12,7 @@
 #include "core/oracle.hh"
 #include "core/sharing_aware.hh"
 #include "core/sharing_tracker.hh"
+#include "mem/prefetcher.hh"
 #include "mem/repl/lru.hh"
 #include "mem/repl/opt.hh"
 #include "sim/stream_sim.hh"
@@ -413,6 +414,38 @@ TEST(StreamSim, LruEndToEnd)
     EXPECT_EQ(sim.misses(), 2u);
     EXPECT_EQ(sim.hits(), 48u);
     EXPECT_NEAR(sim.missRatio(), 2.0 / 50.0, 1e-12);
+}
+
+TEST(StreamSim, ScorerSeesPrefetchEvictions)
+{
+    // A strided single-PC stream trains the prefetcher; its prefetch
+    // fills evict blocks from the tiny cache.  Every replacement
+    // decision — demand- or prefetch-induced — must reach the scorer,
+    // so the scorer's eviction count equals the cache's.
+    Trace trace("t", 2);
+    const CacheGeometry geo{128, 2, kBlockBytes}; // 1 set x 2 ways
+    for (int i = 0; i < 32; ++i)
+        trace.append(static_cast<Addr>(i) * kBlockBytes, 0x400, 0,
+                     false);
+    const NextUseIndex index(trace);
+
+    StreamSim sim(trace, geo,
+                  std::make_unique<LruPolicy>(geo.numSets(), geo.ways));
+    AwarenessScorer scorer(index, 1000);
+    sim.setAwarenessScorer(&scorer);
+    StridePrefetcher prefetcher;
+    sim.setPrefetcher(&prefetcher);
+    sim.run();
+
+    ASSERT_GT(prefetcher.issued(), 0u);
+    const auto *evictions = dynamic_cast<const stats::Counter *>(
+        sim.cache().stats().find("llc.evictions"));
+    ASSERT_NE(evictions, nullptr);
+    // More evictions than demand misses: some replacements were
+    // prefetch-induced (a demand fill can evict at most once a miss).
+    EXPECT_GT(evictions->value(), sim.misses());
+    // The scorer saw every one of them, not just the demand ones.
+    EXPECT_EQ(scorer.evictions(), evictions->value());
 }
 
 TEST(StreamSim, TrackerSeesSharedResidencies)

@@ -4,6 +4,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -98,11 +99,85 @@ TEST(TraceIo, RejectsCorruptCoreId)
     EXPECT_EQ(error, "record core out of range");
 }
 
+TEST(TraceIo, RejectsOversizedCountWithoutAllocating)
+{
+    // A header that claims ~10^18 records backed by zero record bytes
+    // must be rejected up front from the count/stream-size mismatch,
+    // not by attempting a reserve() of that many records first.
+    Trace original("t", 2);
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    std::string bytes = buffer.str();
+    // The trailing u64 of the header is the record count.
+    const std::uint64_t huge = 1ULL << 60;
+    std::memcpy(&bytes[bytes.size() - sizeof(huge)], &huge,
+                sizeof(huge));
+    std::stringstream corrupt(bytes);
+    std::string error;
+    readTrace(corrupt, &error);
+    EXPECT_EQ(error, "truncated records");
+}
+
+TEST(TraceIo, RejectsCountLargerThanRemainingBytes)
+{
+    // Off by even one record: 100 records claimed, 99 present.
+    const Trace original = makeTrace(2, 100);
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    const std::string full = buffer.str();
+    constexpr std::size_t record_bytes = 18;
+    std::stringstream cut(full.substr(0, full.size() - record_bytes));
+    std::string error;
+    readTrace(cut, &error);
+    EXPECT_EQ(error, "truncated records");
+}
+
+TEST(TraceIo, RejectsGarbageNameLength)
+{
+    // Corrupt the name-length field to a giant value; the header
+    // validation must fail before any name-sized allocation.
+    const Trace original = makeTrace(2, 1);
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    std::string bytes = buffer.str();
+    const std::uint32_t garbage = 0xffffffffu;
+    // name_len sits after magic (4) + version (4) + num_cores (4).
+    std::memcpy(&bytes[12], &garbage, sizeof(garbage));
+    std::stringstream corrupt(bytes);
+    std::string error;
+    readTrace(corrupt, &error);
+    EXPECT_EQ(error, "bad name length");
+}
+
+TEST(TraceIo, RandomSizedTracesRoundTrip)
+{
+    // Round-trip property over a spread of sizes and core counts; the
+    // seekable-stream count validation must never reject valid data.
+    Rng rng(77);
+    for (int iter = 0; iter < 12; ++iter) {
+        const unsigned cores =
+            static_cast<unsigned>(1 + rng.below(8));
+        const int count = static_cast<int>(rng.below(400));
+        const Trace original = makeTrace(cores, count);
+        std::stringstream buffer;
+        ASSERT_TRUE(writeTrace(original, buffer));
+        std::string error;
+        const Trace loaded = readTrace(buffer, &error);
+        ASSERT_TRUE(error.empty()) << error;
+        ASSERT_EQ(loaded.size(), original.size());
+        EXPECT_EQ(loaded.numCores(), original.numCores());
+        for (std::size_t i = 0; i < original.size(); ++i) {
+            ASSERT_EQ(loaded[i].addr, original[i].addr);
+            ASSERT_EQ(loaded[i].core, original[i].core);
+        }
+    }
+}
+
 TEST(TraceIo, FileRoundTrip)
 {
     const Trace original = makeTrace(8, 2000);
     const std::string path = "/tmp/casim_test_trace.bin";
-    ASSERT_TRUE(saveTrace(original, path));
+    saveTrace(original, path); // fatal (not a return code) on failure
     const Trace loaded = loadTrace(path);
     EXPECT_EQ(loaded.size(), original.size());
     EXPECT_EQ(loaded.footprintBlocks(), original.footprintBlocks());
