@@ -56,7 +56,7 @@ main(int argc, char **argv)
             const CacheGeometry geo = config.llcGeometry(bytes);
 
             Cell cell;
-            const NextUseIndex index(wl.stream);
+            const NextUseIndex &index = wl.nextUse();
             const auto lru =
                 replayMisses(wl.stream, geo, makePolicyFactory("lru"));
             if (lru == 0 || wl.stream.empty())

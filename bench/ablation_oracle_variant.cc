@@ -65,7 +65,7 @@ main(int argc, char **argv)
     std::vector<double> cols[6];
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex index(wl.stream);
+        const NextUseIndex &index = wl.nextUse();
 
         std::vector<double> row;
         int col = 0;

@@ -79,7 +79,7 @@ main(int argc, char **argv)
 
         std::vector<double> a_acc, a_rec, p_acc, p_rec;
         for (const auto &wl : captured) {
-            const NextUseIndex index(wl.stream);
+            const NextUseIndex &index = wl.nextUse();
             AddressSharingPredictor addr(pc_config);
             PcSharingPredictor pc(pc_config);
             double recall = 0.0;

@@ -70,7 +70,7 @@ main(int argc, char **argv)
     std::vector<double> pf_ratio, sa_ratio, sapf_ratio;
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex index(wl.stream);
+        const NextUseIndex &index = wl.nextUse();
         const auto lru =
             replayMisses(wl.stream, geo, makePolicyFactory("lru"));
         if (lru == 0)

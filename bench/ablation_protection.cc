@@ -65,7 +65,7 @@ main(int argc, char **argv)
             pres.size(),
             std::vector<std::vector<double>>(posts.size()));
         for (const auto &wl : captured) {
-            const NextUseIndex index(wl.stream);
+            const NextUseIndex &index = wl.nextUse();
             const auto lru =
                 replayMisses(wl.stream, geo, makePolicyFactory("lru"));
             if (lru == 0)

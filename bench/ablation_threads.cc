@@ -62,7 +62,7 @@ main(int argc, char **argv)
                 captureWorkload(info.name, config);
             if (wl.stream.empty())
                 return cell;
-            const NextUseIndex index(wl.stream);
+            const NextUseIndex &index = wl.nextUse();
             const auto lru = replayMisses(wl.stream, geo,
                                           makePolicyFactory("lru"));
             if (lru == 0)

@@ -68,7 +68,7 @@ main(int argc, char **argv)
             windows.size(),
             std::vector<std::vector<double>>(rounds_list.size()));
         for (const auto &wl : captured) {
-            const NextUseIndex index(wl.stream);
+            const NextUseIndex &index = wl.nextUse();
             const auto lru =
                 replayMisses(wl.stream, geo, makePolicyFactory("lru"));
             if (lru == 0)

@@ -59,8 +59,9 @@ main(int argc, char **argv)
             if (p <= policies.size())
                 return replayMisses(wl.stream, geo,
                                     makePolicyFactory(policies[p - 1]));
-            const NextUseIndex index(wl.stream);
-            return replayMissesOpt(wl.stream, index, geo);
+            // The memoized per-workload index: built by the first OPT
+            // cell that needs it, shared by all others.
+            return replayMissesOpt(wl.stream, wl.nextUse(), geo);
         });
 
     std::vector<std::vector<double>> columns(policies.size() + 1);

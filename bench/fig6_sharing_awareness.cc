@@ -71,7 +71,7 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> columns(policies.size() + 1);
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex index(wl.stream);
+        const NextUseIndex &index = wl.nextUse();
 
         std::vector<double> row;
         for (std::size_t p = 0; p < policies.size(); ++p) {

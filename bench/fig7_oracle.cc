@@ -44,11 +44,10 @@ main(int argc, char **argv)
     const auto captured = captureAllWorkloads(config, runner);
 
     // The next-use index of a workload is shared read-only by all of
-    // its cells; build each one once, in parallel.
-    const auto indices = runner.map<std::unique_ptr<NextUseIndex>>(
-        captured.size(), [&](std::size_t i) {
-            return std::make_unique<NextUseIndex>(captured[i].stream);
-        });
+    // its cells; warm the per-workload memoized indexes in parallel so
+    // no replay cell stalls on a build.
+    runner.run(captured.size(),
+               [&](std::size_t i) { captured[i].nextUse(); });
 
     // One cell per (workload, base policy, LLC capacity); each cell
     // owns its oracle, wrapper and both replays.  Slot layout is
@@ -64,7 +63,7 @@ main(int argc, char **argv)
             const std::uint64_t bytes =
                 capacities[cell % capacities.size()];
             const CapturedWorkload &wl = captured[w];
-            const NextUseIndex &index = *indices[w];
+            const NextUseIndex &index = wl.nextUse();
 
             const CacheGeometry geo = config.llcGeometry(bytes);
             OracleLabeler oracle = makeOracle(index, config, bytes);

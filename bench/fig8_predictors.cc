@@ -82,7 +82,7 @@ main(int argc, char **argv)
         oracle_ratio;
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex index(wl.stream);
+        const NextUseIndex &index = wl.nextUse();
         const auto lru =
             replayMisses(wl.stream, geo, makePolicyFactory("lru"));
 

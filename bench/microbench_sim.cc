@@ -46,6 +46,110 @@ microGeometry()
     return CacheGeometry{1ULL << 20, 16, kBlockBytes}; // 1 MB
 }
 
+/**
+ * A cache filled to capacity: block (way * numSets + set) sits in set
+ * `set`, so every set holds ways distinct tags and probes for any
+ * in-range address hit.
+ */
+std::unique_ptr<Cache>
+makeFilledCache(const CacheGeometry &geo)
+{
+    auto cache = std::make_unique<Cache>(
+        "micro", geo, makePolicyFactory("lru")(geo.numSets(), geo.ways));
+    const unsigned sets = geo.numSets();
+    SeqNo seq = 0;
+    for (unsigned way = 0; way < geo.ways; ++way) {
+        for (unsigned set = 0; set < sets; ++set) {
+            const Addr addr =
+                (static_cast<Addr>(way) * sets + set) * geo.blockBytes;
+            ReplContext ctx{addr, 0x400, 0, false, seq++, false};
+            cache->fill(ctx);
+        }
+    }
+    return cache;
+}
+
+void
+BM_TagLookupHit(benchmark::State &state)
+{
+    // 4 MB of tag state: the probe stream walks far more sets than fit
+    // in L1/L2, so the scan's memory footprint dominates, as it does in
+    // the replay hot loop.
+    const CacheGeometry geo{4ULL << 20, 16, kBlockBytes};
+    const auto cache = makeFilledCache(geo);
+    const unsigned sets = geo.numSets();
+    Rng rng(7);
+    std::vector<Addr> probes(1 << 16);
+    for (auto &addr : probes)
+        addr = (static_cast<Addr>(rng.below(geo.ways)) * sets +
+                rng.below(sets)) *
+               geo.blockBytes;
+    for (auto _ : state) {
+        std::uint64_t found = 0;
+        for (const Addr addr : probes)
+            found += cache->probe(addr) != nullptr ? 1 : 0;
+        benchmark::DoNotOptimize(found);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(probes.size()));
+}
+
+void
+BM_TagLookupMiss(benchmark::State &state)
+{
+    // Every probe misses in a full set: the worst case, a complete
+    // way scan per lookup.
+    const CacheGeometry geo{4ULL << 20, 16, kBlockBytes};
+    const auto cache = makeFilledCache(geo);
+    const unsigned sets = geo.numSets();
+    Rng rng(9);
+    std::vector<Addr> probes(1 << 16);
+    for (auto &addr : probes)
+        addr = (static_cast<Addr>(geo.ways + rng.below(64)) * sets +
+                rng.below(sets)) *
+               geo.blockBytes;
+    for (auto _ : state) {
+        std::uint64_t found = 0;
+        for (const Addr addr : probes)
+            found += cache->probe(addr) != nullptr ? 1 : 0;
+        benchmark::DoNotOptimize(found);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(probes.size()));
+}
+
+void
+BM_FillEvict(benchmark::State &state)
+{
+    // Steady-state fills into a full cache: each new tag evicts an LRU
+    // victim.  Covers the fill-path set scan (and, in paranoid builds,
+    // the duplicate-residency assertion).
+    const CacheGeometry geo = microGeometry();
+    auto cache = makeFilledCache(geo);
+    const unsigned sets = geo.numSets();
+    Rng rng(11);
+    std::vector<Addr> fills(1 << 16);
+    for (auto &addr : fills)
+        addr = (static_cast<Addr>(rng.below(4 * geo.ways)) * sets +
+                rng.below(sets)) *
+               geo.blockBytes;
+    SeqNo seq = static_cast<SeqNo>(geo.numSets()) * geo.ways;
+    for (auto _ : state) {
+        for (const Addr addr : fills) {
+            ReplContext ctx{addr, 0x400, 0, false, seq++, false};
+            if (cache->probe(addr) != nullptr)
+                continue;
+            cache->fill(ctx);
+        }
+        benchmark::DoNotOptimize(cache->validBlocks());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fills.size()));
+}
+
 void
 BM_StreamSimPolicy(benchmark::State &state, const std::string &policy)
 {
@@ -143,6 +247,9 @@ BM_HierarchyRun(benchmark::State &state)
         static_cast<std::int64_t>(trace.size()));
 }
 
+BENCHMARK(BM_TagLookupHit);
+BENCHMARK(BM_TagLookupMiss);
+BENCHMARK(BM_FillEvict);
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, lru, "lru");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, srrip, "srrip");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, drrip, "drrip");

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Measure the replay engine's throughput and emit BENCH_replay.json:
+# microbenchmark rates for the tag-lookup / fill-evict / index-build hot
+# paths, plus a timed full bench binary with the capture cache disabled,
+# cold, and warm.  Run it before and after a perf change to keep the
+# repo's perf trajectory honest.
+#
+# Usage: scripts/bench_throughput.sh [build-dir] [out-json]
+#   build-dir  defaults to "build" (must already be built)
+#   out-json   defaults to "BENCH_replay.json"
+# Environment:
+#   BENCH_SCALE  workload scale of the timed full run (default 0.2)
+#   BENCH_REPS   microbenchmark repetitions (default 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+out="${2:-BENCH_replay.json}"
+scale="${BENCH_SCALE:-0.2}"
+reps="${BENCH_REPS:-3}"
+
+micro="${build}/bench/microbench_sim"
+fullbench="${build}/bench/fig5_policy_comparison"
+[ -x "$micro" ] || { echo "missing $micro (build first)" >&2; exit 1; }
+[ -x "$fullbench" ] || { echo "missing $fullbench" >&2; exit 1; }
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== microbenchmarks (${reps} repetitions) =="
+"$micro" \
+    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimOpt|NextUseIndexBuild|HierarchyRun' \
+    --benchmark_repetitions="$reps" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="$tmpdir/micro.json" \
+    --benchmark_out_format=json
+
+ms_now() { date +%s%N; }
+elapsed_ms() { echo $(( ($2 - $1) / 1000000 )); }
+
+echo "== full bench: capture cache off =="
+t0=$(ms_now)
+"$fullbench" --scale="$scale" --jobs=1 > "$tmpdir/off.txt"
+t1=$(ms_now); off_ms=$(elapsed_ms "$t0" "$t1")
+
+echo "== full bench: capture cache cold =="
+t0=$(ms_now)
+"$fullbench" --scale="$scale" --jobs=1 \
+    --capture-dir="$tmpdir/cache" > "$tmpdir/cold.txt"
+t1=$(ms_now); cold_ms=$(elapsed_ms "$t0" "$t1")
+
+echo "== full bench: capture cache warm =="
+t0=$(ms_now)
+"$fullbench" --scale="$scale" --jobs=1 \
+    --capture-dir="$tmpdir/cache" > "$tmpdir/warm.txt"
+t1=$(ms_now); warm_ms=$(elapsed_ms "$t0" "$t1")
+
+cmp -s "$tmpdir/off.txt" "$tmpdir/cold.txt" || {
+    echo "FATAL: cold-cache output differs from uncached" >&2; exit 1; }
+cmp -s "$tmpdir/off.txt" "$tmpdir/warm.txt" || {
+    echo "FATAL: warm-cache output differs from uncached" >&2; exit 1; }
+echo "capture-cache outputs byte-identical (off/cold/warm)"
+
+python3 - "$tmpdir/micro.json" "$out" "$scale" \
+         "$off_ms" "$cold_ms" "$warm_ms" <<'EOF'
+import json, sys
+
+micro_path, out_path, scale, off_ms, cold_ms, warm_ms = sys.argv[1:7]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+rates = {}
+for run in micro["benchmarks"]:
+    # Keep the median aggregate of each benchmark's repetitions.
+    if run.get("aggregate_name") != "median":
+        continue
+    name = run["run_name"]
+    rates[name] = {
+        "items_per_second": run.get("items_per_second"),
+        "cpu_time_ns": run.get("cpu_time"),
+    }
+
+report = {
+    "schema": "casim-bench-replay-v1",
+    "microbench": rates,
+    "full_bench": {
+        "binary": "fig5_policy_comparison",
+        "scale": float(scale),
+        "jobs": 1,
+        "capture_cache_off_ms": int(off_ms),
+        "capture_cache_cold_ms": int(cold_ms),
+        "capture_cache_warm_ms": int(warm_ms),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, then a
-# ThreadSanitizer build running the parallel-runner tests to catch data
-# races in the experiment fan-out.
+# Tier-1 verification: the standard build + full test suite, a
+# ThreadSanitizer + CASIM_PARANOID build running the parallel-runner and
+# capture-cache tests to catch data races and tag-store inconsistencies,
+# and a cold-then-warm capture-cache replay whose outputs must match
+# byte for byte.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]
 set -euo pipefail
@@ -14,9 +16,26 @@ cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j
 ctest --test-dir "${prefix}" --output-on-failure -j
 
-echo "== tier-1: ThreadSanitizer build, parallel-runner tests =="
-cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread >/dev/null
+echo "== tier-1: TSan + paranoid build, parallel/capture tests =="
+cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread \
+      -DCASIM_PARANOID=ON >/dev/null
 cmake --build "${prefix}-tsan" -j --target casim_tests
-"${prefix}-tsan"/tests/casim_tests --gtest_filter='ParallelRunner.*'
+"${prefix}-tsan"/tests/casim_tests \
+    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*'
+
+echo "== tier-1: cold vs warm capture cache, byte-identical output =="
+capdir="$(mktemp -d)"
+trap 'rm -rf "${capdir}"' EXIT
+bench="${prefix}/bench/fig6_sharing_awareness"
+"${bench}" --scale=0.05 --capture-dir="${capdir}/cache" \
+    > "${capdir}/cold.txt"
+"${bench}" --scale=0.05 --capture-dir="${capdir}/cache" \
+    > "${capdir}/warm.txt"
+if ! cmp -s "${capdir}/cold.txt" "${capdir}/warm.txt"; then
+    echo "FATAL: warm capture-cache output differs from cold" >&2
+    diff "${capdir}/cold.txt" "${capdir}/warm.txt" >&2 || true
+    exit 1
+fi
+echo "cold/warm outputs identical"
 
 echo "tier-1 OK"

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Incremental 64-bit FNV-1a hashing, used for capture-cache config
+ * fingerprints and payload checksums.  Not cryptographic: the goal is
+ * detecting stale configurations and accidental file corruption.
+ */
+
+#ifndef CASIM_COMMON_HASH_HH
+#define CASIM_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace casim {
+
+/** Incremental FNV-1a (64-bit). */
+class Fnv1a64
+{
+  public:
+    /** Absorb raw bytes. */
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state_ ^= bytes[i];
+            state_ *= 0x100000001b3ULL;
+        }
+    }
+
+    /** Absorb one integer as its 8 little-endian bytes. */
+    void
+    update(std::uint64_t value)
+    {
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+        update(bytes, sizeof(bytes));
+    }
+
+    /** Absorb a double via its bit pattern. */
+    void
+    update(double value)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        update(bits);
+    }
+
+    /** Absorb a string, length-prefixed so fields cannot run together. */
+    void
+    update(std::string_view text)
+    {
+        update(static_cast<std::uint64_t>(text.size()));
+        update(text.data(), text.size());
+    }
+
+    /** Current digest. */
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/** One-shot FNV-1a over a byte range. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    Fnv1a64 hasher;
+    hasher.update(data, size);
+    return hasher.digest();
+}
+
+} // namespace casim
+
+#endif // CASIM_COMMON_HASH_HH

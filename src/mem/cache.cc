@@ -5,10 +5,23 @@
 
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace casim {
+
+namespace {
+
+/** Bitmask with one bit set per way of a `ways`-associative set. */
+constexpr std::uint64_t
+fullSetMask(unsigned ways)
+{
+    return ways >= 64 ? ~0ULL : (1ULL << ways) - 1;
+}
+
+} // namespace
 
 unsigned
 CacheGeometry::numSets() const
@@ -57,7 +70,11 @@ Cache::Cache(std::string name, const CacheGeometry &geo,
                  "policy geometry mismatch for cache ", name_);
     setShift_ = floorLog2(geo_.blockBytes);
     setMask_ = geo_.numSets() - 1;
-    blocks_.resize(static_cast<std::size_t>(geo_.numSets()) * geo_.ways);
+    const auto slots =
+        static_cast<std::size_t>(geo_.numSets()) * geo_.ways;
+    tags_.assign(slots, kAddrInvalid);
+    valid_.assign(geo_.numSets(), 0);
+    blocks_.resize(slots);
 }
 
 unsigned
@@ -69,12 +86,37 @@ Cache::setIndex(Addr block_addr) const
 unsigned
 Cache::findWay(unsigned set, Addr block_addr) const
 {
-    for (unsigned way = 0; way < geo_.ways; ++way) {
-        const CacheBlock &block = blockAt(set, way);
-        if (block.valid && block.addr == block_addr)
+    const Addr *tags =
+        &tags_[static_cast<std::size_t>(set) * geo_.ways];
+    std::uint64_t live = valid_[set];
+    while (live != 0) {
+        const unsigned way =
+            static_cast<unsigned>(std::countr_zero(live));
+        if (tags[way] == block_addr)
             return way;
+        live &= live - 1;
     }
     return geo_.ways;
+}
+
+void
+Cache::paranoidCheckSet([[maybe_unused]] unsigned set) const
+{
+#ifdef CASIM_PARANOID
+    for (unsigned way = 0; way < geo_.ways; ++way) {
+        const CacheBlock &block = blockAt(set, way);
+        const bool live = (valid_[set] >> way) & 1;
+        casim_assert(block.valid == live,
+                     "tag-store valid bit desynchronized in ", name_,
+                     " set ", set, " way ", way);
+        if (live)
+            casim_assert(
+                tags_[static_cast<std::size_t>(set) * geo_.ways + way]
+                    == block.addr,
+                "tag-store address desynchronized in ", name_,
+                " set ", set, " way ", way);
+    }
+#endif
 }
 
 CacheBlock *
@@ -121,8 +163,9 @@ Cache::access(const ReplContext &ctx)
 }
 
 void
-Cache::endResidency(CacheBlock &block, bool external)
+Cache::endResidency(unsigned set, unsigned way, bool external)
 {
+    CacheBlock &block = blockAt(set, way);
     if (!block.valid)
         return;
     if (observer_ != nullptr)
@@ -130,24 +173,30 @@ Cache::endResidency(CacheBlock &block, bool external)
     if (external)
         ++extInvalidations_;
     block.invalidate();
+    tags_[static_cast<std::size_t>(set) * geo_.ways + way] =
+        kAddrInvalid;
+    valid_[set] &= ~(1ULL << way);
 }
 
 CacheBlock &
 Cache::fill(const ReplContext &ctx, const VictimHandler &on_victim)
 {
     const unsigned set = setIndex(ctx.blockAddr);
+#ifdef CASIM_PARANOID
+    // A full-set scan per fill is too expensive for release replays;
+    // paranoid builds keep it to catch double fills.
     casim_assert(findWay(set, ctx.blockAddr) == geo_.ways,
                  "fill of already-resident block in ", name_);
+    paranoidCheckSet(set);
+#endif
 
     // Prefer an invalid way; otherwise consult the policy.
-    unsigned way = geo_.ways;
-    for (unsigned w = 0; w < geo_.ways; ++w) {
-        if (!blockAt(set, w).valid) {
-            way = w;
-            break;
-        }
-    }
-    if (way == geo_.ways) {
+    const std::uint64_t free_ways =
+        ~valid_[set] & fullSetMask(geo_.ways);
+    unsigned way;
+    if (free_ways != 0) {
+        way = static_cast<unsigned>(std::countr_zero(free_ways));
+    } else {
         way = policy_->victim(set, ctx, 0);
         casim_assert(way < geo_.ways, "policy returned bad way");
         CacheBlock &victim = blockAt(set, way);
@@ -157,12 +206,15 @@ Cache::fill(const ReplContext &ctx, const VictimHandler &on_victim)
         policy_->onEvict(set, way);
         if (on_victim)
             on_victim(victim, set, way);
-        endResidency(victim, false);
+        endResidency(set, way, false);
     }
 
     CacheBlock &block = blockAt(set, way);
     block.valid = true;
     block.addr = ctx.blockAddr;
+    tags_[static_cast<std::size_t>(set) * geo_.ways + way] =
+        ctx.blockAddr;
+    valid_[set] |= 1ULL << way;
     block.dirty = ctx.isWrite;
     block.state = MesiState::Invalid; // protocol code sets this
     block.sharers = 0;
@@ -188,7 +240,7 @@ Cache::invalidate(Addr block_addr)
     if (way == geo_.ways)
         return false;
     policy_->onInvalidate(set, way);
-    endResidency(blockAt(set, way), true);
+    endResidency(set, way, true);
     return true;
 }
 
@@ -196,14 +248,20 @@ void
 Cache::flushResidencies()
 {
     for (unsigned set = 0; set < geo_.numSets(); ++set) {
-        for (unsigned way = 0; way < geo_.ways; ++way) {
+        paranoidCheckSet(set);
+        std::uint64_t live = valid_[set];
+        while (live != 0) {
+            const unsigned way =
+                static_cast<unsigned>(std::countr_zero(live));
+            live &= live - 1;
             CacheBlock &block = blockAt(set, way);
-            if (!block.valid)
-                continue;
             if (observer_ != nullptr)
                 observer_->onResidencyEnd(block);
             block.invalidate();
+            tags_[static_cast<std::size_t>(set) * geo_.ways + way] =
+                kAddrInvalid;
         }
+        valid_[set] = 0;
     }
 }
 
@@ -211,8 +269,8 @@ std::size_t
 Cache::validBlocks() const
 {
     std::size_t count = 0;
-    for (const auto &block : blocks_)
-        count += block.valid ? 1 : 0;
+    for (const std::uint64_t mask : valid_)
+        count += popCount(mask);
     return count;
 }
 

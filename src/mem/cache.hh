@@ -192,14 +192,31 @@ class Cache
     /** Way of block_addr within its set, or geo_.ways if absent. */
     unsigned findWay(unsigned set, Addr block_addr) const;
 
-    /** End one block's residency: notify, count, clear. */
-    void endResidency(CacheBlock &block, bool external);
+    /** End the residency at (set, way): notify, count, clear. */
+    void endResidency(unsigned set, unsigned way, bool external);
+
+    /**
+     * Verify that the lookup arrays agree with the payload blocks for
+     * one set.  Compiled away unless CASIM_PARANOID is defined.
+     */
+    void paranoidCheckSet(unsigned set) const;
 
     std::string name_;
     CacheGeometry geo_;
     unsigned setShift_;
     unsigned setMask_;
     std::unique_ptr<ReplPolicy> policy_;
+
+    /**
+     * Lookup-critical tag state, split out of CacheBlock so findWay
+     * scans contiguous memory: tags_[set * ways + way] mirrors
+     * blocks_[...].addr, and bit `way` of valid_[set] mirrors
+     * blocks_[...].valid.  The instrumentation-heavy CacheBlock array
+     * is only touched on hits, fills and evictions.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> valid_;
+
     std::vector<CacheBlock> blocks_;
     CacheObserver *observer_ = nullptr;
 

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Implementation of the persistent capture cache.
+ */
+
+#include "sim/capture_cache.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace casim {
+
+namespace {
+
+/**
+ * Version of the metadata packing below.  Folded into the config hash
+ * so a layout change invalidates every existing cache file instead of
+ * misinterpreting it.
+ */
+constexpr std::uint64_t kCaptureMetaVersion = 1;
+
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+/** Flatten every statistic of a capture into metadata words. */
+std::vector<std::uint64_t>
+packMeta(const CapturedWorkload &captured)
+{
+    const HierarchyRunResult &h = captured.hierarchy;
+    const SharingSummary &s = h.sharing;
+    std::vector<std::uint64_t> meta;
+    meta.reserve(26 + s.sharerHits.size());
+    meta.push_back(captured.demandAccesses);
+    meta.push_back(captured.footprintBlocks);
+    meta.push_back(h.demandAccesses);
+    meta.push_back(h.llcAccesses);
+    meta.push_back(h.llcHits);
+    meta.push_back(h.llcMisses);
+    meta.push_back(doubleBits(h.llcMpkr));
+    meta.push_back(h.upgrades);
+    meta.push_back(h.interventions);
+    meta.push_back(h.backInvalidations);
+    meta.push_back(h.memReads);
+    meta.push_back(h.memWritebacks);
+    meta.push_back(h.cycles);
+    meta.push_back(doubleBits(s.sharedHitFraction));
+    meta.push_back(s.sharedHits);
+    meta.push_back(s.privateHits);
+    for (int i = 0; i < 4; ++i)
+        meta.push_back(s.classHits[i]);
+    for (int i = 0; i < 4; ++i)
+        meta.push_back(s.classResidencies[i]);
+    meta.push_back(s.deadResidencies);
+    meta.push_back(s.sharerHits.size());
+    for (const std::uint64_t hits : s.sharerHits)
+        meta.push_back(hits);
+    return meta;
+}
+
+/** Inverse of packMeta; false if the word count is inconsistent. */
+bool
+unpackMeta(const std::vector<std::uint64_t> &meta,
+           CapturedWorkload &captured)
+{
+    constexpr std::size_t kFixedWords = 26;
+    if (meta.size() < kFixedWords)
+        return false;
+    std::size_t at = 0;
+    const auto next = [&] { return meta[at++]; };
+
+    captured.demandAccesses = next();
+    captured.footprintBlocks = next();
+    HierarchyRunResult &h = captured.hierarchy;
+    h.demandAccesses = next();
+    h.llcAccesses = next();
+    h.llcHits = next();
+    h.llcMisses = next();
+    h.llcMpkr = bitsDouble(next());
+    h.upgrades = next();
+    h.interventions = next();
+    h.backInvalidations = next();
+    h.memReads = next();
+    h.memWritebacks = next();
+    h.cycles = next();
+    SharingSummary &s = h.sharing;
+    s.sharedHitFraction = bitsDouble(next());
+    s.sharedHits = next();
+    s.privateHits = next();
+    for (int i = 0; i < 4; ++i)
+        s.classHits[i] = next();
+    for (int i = 0; i < 4; ++i)
+        s.classResidencies[i] = next();
+    s.deadResidencies = next();
+    const std::uint64_t sharer_count = next();
+    if (meta.size() != kFixedWords + sharer_count)
+        return false;
+    s.sharerHits.assign(meta.begin() +
+                            static_cast<std::ptrdiff_t>(at),
+                        meta.end());
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+captureConfigHash(const std::string &workload,
+                  const WorkloadParams &params,
+                  const HierarchyConfig &hierarchy)
+{
+    Fnv1a64 hasher;
+    hasher.update(kCaptureMetaVersion);
+    hasher.update(std::string_view(workload));
+
+    hasher.update(std::uint64_t{params.threads});
+    hasher.update(params.scale);
+    hasher.update(params.seed);
+
+    hasher.update(std::uint64_t{hierarchy.numCores});
+    hasher.update(hierarchy.l1.sizeBytes);
+    hasher.update(std::uint64_t{hierarchy.l1.ways});
+    hasher.update(std::uint64_t{hierarchy.l1.blockBytes});
+    hasher.update(hierarchy.llc.sizeBytes);
+    hasher.update(std::uint64_t{hierarchy.llc.ways});
+    hasher.update(std::uint64_t{hierarchy.llc.blockBytes});
+    hasher.update(hierarchy.l1Latency);
+    hasher.update(hierarchy.llcLatency);
+    hasher.update(hierarchy.memLatency);
+    hasher.update(std::uint64_t{hierarchy.useDramModel ? 1u : 0u});
+    hasher.update(std::uint64_t{hierarchy.dram.banks});
+    hasher.update(std::uint64_t{hierarchy.dram.rowBytes});
+    hasher.update(hierarchy.dram.rowHitLatency);
+    hasher.update(hierarchy.dram.rowMissLatency);
+    return hasher.digest();
+}
+
+std::string
+captureCachePath(const std::string &dir, const std::string &workload,
+                 std::uint64_t config_hash)
+{
+    std::ostringstream name;
+    name << workload << '-' << std::hex << config_hash << ".ccap";
+    return (std::filesystem::path(dir) / name.str()).string();
+}
+
+bool
+loadCapturedWorkload(const std::string &path,
+                     std::uint64_t config_hash, CapturedWorkload &out,
+                     std::string *why)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (why != nullptr)
+            *why = "cannot open";
+        return false;
+    }
+    std::vector<std::uint64_t> meta;
+    Trace stream{"", 1};
+    std::string error;
+    if (!readCaptureBundle(is, config_hash, meta, stream, &error)) {
+        if (why != nullptr)
+            *why = error;
+        return false;
+    }
+    if (!unpackMeta(meta, out)) {
+        if (why != nullptr)
+            *why = "inconsistent bundle meta";
+        return false;
+    }
+    out.stream = std::move(stream);
+    if (why != nullptr)
+        why->clear();
+    return true;
+}
+
+bool
+saveCapturedWorkload(const std::string &path,
+                     std::uint64_t config_hash,
+                     const CapturedWorkload &captured)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path target(path);
+    if (target.has_parent_path())
+        fs::create_directories(target.parent_path(), ec);
+
+    // Write-then-rename keeps concurrent readers (and a crashed writer)
+    // from ever seeing a partial file; the checksum catches the rest.
+    std::ostringstream suffix;
+    suffix << ".tmp." << ::getpid();
+    const fs::path tmp = target.string() + suffix.str();
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        bool ok = writeCaptureBundle(os, config_hash,
+                                     packMeta(captured),
+                                     captured.stream);
+        os.flush();
+        ok = ok && os.good();
+        if (!ok) {
+            os.close();
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace casim

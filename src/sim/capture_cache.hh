@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Persistent capture cache: on-disk memoization of captureWorkload().
+ *
+ * A capture is a pure function of (workload name, workload parameters,
+ * hierarchy configuration, capture LLC geometry) — the whole pipeline
+ * from trace generation through the MESI hierarchy is deterministic for
+ * a given seed.  That makes the captured stream and its statistics safe
+ * to reuse across processes: this module fingerprints every input of
+ * that function into a 64-bit hash, stores the result as a checksummed
+ * capture bundle (see trace_io), and refuses to load anything whose
+ * fingerprint, structure or checksum does not match, falling back to
+ * regeneration.  Output is therefore byte-identical with the cache
+ * cold, warm, or disabled.
+ */
+
+#ifndef CASIM_SIM_CAPTURE_CACHE_HH
+#define CASIM_SIM_CAPTURE_CACHE_HH
+
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace casim {
+
+/**
+ * Fingerprint of everything that determines one workload's capture:
+ * the workload name and parameters, the effective hierarchy
+ * configuration (cores, L1 and LLC geometry, latencies, DRAM model)
+ * and the capture-format version.
+ */
+std::uint64_t captureConfigHash(const std::string &workload,
+                                const WorkloadParams &params,
+                                const HierarchyConfig &hierarchy);
+
+/** Cache-file path for a workload under `dir` (hash in the name). */
+std::string captureCachePath(const std::string &dir,
+                             const std::string &workload,
+                             std::uint64_t config_hash);
+
+/**
+ * Try to load a cached capture.
+ *
+ * @param path        Cache-file path.
+ * @param config_hash Expected configuration fingerprint.
+ * @param out         Receives the capture on success.
+ * @param why         Receives a diagnostic on failure (missing file,
+ *                    stale hash, corruption, ...).
+ * @return True iff `out` now holds a byte-exact replica of what
+ *         capturing from scratch would produce.
+ */
+bool loadCapturedWorkload(const std::string &path,
+                          std::uint64_t config_hash,
+                          CapturedWorkload &out, std::string *why);
+
+/**
+ * Persist a capture, creating `dir` as needed.  Writes to a temporary
+ * file and renames it into place so concurrent processes never observe
+ * a partial file.  Best-effort: failures are reported via the return
+ * value, never fatal — the cache is an accelerator, not a dependency.
+ */
+bool saveCapturedWorkload(const std::string &path,
+                          std::uint64_t config_hash,
+                          const CapturedWorkload &captured);
+
+} // namespace casim
+
+#endif // CASIM_SIM_CAPTURE_CACHE_HH

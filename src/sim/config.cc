@@ -5,6 +5,8 @@
 
 #include "sim/config.hh"
 
+#include <cstdlib>
+
 namespace casim {
 
 CacheGeometry
@@ -67,6 +69,14 @@ StudyConfig::fromOptions(const Options &options)
         "pred-counter-bits", config.predictor.counterBits));
     config.predictor.threshold = static_cast<unsigned>(
         options.getUint("pred-threshold", config.predictor.threshold));
+
+    if (options.has("capture-dir")) {
+        config.captureDir = options.getString("capture-dir", "");
+        if (config.captureDir.empty())
+            config.captureDir = ".capture-cache";
+    } else if (const char *env = std::getenv("CASIM_CAPTURE_DIR")) {
+        config.captureDir = env;
+    }
     return config;
 }
 

@@ -57,6 +57,15 @@ struct StudyConfig
     /** Predictor table configuration. */
     PredictorConfig predictor;
 
+    /**
+     * Directory of the persistent capture cache; empty disables it.
+     * When set, captureWorkload() loads a previously captured stream on
+     * a configuration-hash match and regenerates (then saves) otherwise,
+     * so warm runs skip the trace generation and MESI hierarchy
+     * simulation entirely.  Results are byte-identical either way.
+     */
+    std::string captureDir;
+
     /** LLC geometry for a given capacity. */
     CacheGeometry llcGeometry(std::uint64_t bytes) const;
 
@@ -71,7 +80,12 @@ struct StudyConfig
      * --llc-small-mb, --llc-large-mb, --llc-ways, --window-factor,
      * --protection-rounds, --post-rounds, --quota,
      * --near-factor, --pred-index-bits, --pred-counter-bits,
-     * --pred-threshold.
+     * --pred-threshold, --capture-dir.
+     *
+     * --capture-dir=DIR enables the capture cache in DIR; a bare
+     * --capture-dir uses ".capture-cache".  When the flag is absent the
+     * CASIM_CAPTURE_DIR environment variable is consulted; absent both,
+     * the cache is off.
      */
     static StudyConfig fromOptions(const Options &options);
 };

@@ -5,15 +5,40 @@
 
 #include "sim/experiment.hh"
 
+#include "common/logging.hh"
 #include "core/sharing_aware.hh"
 #include "mem/repl/factory.hh"
 #include "mem/repl/opt.hh"
+#include "sim/capture_cache.hh"
 #include "sim/stream_sim.hh"
 
 namespace casim {
 
+const NextUseIndex &
+CapturedWorkload::nextUse() const
+{
+    std::call_once(lazyIndex_->once, [this] {
+        lazyIndex_->index = std::make_unique<NextUseIndex>(stream);
+    });
+    return *lazyIndex_->index;
+}
+
+namespace {
+
+/** The hierarchy configuration a capture actually runs with. */
+HierarchyConfig
+captureHierarchyConfig(const StudyConfig &config)
+{
+    HierarchyConfig hier = config.hierarchy;
+    hier.numCores = config.workload.threads;
+    hier.llc = config.llcGeometry(config.llcSmallBytes);
+    return hier;
+}
+
+/** The always-correct slow path: generate, simulate, capture. */
 CapturedWorkload
-captureWorkload(const std::string &name, const StudyConfig &config)
+captureWorkloadFresh(const std::string &name, const StudyConfig &config,
+                     const HierarchyConfig &hier)
 {
     CapturedWorkload captured;
     captured.info = workloadInfo(name);
@@ -22,14 +47,37 @@ captureWorkload(const std::string &name, const StudyConfig &config)
     captured.demandAccesses = trace.size();
     captured.footprintBlocks = trace.footprintBlocks();
 
-    HierarchyConfig hier = config.hierarchy;
-    hier.numCores = config.workload.threads;
-    hier.llc = config.llcGeometry(config.llcSmallBytes);
-
     captured.stream = Trace(name + ".llc", config.workload.threads);
     captured.hierarchy = runHierarchy(trace, hier,
                                       makePolicyFactory("lru"),
                                       &captured.stream);
+    return captured;
+}
+
+} // namespace
+
+CapturedWorkload
+captureWorkload(const std::string &name, const StudyConfig &config)
+{
+    const HierarchyConfig hier = captureHierarchyConfig(config);
+    if (config.captureDir.empty())
+        return captureWorkloadFresh(name, config, hier);
+
+    const std::uint64_t hash =
+        captureConfigHash(name, config.workload, hier);
+    const std::string path =
+        captureCachePath(config.captureDir, name, hash);
+
+    CapturedWorkload captured;
+    captured.info = workloadInfo(name);
+    std::string why;
+    if (loadCapturedWorkload(path, hash, captured, &why))
+        return captured;
+
+    captured = captureWorkloadFresh(name, config, hier);
+    if (!saveCapturedWorkload(path, hash, captured))
+        casim_warn("capture cache: cannot save '", path,
+                   "', continuing uncached");
     return captured;
 }
 

@@ -8,6 +8,8 @@
 #ifndef CASIM_SIM_EXPERIMENT_HH
 #define CASIM_SIM_EXPERIMENT_HH
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,25 @@ struct CapturedWorkload
 
     /** The captured LLC reference stream. */
     Trace stream{"", 1};
+
+    /**
+     * Offline next-use index over `stream`, built on first use and
+     * memoized, so every (policy, capacity) cell of a bench shares one
+     * build instead of re-deriving the per-block reference lists.
+     * Thread-safe: concurrent cells serialize on the first build.
+     * Copies of a CapturedWorkload share the memoized index.
+     */
+    const NextUseIndex &nextUse() const;
+
+  private:
+    struct LazyIndex
+    {
+        std::once_flag once;
+        std::unique_ptr<const NextUseIndex> index;
+    };
+
+    std::shared_ptr<LazyIndex> lazyIndex_ =
+        std::make_shared<LazyIndex>();
 };
 
 /**

@@ -10,7 +10,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace casim {
@@ -20,8 +22,32 @@ namespace {
 constexpr char kMagic[4] = {'C', 'S', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
 
+constexpr char kBundleMagic[4] = {'C', 'C', 'A', 'P'};
+constexpr std::uint32_t kBundleVersion = 1;
+
+/** Sanity cap on bundle metadata words (stats, not bulk data). */
+constexpr std::uint32_t kBundleMaxMeta = 65536;
+
 /** On-disk record stride: addr u64 + pc u64 + core u8 + is_write u8. */
 constexpr std::uint64_t kRecordBytes = 8 + 8 + 1 + 1;
+
+/**
+ * Records per bulk-I/O chunk.  Per-record stream operations dominate
+ * trace I/O cost, so records are staged through a flat buffer; chunking
+ * bounds the buffer so a corrupt header on a non-seekable stream can
+ * never demand an absurd allocation.
+ */
+constexpr std::uint64_t kChunkRecords = 1 << 16;
+
+/** Append one record's bytes at `dst` (little-endian fields). */
+void
+packRecord(char *dst, const MemAccess &access)
+{
+    std::memcpy(dst, &access.addr, 8);
+    std::memcpy(dst + 8, &access.pc, 8);
+    dst[16] = static_cast<char>(access.core);
+    dst[17] = access.isWrite ? 1 : 0;
+}
 
 template <typename T>
 void
@@ -51,12 +77,24 @@ writeTrace(const Trace &trace, std::ostream &os)
         os, static_cast<std::uint32_t>(name.size()));
     os.write(name.data(), static_cast<std::streamsize>(name.size()));
     writeScalar<std::uint64_t>(os, trace.size());
+    std::vector<char> buffer(
+        static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                kChunkRecords,
+                std::max<std::uint64_t>(trace.size(), 1))) *
+        kRecordBytes);
+    std::size_t buffered = 0;
     for (const auto &access : trace) {
-        writeScalar<std::uint64_t>(os, access.addr);
-        writeScalar<std::uint64_t>(os, access.pc);
-        writeScalar<std::uint8_t>(os, access.core);
-        writeScalar<std::uint8_t>(os, access.isWrite ? 1 : 0);
+        packRecord(&buffer[buffered * kRecordBytes], access);
+        if (++buffered * kRecordBytes == buffer.size()) {
+            os.write(buffer.data(),
+                     static_cast<std::streamsize>(buffer.size()));
+            buffered = 0;
+        }
     }
+    if (buffered != 0)
+        os.write(buffer.data(), static_cast<std::streamsize>(
+                                    buffered * kRecordBytes));
     return os.good();
 }
 
@@ -128,16 +166,29 @@ readTrace(std::istream &is, std::string *error)
 
     Trace trace(name, num_cores);
     trace.reserve(reserve_count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        std::uint64_t addr = 0, pc = 0;
-        std::uint8_t core = 0, is_write = 0;
-        if (!readScalar(is, addr) || !readScalar(is, pc) ||
-            !readScalar(is, core) || !readScalar(is, is_write))
+    std::vector<char> buffer;
+    std::uint64_t remaining_records = count;
+    while (remaining_records != 0) {
+        const std::uint64_t chunk =
+            std::min(remaining_records, kChunkRecords);
+        buffer.resize(static_cast<std::size_t>(chunk * kRecordBytes));
+        is.read(buffer.data(),
+                static_cast<std::streamsize>(buffer.size()));
+        if (static_cast<std::uint64_t>(is.gcount()) != buffer.size())
             return fail("truncated records");
-        if (core >= num_cores)
-            return fail("record core out of range");
-        trace.append(addr, pc, static_cast<CoreId>(core),
-                     is_write != 0);
+        for (std::uint64_t i = 0; i < chunk; ++i) {
+            const char *rec = &buffer[static_cast<std::size_t>(
+                i * kRecordBytes)];
+            std::uint64_t addr = 0, pc = 0;
+            std::memcpy(&addr, rec, 8);
+            std::memcpy(&pc, rec + 8, 8);
+            const auto core = static_cast<std::uint8_t>(rec[16]);
+            if (core >= num_cores)
+                return fail("record core out of range");
+            trace.append(addr, pc, static_cast<CoreId>(core),
+                         rec[17] != 0);
+        }
+        remaining_records -= chunk;
     }
     if (error != nullptr)
         error->clear();
@@ -155,6 +206,107 @@ loadTrace(const std::string &path)
     if (!error.empty())
         casim_fatal("cannot load trace '", path, "': ", error);
     return trace;
+}
+
+bool
+writeCaptureBundle(std::ostream &os, std::uint64_t config_hash,
+                   const std::vector<std::uint64_t> &meta,
+                   const Trace &stream)
+{
+    // Serialize the trace first so its byte length and checksum can go
+    // in the header; traces are bounded by memory anyway, so the extra
+    // copy is acceptable for an I/O path.
+    std::ostringstream payload_os(std::ios::binary);
+    if (!writeTrace(stream, payload_os))
+        return false;
+    const std::string payload = std::move(payload_os).str();
+
+    os.write(kBundleMagic, sizeof(kBundleMagic));
+    writeScalar<std::uint32_t>(os, kBundleVersion);
+    writeScalar<std::uint64_t>(os, config_hash);
+    writeScalar<std::uint32_t>(
+        os, static_cast<std::uint32_t>(meta.size()));
+    for (const std::uint64_t word : meta)
+        writeScalar<std::uint64_t>(os, word);
+    writeScalar<std::uint64_t>(os, payload.size());
+    writeScalar<std::uint64_t>(os,
+                               fnv1a64(payload.data(), payload.size()));
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    return os.good();
+}
+
+bool
+readCaptureBundle(std::istream &is, std::uint64_t expected_hash,
+                  std::vector<std::uint64_t> &meta, Trace &stream,
+                  std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error != nullptr)
+            *error = what;
+        return false;
+    };
+
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is.good() ||
+        std::memcmp(magic, kBundleMagic, sizeof(kBundleMagic)) != 0)
+        return fail("bad bundle magic");
+    std::uint32_t version = 0;
+    if (!readScalar(is, version) || version != kBundleVersion)
+        return fail("unsupported bundle version");
+    std::uint64_t config_hash = 0;
+    if (!readScalar(is, config_hash))
+        return fail("truncated bundle header");
+    if (config_hash != expected_hash)
+        return fail("config hash mismatch");
+    std::uint32_t meta_count = 0;
+    if (!readScalar(is, meta_count) || meta_count > kBundleMaxMeta)
+        return fail("bad bundle meta count");
+    std::vector<std::uint64_t> loaded_meta(meta_count);
+    for (std::uint64_t &word : loaded_meta) {
+        if (!readScalar(is, word))
+            return fail("truncated bundle meta");
+    }
+    std::uint64_t payload_len = 0, payload_hash = 0;
+    if (!readScalar(is, payload_len) || !readScalar(is, payload_hash))
+        return fail("truncated bundle header");
+
+    // Validate the claimed payload length against the bytes actually
+    // present before allocating (mirrors readTrace's count check).
+    const std::istream::pos_type here = is.tellg();
+    if (here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::istream::pos_type end_pos = is.tellg();
+        is.seekg(here);
+        if (!is.good() || end_pos < here)
+            return fail("unseekable bundle stream");
+        if (payload_len >
+            static_cast<std::uint64_t>(end_pos - here))
+            return fail("truncated bundle payload");
+    } else {
+        is.clear();
+    }
+
+    std::string payload(payload_len, '\0');
+    is.read(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+    if (static_cast<std::uint64_t>(is.gcount()) != payload_len)
+        return fail("truncated bundle payload");
+    if (fnv1a64(payload.data(), payload.size()) != payload_hash)
+        return fail("bundle payload checksum mismatch");
+
+    std::istringstream payload_is(payload, std::ios::binary);
+    std::string trace_error;
+    Trace loaded = readTrace(payload_is, &trace_error);
+    if (!trace_error.empty())
+        return fail("bad bundle trace");
+
+    meta = std::move(loaded_meta);
+    stream = std::move(loaded);
+    if (error != nullptr)
+        error->clear();
+    return true;
 }
 
 } // namespace casim

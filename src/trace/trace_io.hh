@@ -15,8 +15,10 @@
 #ifndef CASIM_TRACE_TRACE_IO_HH
 #define CASIM_TRACE_TRACE_IO_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hh"
 
@@ -40,6 +42,50 @@ Trace readTrace(std::istream &is, std::string *error = nullptr);
 
 /** Deserialize a trace from a file; fatal on open or format errors. */
 Trace loadTrace(const std::string &path);
+
+// --- Capture bundles ---------------------------------------------------
+//
+// A capture bundle is the on-disk unit of the persistent capture cache:
+// one captured LLC stream plus a vector of caller-defined u64 metadata
+// words (hierarchy statistics), keyed by a caller-supplied configuration
+// hash.  The layout is versioned and checksummed so stale, truncated or
+// bit-flipped files are detected and the caller can fall back to
+// regeneration:
+//
+//   magic "CCAP" | version u32 | config_hash u64 | meta_count u32 |
+//   meta u64s | payload_len u64 | payload_fnv1a u64 |
+//   payload bytes (a writeTrace()-format stream)
+
+/**
+ * Serialize a capture bundle.
+ *
+ * @param os          Output stream (binary).
+ * @param config_hash Caller's configuration fingerprint.
+ * @param meta        Caller-defined metadata words.
+ * @param stream      The captured trace.
+ * @return False on I/O failure.
+ */
+bool writeCaptureBundle(std::ostream &os, std::uint64_t config_hash,
+                        const std::vector<std::uint64_t> &meta,
+                        const Trace &stream);
+
+/**
+ * Deserialize a capture bundle, validating structure, checksum and the
+ * configuration hash.
+ *
+ * @param is            Input stream positioned at the header.
+ * @param expected_hash Hash the bundle must have been written with.
+ * @param meta          Receives the metadata words on success.
+ * @param stream        Receives the trace on success.
+ * @param error         Receives a diagnostic on failure.
+ * @return True on success; false leaves meta/stream untouched and sets
+ *         `error` (a mismatching config hash is reported as
+ *         "config hash mismatch", not a fatal error, so callers can
+ *         regenerate).
+ */
+bool readCaptureBundle(std::istream &is, std::uint64_t expected_hash,
+                       std::vector<std::uint64_t> &meta, Trace &stream,
+                       std::string *error = nullptr);
 
 } // namespace casim
 

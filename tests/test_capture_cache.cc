@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the persistent capture cache: warm loads must be
+ * byte-identical to cold regeneration, and stale, truncated or
+ * corrupted cache files must silently fall back to regeneration.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "common/rng.hh"
+#include "sim/capture_cache.hh"
+#include "sim/experiment.hh"
+#include "trace/trace_io.hh"
+
+namespace casim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A scratch cache directory removed at scope exit. */
+class ScratchDir
+{
+  public:
+    ScratchDir()
+    {
+        path_ = fs::temp_directory_path() /
+                ("casim_capcache_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter_++));
+        fs::create_directories(path_);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+
+    std::string str() const { return path_.string(); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    static int counter_;
+    fs::path path_;
+};
+
+int ScratchDir::counter_ = 0;
+
+StudyConfig
+tinyConfig(const std::string &capture_dir = "")
+{
+    StudyConfig config;
+    config.workload.threads = 4;
+    config.workload.scale = 0.01;
+    config.captureDir = capture_dir;
+    return config;
+}
+
+/** Field-by-field equality of two captures, stream records included. */
+void
+expectSameCapture(const CapturedWorkload &a, const CapturedWorkload &b)
+{
+    EXPECT_EQ(a.info.name, b.info.name);
+    EXPECT_EQ(a.demandAccesses, b.demandAccesses);
+    EXPECT_EQ(a.footprintBlocks, b.footprintBlocks);
+
+    const HierarchyRunResult &ha = a.hierarchy, &hb = b.hierarchy;
+    EXPECT_EQ(ha.demandAccesses, hb.demandAccesses);
+    EXPECT_EQ(ha.llcAccesses, hb.llcAccesses);
+    EXPECT_EQ(ha.llcHits, hb.llcHits);
+    EXPECT_EQ(ha.llcMisses, hb.llcMisses);
+    EXPECT_EQ(ha.llcMpkr, hb.llcMpkr);
+    EXPECT_EQ(ha.upgrades, hb.upgrades);
+    EXPECT_EQ(ha.interventions, hb.interventions);
+    EXPECT_EQ(ha.backInvalidations, hb.backInvalidations);
+    EXPECT_EQ(ha.memReads, hb.memReads);
+    EXPECT_EQ(ha.memWritebacks, hb.memWritebacks);
+    EXPECT_EQ(ha.cycles, hb.cycles);
+
+    const SharingSummary &sa = ha.sharing, &sb = hb.sharing;
+    EXPECT_EQ(sa.sharedHitFraction, sb.sharedHitFraction);
+    EXPECT_EQ(sa.sharedHits, sb.sharedHits);
+    EXPECT_EQ(sa.privateHits, sb.privateHits);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(sa.classHits[i], sb.classHits[i]);
+        EXPECT_EQ(sa.classResidencies[i], sb.classResidencies[i]);
+    }
+    EXPECT_EQ(sa.deadResidencies, sb.deadResidencies);
+    EXPECT_EQ(sa.sharerHits, sb.sharerHits);
+
+    EXPECT_EQ(a.stream.name(), b.stream.name());
+    EXPECT_EQ(a.stream.numCores(), b.stream.numCores());
+    ASSERT_EQ(a.stream.size(), b.stream.size());
+    for (std::size_t i = 0; i < a.stream.size(); ++i) {
+        ASSERT_EQ(a.stream[i].addr, b.stream[i].addr);
+        ASSERT_EQ(a.stream[i].pc, b.stream[i].pc);
+        ASSERT_EQ(a.stream[i].core, b.stream[i].core);
+        ASSERT_EQ(a.stream[i].isWrite, b.stream[i].isWrite);
+    }
+}
+
+/** The single cache file a warm captureWorkload() run would read. */
+fs::path
+onlyCacheFile(const fs::path &dir)
+{
+    fs::path found;
+    int count = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        found = entry.path();
+        ++count;
+    }
+    EXPECT_EQ(count, 1);
+    return found;
+}
+
+TEST(CaptureCache, WarmLoadIsByteIdenticalAcrossAllWorkloads)
+{
+    ScratchDir dir;
+    const StudyConfig uncached = tinyConfig();
+    const StudyConfig cached = tinyConfig(dir.str());
+
+    for (const auto &info : allWorkloads()) {
+        const CapturedWorkload fresh =
+            captureWorkload(info.name, uncached);
+        const CapturedWorkload cold = captureWorkload(info.name, cached);
+        const CapturedWorkload warm = captureWorkload(info.name, cached);
+        SCOPED_TRACE(info.name);
+        expectSameCapture(fresh, cold);
+        expectSameCapture(fresh, warm);
+    }
+}
+
+TEST(CaptureCache, TruncatedFileFallsBackToRegeneration)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+
+    const fs::path file = onlyCacheFile(dir.path());
+    const auto size = fs::file_size(file);
+    fs::resize_file(file, size / 2);
+
+    const CapturedWorkload again = captureWorkload("canneal", cached);
+    expectSameCapture(fresh, again);
+    // The regeneration must also have repaired the cache file.
+    EXPECT_EQ(fs::file_size(onlyCacheFile(dir.path())), size);
+}
+
+TEST(CaptureCache, BitFlippedFileFallsBackToRegeneration)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+
+    const fs::path file = onlyCacheFile(dir.path());
+    // Flip one bit deep inside the record payload, where only the
+    // checksum can notice.
+    std::fstream f(file, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    const auto size = fs::file_size(file);
+    f.seekp(static_cast<std::streamoff>(size - size / 4));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.write(&byte, 1);
+    f.close();
+
+    const CapturedWorkload again = captureWorkload("canneal", cached);
+    expectSameCapture(fresh, again);
+}
+
+TEST(CaptureCache, VersionMismatchFallsBackToRegeneration)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+
+    const fs::path file = onlyCacheFile(dir.path());
+    std::fstream f(file, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    // The bundle version is the u32 right after the 4-byte magic.
+    f.seekp(4);
+    const std::uint32_t future_version = 0xfffffffeu;
+    f.write(reinterpret_cast<const char *>(&future_version),
+            sizeof(future_version));
+    f.close();
+
+    const CapturedWorkload again = captureWorkload("canneal", cached);
+    expectSameCapture(fresh, again);
+}
+
+TEST(CaptureCache, ConfigChangeMissesTheCache)
+{
+    ScratchDir dir;
+    StudyConfig cached = tinyConfig(dir.str());
+    captureWorkload("canneal", cached);
+
+    // A different seed is a different capture: new hash, new file.
+    cached.workload.seed = 43;
+    const CapturedWorkload reseeded = captureWorkload("canneal", cached);
+    int files = 0;
+    for ([[maybe_unused]] const auto &entry :
+         fs::directory_iterator(dir.path()))
+        ++files;
+    EXPECT_EQ(files, 2);
+
+    StudyConfig uncached = tinyConfig();
+    uncached.workload.seed = 43;
+    expectSameCapture(captureWorkload("canneal", uncached), reseeded);
+}
+
+TEST(CaptureCache, HashCoversWorkloadAndHierarchyKnobs)
+{
+    const StudyConfig base = tinyConfig();
+    const HierarchyConfig hier = base.hierarchy;
+    const std::uint64_t h0 =
+        captureConfigHash("canneal", base.workload, hier);
+
+    EXPECT_NE(h0, captureConfigHash("ocean", base.workload, hier));
+
+    WorkloadParams params = base.workload;
+    params.seed = 7;
+    EXPECT_NE(h0, captureConfigHash("canneal", params, hier));
+    params = base.workload;
+    params.scale = 0.25;
+    EXPECT_NE(h0, captureConfigHash("canneal", params, hier));
+
+    HierarchyConfig big = hier;
+    big.llc.sizeBytes *= 2;
+    EXPECT_NE(h0, captureConfigHash("canneal", base.workload, big));
+    HierarchyConfig nodram = hier;
+    nodram.useDramModel = false;
+    EXPECT_NE(h0, captureConfigHash("canneal", base.workload, nodram));
+}
+
+TEST(CaptureBundle, RoundTripsMetaAndStream)
+{
+    Rng rng(5);
+    Trace stream("bundle", 4);
+    for (int i = 0; i < 300; ++i)
+        stream.append(rng.below(1 << 12) * kBlockBytes,
+                      0x400 + rng.below(16) * 4,
+                      static_cast<CoreId>(rng.below(4)),
+                      rng.chance(0.25));
+    const std::vector<std::uint64_t> meta{1, 2, 3, 0xdeadbeefULL};
+
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(writeCaptureBundle(buffer, 0x1234, meta, stream));
+
+    std::vector<std::uint64_t> loaded_meta;
+    Trace loaded{"", 1};
+    std::string error;
+    ASSERT_TRUE(readCaptureBundle(buffer, 0x1234, loaded_meta, loaded,
+                                  &error))
+        << error;
+    EXPECT_EQ(loaded_meta, meta);
+    ASSERT_EQ(loaded.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        ASSERT_EQ(loaded[i].addr, stream[i].addr);
+}
+
+TEST(CaptureBundle, RejectsWrongConfigHash)
+{
+    Trace stream("bundle", 2);
+    stream.append(0x1000, 0x400, 0, false);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(writeCaptureBundle(buffer, 0x1111, {}, stream));
+
+    std::vector<std::uint64_t> meta;
+    Trace loaded{"", 1};
+    std::string error;
+    EXPECT_FALSE(
+        readCaptureBundle(buffer, 0x2222, meta, loaded, &error));
+    EXPECT_EQ(error, "config hash mismatch");
+}
+
+TEST(CaptureBundle, RejectsOversizedPayloadClaimWithoutAllocating)
+{
+    Trace stream("bundle", 2);
+    stream.append(0x1000, 0x400, 0, false);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(writeCaptureBundle(buffer, 1, {}, stream));
+    std::string bytes = std::move(buffer).str();
+
+    // With zero meta words the payload-length u64 sits right after
+    // magic (4) + version (4) + config hash (8) + meta count (4).
+    const std::size_t len_at = 4 + 4 + 8 + 4;
+    const std::uint64_t huge = 1ULL << 60;
+    std::memcpy(&bytes[len_at], &huge, sizeof(huge));
+
+    std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+    std::vector<std::uint64_t> meta;
+    Trace loaded{"", 1};
+    std::string error;
+    EXPECT_FALSE(readCaptureBundle(corrupt, 1, meta, loaded, &error));
+    EXPECT_EQ(error, "truncated bundle payload");
+}
+
+} // namespace
+} // namespace casim
