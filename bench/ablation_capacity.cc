@@ -5,16 +5,13 @@
  * LRU evolve with capacity — the paper's 4 MB -> 8 MB trend (bigger
  * caches reward sharing-awareness more) extended across the range.
  *
- * Usage: ablation_capacity [--scale=1] [--threads=8] [--jobs=N] [--csv]
+ * Usage: ablation_capacity [--scale=1] [--threads=8] [--jobs=N]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -35,12 +32,12 @@ struct Cell
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("ablation_capacity", argc, argv);
+    const StudyConfig &config = driver.config();
     const std::vector<std::uint64_t> capacities{
         1ULL << 20, 2ULL << 20, 4ULL << 20, 8ULL << 20, 16ULL << 20};
 
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
     TablePrinter table("A2: capacity sweep, means across all workloads",
@@ -53,30 +50,33 @@ main(int argc, char **argv)
         capacities.size() * captured.size(), [&](std::size_t c) {
             const std::uint64_t bytes = capacities[c / captured.size()];
             const CapturedWorkload &wl = captured[c % captured.size()];
-            const CacheGeometry geo = config.llcGeometry(bytes);
 
             Cell cell;
             const NextUseIndex &index = wl.nextUse();
-            const auto lru =
-                replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+            ReplaySpec lru_spec;
+            lru_spec.geo = config.llcGeometry(bytes);
+            const auto lru = replayMisses(wl.stream, lru_spec);
             if (lru == 0 || wl.stream.empty())
                 return cell;
             cell.skip = false;
             cell.missRatio = static_cast<double>(lru) /
                              static_cast<double>(wl.stream.size());
             const SharingSummary sharing = replaySharing(
-                wl.stream, geo, makePolicyFactory("lru"),
-                config.workload.threads);
+                wl.stream, lru_spec, config.workload.threads);
             cell.sharedPct = 100.0 * sharing.sharedHitFraction;
 
             OracleLabeler oracle = makeOracle(index, config, bytes);
-            const auto aware = replayMissesWrapped(
-                wl.stream, geo, makePolicyFactory("lru"), oracle,
-                config);
+            ReplaySpec aware_spec = lru_spec;
+            aware_spec.labeler = &oracle;
+            aware_spec.config = &config;
+            const auto aware = replayMisses(wl.stream, aware_spec);
             cell.oracleGain =
                 100.0 * (1.0 - static_cast<double>(aware) /
                                    static_cast<double>(lru));
-            const auto opt = replayMissesOpt(wl.stream, index, geo);
+            ReplaySpec opt_spec = lru_spec;
+            opt_spec.policy = "opt";
+            opt_spec.nextUse = &index;
+            const auto opt = replayMisses(wl.stream, opt_spec);
             cell.optGain =
                 100.0 * (1.0 - static_cast<double>(opt) /
                                    static_cast<double>(lru));
@@ -101,9 +101,6 @@ main(int argc, char **argv)
                      2);
     }
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -11,15 +11,14 @@
  *    the sharing outcome its k-th residency had in a recorded baseline
  *    run).
  *
- * Usage: ablation_oracle_variant [--scale=1] [--threads=8] [--csv]
+ * Usage: ablation_oracle_variant [--scale=1] [--threads=8]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
 #include "core/sharing_tracker.hh"
 #include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
 #include "sim/stream_sim.hh"
 
@@ -54,8 +53,8 @@ class OutcomeRecorder : public CacheObserver
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("ablation_oracle_variant", argc, argv);
+    const StudyConfig &config = driver.config();
 
     TablePrinter table(
         "A4: oracle label variants, sa+LRU misses / LRU misses",
@@ -73,26 +72,26 @@ main(int argc, char **argv)
              {config.llcSmallBytes, config.llcLargeBytes}) {
             const CacheGeometry geo = config.llcGeometry(bytes);
             const SeqNo window = config.oracleWindow(bytes);
-            const auto lru = replayMisses(wl.stream, geo,
-                                          makePolicyFactory("lru"));
+            ReplaySpec lru_spec;
+            lru_spec.geo = geo;
+            const auto lru = replayMisses(wl.stream, lru_spec);
             const double base =
                 lru == 0 ? 1.0 : static_cast<double>(lru);
 
+            ReplaySpec aware_spec = lru_spec;
+            aware_spec.config = &config;
+
             // Primary: future window with the near-reuse qualifier.
             OracleLabeler future = makeOracle(index, config, bytes);
+            aware_spec.labeler = &future;
             const double f =
-                replayMissesWrapped(wl.stream, geo,
-                                    makePolicyFactory("lru"), future,
-                                    config) /
-                base;
+                replayMisses(wl.stream, aware_spec) / base;
 
             // Variant: tight near-reuse qualifier (one capacity).
             OracleLabeler tight(index, window, bytes / kBlockBytes);
+            aware_spec.labeler = &tight;
             const double u =
-                replayMissesWrapped(wl.stream, geo,
-                                    makePolicyFactory("lru"), tight,
-                                    config) /
-                base;
+                replayMisses(wl.stream, aware_spec) / base;
 
             // Variant: residency outcomes replayed from a baseline
             // LRU run at this geometry.
@@ -101,15 +100,14 @@ main(int argc, char **argv)
                 OutcomeRecorder recorder(replay);
                 StreamSim recording(
                     wl.stream, geo,
-                    makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                    requirePolicyFactory("lru")(geo.numSets(),
+                                                geo.ways));
                 recording.setObserver(&recorder);
                 recording.run();
             }
+            aware_spec.labeler = &replay;
             const double r =
-                replayMissesWrapped(wl.stream, geo,
-                                    makePolicyFactory("lru"), replay,
-                                    config) /
-                base;
+                replayMisses(wl.stream, aware_spec) / base;
 
             row.push_back(f);
             row.push_back(u);
@@ -126,9 +124,6 @@ main(int argc, char **argv)
                   mean(cols[3]), mean(cols[4]), mean(cols[5])},
                  3);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -7,47 +7,30 @@
  * mean accuracy only marginally.
  *
  * Usage: ablation_predictor_size [--scale=1] [--threads=8]
- *        [--llc-mb=4] [--csv]
+ *        [--llc-mb=4] [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
 #include "core/predictor.hh"
-#include "core/sharing_aware.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
-#include "sim/stream_sim.hh"
 
 using namespace casim;
 
 namespace {
 
-/** Mean fill-time accuracy/recall of a predictor across workloads. */
-struct SweepPoint
-{
-    double addrAccuracy = 0.0;
-    double addrRecall = 0.0;
-    double pcAccuracy = 0.0;
-    double pcRecall = 0.0;
-};
-
 double
 evaluate(const CapturedWorkload &wl, const NextUseIndex &index,
          const StudyConfig &config, const CacheGeometry &geo,
-         SeqNo window, FillLabeler &predictor, double *recall_out)
+         FillLabeler &predictor, double *recall_out)
 {
     OracleLabeler truth = makeOracle(index, config, geo.sizeBytes);
     LabelerEvaluator evaluated(predictor, &truth);
-    auto wrapped = std::make_unique<SharingAwareWrapper>(
-        makePolicyFactory("lru")(geo.numSets(), geo.ways),
-        config.protectionRounds, config.postShareRounds,
-        config.protectionQuota, config.dueling);
-    StreamSim sim(wl.stream, geo, std::move(wrapped));
-    sim.setLabeler(&evaluated);
-    sim.run();
+    ReplaySpec spec;
+    spec.geo = geo;
+    spec.labeler = &evaluated;
+    spec.config = &config;
+    replayMisses(wl.stream, spec);
     *recall_out = evaluated.recall();
     return evaluated.accuracy();
 }
@@ -57,15 +40,13 @@ evaluate(const CapturedWorkload &wl, const NextUseIndex &index,
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
-    const std::uint64_t llc_bytes =
-        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    BenchDriver driver("ablation_predictor_size", argc, argv);
+    const StudyConfig &config = driver.config();
+    const std::uint64_t llc_bytes = driver.llcBytes();
     const CacheGeometry geo = config.llcGeometry(llc_bytes);
-    const SeqNo window = config.oracleWindow(llc_bytes);
     const std::vector<unsigned> index_bits{10, 12, 14, 16, 18};
 
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
     TablePrinter table(
@@ -83,11 +64,11 @@ main(int argc, char **argv)
             AddressSharingPredictor addr(pc_config);
             PcSharingPredictor pc(pc_config);
             double recall = 0.0;
-            a_acc.push_back(evaluate(wl, index, config, geo, window,
-                                     addr, &recall));
+            a_acc.push_back(evaluate(wl, index, config, geo, addr,
+                                     &recall));
             a_rec.push_back(recall);
-            p_acc.push_back(evaluate(wl, index, config, geo, window,
-                                     pc, &recall));
+            p_acc.push_back(evaluate(wl, index, config, geo, pc,
+                                     &recall));
             p_rec.push_back(recall);
         }
         table.addRow(std::to_string(1u << bits),
@@ -96,9 +77,6 @@ main(int argc, char **argv)
                      3);
     }
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

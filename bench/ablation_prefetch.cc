@@ -6,18 +6,13 @@
  * together, and reports the prefetcher's own statistics.
  *
  * Usage: ablation_prefetch [--scale=1] [--threads=8] [--llc-mb=4]
- *        [--degree=2] [--csv]
+ *        [--degree=2] [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "core/sharing_aware.hh"
 #include "mem/prefetcher.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/stream_sim.hh"
 
 using namespace casim;
 
@@ -29,22 +24,16 @@ runWithPrefetch(const Trace &stream, const CacheGeometry &geo,
                 const PrefetcherConfig &pf_config, double *accuracy)
 {
     StridePrefetcher prefetcher(pf_config);
-    std::unique_ptr<ReplPolicy> policy;
-    if (labeler != nullptr) {
-        policy = std::make_unique<SharingAwareWrapper>(
-            makePolicyFactory("lru")(geo.numSets(), geo.ways),
-            config.protectionRounds, config.postShareRounds,
-            config.protectionQuota, config.dueling);
-    } else {
-        policy = makePolicyFactory("lru")(geo.numSets(), geo.ways);
-    }
-    StreamSim sim(stream, geo, std::move(policy));
-    sim.setLabeler(labeler);
-    sim.setPrefetcher(&prefetcher);
-    sim.run();
+    ReplaySpec spec;
+    spec.geo = geo;
+    spec.labeler = labeler;
+    if (labeler != nullptr)
+        spec.config = &config;
+    spec.prefetcher = &prefetcher;
+    const auto misses = replayMisses(stream, spec);
     if (accuracy != nullptr)
         *accuracy = prefetcher.accuracy();
-    return sim.misses();
+    return misses;
 }
 
 } // namespace
@@ -52,14 +41,13 @@ runWithPrefetch(const Trace &stream, const CacheGeometry &geo,
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
-    const std::uint64_t llc_bytes =
-        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    BenchDriver driver("ablation_prefetch", argc, argv);
+    const StudyConfig &config = driver.config();
+    const std::uint64_t llc_bytes = driver.llcBytes();
     const CacheGeometry geo = config.llcGeometry(llc_bytes);
     PrefetcherConfig pf_config;
     pf_config.degree = static_cast<unsigned>(
-        options.getUint("degree", pf_config.degree));
+        driver.options().getUint("degree", pf_config.degree));
 
     TablePrinter table(
         "A6: sharing-aware oracle under stride prefetching, " +
@@ -71,8 +59,9 @@ main(int argc, char **argv)
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
         const NextUseIndex &index = wl.nextUse();
-        const auto lru =
-            replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+        ReplaySpec lru_spec;
+        lru_spec.geo = geo;
+        const auto lru = replayMisses(wl.stream, lru_spec);
         if (lru == 0)
             continue;
         const double base = static_cast<double>(lru);
@@ -82,9 +71,10 @@ main(int argc, char **argv)
                                             nullptr, pf_config,
                                             &accuracy);
         OracleLabeler sa_oracle = makeOracle(index, config, llc_bytes);
-        const auto sa = replayMissesWrapped(
-            wl.stream, geo, makePolicyFactory("lru"), sa_oracle,
-            config);
+        ReplaySpec sa_spec = lru_spec;
+        sa_spec.labeler = &sa_oracle;
+        sa_spec.config = &config;
+        const auto sa = replayMisses(wl.stream, sa_spec);
         OracleLabeler sapf_oracle =
             makeOracle(index, config, llc_bytes);
         const auto sa_pf = runWithPrefetch(wl.stream, geo, config,
@@ -105,13 +95,9 @@ main(int argc, char **argv)
                   mean(sapf_ratio), 0.0},
                  3);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    std::cout << "sa+pf below lru+pf means sharing-awareness keeps "
-                 "paying after prefetching\nremoves the easy "
-                 "(strided) misses.\n";
-    return 0;
+    driver.report(table);
+    driver.note("sa+pf below lru+pf means sharing-awareness keeps "
+                "paying after prefetching\nremoves the easy "
+                "(strided) misses.");
+    return driver.finish();
 }

@@ -8,19 +8,16 @@
  * pathology that motivates the post-share budget.
  *
  * Usage: ablation_protection [--scale=1] [--threads=8]
- *        [--pre=128,256] [--post=32,64,128]
- *        [--window-factor=4]
+ *        [--pre=128,256] [--post=32,64,128] [--window-factor=4]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
 #include <algorithm>
-#include <iostream>
 #include <sstream>
 
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -42,19 +39,19 @@ parseList(const std::string &text)
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    StudyConfig config = StudyConfig::fromOptions(options);
-    const auto pres = parseList(options.getString("pre", "128,256"));
+    BenchDriver driver("ablation_protection", argc, argv);
+    const StudyConfig &config = driver.config();
+    const auto pres =
+        parseList(driver.options().getString("pre", "128,256"));
     const auto posts =
-        parseList(options.getString("post", "32,64,128"));
+        parseList(driver.options().getString("post", "32,64,128"));
 
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
     for (const std::uint64_t bytes :
          {config.llcSmallBytes, config.llcLargeBytes}) {
         const CacheGeometry geo = config.llcGeometry(bytes);
-        const SeqNo window = config.oracleWindow(bytes);
 
         std::vector<std::string> headers{"pre_rounds"};
         for (const unsigned post : posts)
@@ -66,8 +63,9 @@ main(int argc, char **argv)
             std::vector<std::vector<double>>(posts.size()));
         for (const auto &wl : captured) {
             const NextUseIndex &index = wl.nextUse();
-            const auto lru =
-                replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+            ReplaySpec lru_spec;
+            lru_spec.geo = geo;
+            const auto lru = replayMisses(wl.stream, lru_spec);
             if (lru == 0)
                 continue;
             for (std::size_t i = 0; i < pres.size(); ++i) {
@@ -77,9 +75,10 @@ main(int argc, char **argv)
                     StudyConfig point = config;
                     point.protectionRounds = pres[i];
                     point.postShareRounds = posts[j];
-                    const auto sa = replayMissesWrapped(
-                        wl.stream, geo, makePolicyFactory("lru"),
-                        oracle, point);
+                    ReplaySpec sa_spec = lru_spec;
+                    sa_spec.labeler = &oracle;
+                    sa_spec.config = &point;
+                    const auto sa = replayMisses(wl.stream, sa_spec);
                     ratios[i][j].push_back(static_cast<double>(sa) /
                                            static_cast<double>(lru));
                 }
@@ -107,7 +106,7 @@ main(int argc, char **argv)
             }
             table.addRow(row);
         }
-        table.print(std::cout);
+        driver.report(table);
     }
-    return 0;
+    return driver.finish();
 }

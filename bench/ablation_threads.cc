@@ -5,16 +5,13 @@
  * studies an 8-core CMP; this bench checks the trend is not an
  * artifact of that choice).
  *
- * Usage: ablation_threads [--scale=1] [--jobs=N] [--csv]
+ * Usage: ablation_threads [--scale=1] [--jobs=N]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -34,7 +31,8 @@ struct Cell
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
+    BenchDriver driver("ablation_threads", argc, argv);
+    const Options &options = driver.options();
     const std::vector<unsigned> thread_counts{2, 4, 8};
 
     TablePrinter table(
@@ -42,7 +40,7 @@ main(int argc, char **argv)
         {"threads", "llc_miss_ratio", "shared_hit%", "oracle_gain%"});
 
     const auto infos = allWorkloads();
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
 
     // One cell per (thread count, workload): the capture itself depends
     // on the thread count, so each cell runs its own capture + replays.
@@ -63,8 +61,9 @@ main(int argc, char **argv)
             if (wl.stream.empty())
                 return cell;
             const NextUseIndex &index = wl.nextUse();
-            const auto lru = replayMisses(wl.stream, geo,
-                                          makePolicyFactory("lru"));
+            ReplaySpec lru_spec;
+            lru_spec.geo = geo;
+            const auto lru = replayMisses(wl.stream, lru_spec);
             if (lru == 0)
                 return cell;
             cell.skip = false;
@@ -74,9 +73,10 @@ main(int argc, char **argv)
                 100.0 * wl.hierarchy.sharing.sharedHitFraction;
             OracleLabeler oracle =
                 makeOracle(index, config, config.llcSmallBytes);
-            const auto aware = replayMissesWrapped(
-                wl.stream, geo, makePolicyFactory("lru"), oracle,
-                config);
+            ReplaySpec aware_spec = lru_spec;
+            aware_spec.labeler = &oracle;
+            aware_spec.config = &config;
+            const auto aware = replayMisses(wl.stream, aware_spec);
             cell.gain = 100.0 * (1.0 - static_cast<double>(aware) /
                                            static_cast<double>(lru));
             return cell;
@@ -98,9 +98,6 @@ main(int argc, char **argv)
                      2);
     }
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -11,16 +11,14 @@
  *
  * Usage: ablation_window [--scale=1] [--threads=8]
  *        [--windows=1,2,4,8] [--rounds=32,128,512]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
 #include <sstream>
 
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -42,15 +40,15 @@ parseList(const std::string &text)
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("ablation_window", argc, argv);
+    const StudyConfig &config = driver.config();
     const auto windows =
-        parseList(options.getString("windows", "1,2,4,8"));
+        parseList(driver.options().getString("windows", "1,2,4,8"));
     const auto rounds_list =
-        parseList(options.getString("rounds", "32,128,512"));
+        parseList(driver.options().getString("rounds", "32,128,512"));
 
     // Capture every workload once; replays sweep the parameters.
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
     std::vector<std::string> headers{"window_x_capacity"};
@@ -69,8 +67,9 @@ main(int argc, char **argv)
             std::vector<std::vector<double>>(rounds_list.size()));
         for (const auto &wl : captured) {
             const NextUseIndex &index = wl.nextUse();
-            const auto lru =
-                replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+            ReplaySpec lru_spec;
+            lru_spec.geo = geo;
+            const auto lru = replayMisses(wl.stream, lru_spec);
             if (lru == 0)
                 continue;
             for (std::size_t w = 0; w < windows.size(); ++w) {
@@ -82,9 +81,10 @@ main(int argc, char **argv)
                     StudyConfig point = config;
                     point.protectionRounds =
                         static_cast<unsigned>(rounds_list[r]);
-                    const auto sa = replayMissesWrapped(
-                        wl.stream, geo, makePolicyFactory("lru"),
-                        oracle, point);
+                    ReplaySpec sa_spec = lru_spec;
+                    sa_spec.labeler = &oracle;
+                    sa_spec.config = &point;
+                    const auto sa = replayMisses(wl.stream, sa_spec);
                     ratios[w][r].push_back(static_cast<double>(sa) /
                                            static_cast<double>(lru));
                 }
@@ -101,7 +101,7 @@ main(int argc, char **argv)
             table.addRow("w=" + TablePrinter::fmt(windows[w], 2) + "x",
                          row, 4);
         }
-        table.print(std::cout);
+        driver.report(table);
     }
-    return 0;
+    return driver.finish();
 }

@@ -5,14 +5,12 @@
  * at 4 MB and 8 MB — the paper's motivating observation that shared
  * blocks matter more than private blocks.
  *
- * Usage: fig2_shared_hits [--scale=1] [--threads=8] [--csv]
+ * Usage: fig2_shared_hits [--scale=1] [--threads=8]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
 
 using namespace casim;
@@ -20,8 +18,8 @@ using namespace casim;
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("fig2_shared_hits", argc, argv);
+    const StudyConfig &config = driver.config();
 
     TablePrinter table(
         "Figure 2: share of LLC hit volume served by shared vs private "
@@ -36,9 +34,10 @@ main(int argc, char **argv)
         int k = 0;
         for (const std::uint64_t bytes :
              {config.llcSmallBytes, config.llcLargeBytes}) {
+            ReplaySpec spec;
+            spec.geo = config.llcGeometry(bytes);
             const SharingSummary sharing = replaySharing(
-                wl.stream, config.llcGeometry(bytes),
-                makePolicyFactory("lru"), config.workload.threads);
+                wl.stream, spec, config.workload.threads);
             row.push_back(100.0 * sharing.sharedHitFraction);
             row.push_back(100.0 * (1.0 - sharing.sharedHitFraction));
             (k == 0 ? shared4 : shared8)
@@ -53,13 +52,10 @@ main(int argc, char **argv)
                   100.0 - mean(shared8)},
                  1);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    std::cout << "A block's residency is 'shared' when at least two "
-                 "distinct cores touch it\nbetween fill and eviction; "
-                 "hits are attributed when the residency ends.\n";
-    return 0;
+    driver.report(table);
+    driver.note(
+        "A block's residency is 'shared' when at least two distinct "
+        "cores touch it\nbetween fill and eviction; hits are "
+        "attributed when the residency ends.");
+    return driver.finish();
 }

@@ -5,14 +5,12 @@
  * 3-4 / 5-8 sharers), per application at the small LLC.
  *
  * Usage: fig3_sharer_histogram [--scale=1] [--threads=8]
- *        [--llc-small-mb=4] [--csv]
+ *        [--llc-small-mb=4] [--format={text,csv,json}]
+ *        [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
 
 using namespace casim;
@@ -20,8 +18,8 @@ using namespace casim;
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("fig3_sharer_histogram", argc, argv);
+    const StudyConfig &config = driver.config();
     const unsigned threads = config.workload.threads;
 
     TablePrinter table(
@@ -32,9 +30,10 @@ main(int argc, char **argv)
     std::vector<double> col[4];
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
-        const SharingSummary sharing = replaySharing(
-            wl.stream, config.llcGeometry(config.llcSmallBytes),
-            makePolicyFactory("lru"), threads);
+        ReplaySpec spec;
+        spec.geo = config.llcGeometry(config.llcSmallBytes);
+        const SharingSummary sharing =
+            replaySharing(wl.stream, spec, threads);
 
         double buckets[4] = {0, 0, 0, 0};
         double total = 0;
@@ -66,9 +65,6 @@ main(int argc, char **argv)
                   mean(col[3])},
                  1);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -6,14 +6,12 @@
  * (instructions excluded; this is data) is the safest target for
  * retention, read-write sharing also carries coherence cost.
  *
- * Usage: fig4_rw_sharing [--scale=1] [--threads=8] [--csv]
+ * Usage: fig4_rw_sharing [--scale=1] [--threads=8]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
 
 using namespace casim;
@@ -21,8 +19,8 @@ using namespace casim;
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("fig4_rw_sharing", argc, argv);
+    const StudyConfig &config = driver.config();
 
     TablePrinter table(
         "Figure 4: LLC hit volume by sharing class, " +
@@ -33,9 +31,10 @@ main(int argc, char **argv)
     std::vector<double> col[4];
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
-        const SharingSummary sharing = replaySharing(
-            wl.stream, config.llcGeometry(config.llcSmallBytes),
-            makePolicyFactory("lru"), config.workload.threads);
+        ReplaySpec spec;
+        spec.geo = config.llcGeometry(config.llcSmallBytes);
+        const SharingSummary sharing =
+            replaySharing(wl.stream, spec, config.workload.threads);
 
         double total = 0;
         for (int c = 0; c < 4; ++c)
@@ -59,9 +58,6 @@ main(int argc, char **argv)
                   mean(col[3])},
                  1);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -7,26 +7,22 @@
  * sharing-awareness) remains.
  *
  * Usage: fig5_policy_comparison [--scale=1] [--threads=8]
- *        [--llc-mb=4] [--jobs=N] [--csv]
+ *        [--llc-mb=4] [--jobs=N] [--format={text,csv,json}]
+ *        [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
-    const std::uint64_t llc_bytes =
-        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    BenchDriver driver("fig5_policy_comparison", argc, argv);
+    const StudyConfig &config = driver.config();
+    const std::uint64_t llc_bytes = driver.llcBytes();
     const CacheGeometry geo = config.llcGeometry(llc_bytes);
 
     const std::vector<std::string> policies{
@@ -42,7 +38,7 @@ main(int argc, char **argv)
                            std::to_string(llc_bytes >> 20) + "MB LLC",
                        headers);
 
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
     // Fan out one cell per (workload, policy): slot layout is
@@ -53,15 +49,17 @@ main(int argc, char **argv)
         captured.size() * num_cells, [&](std::size_t cell) {
             const CapturedWorkload &wl = captured[cell / num_cells];
             const std::size_t p = cell % num_cells;
-            if (p == 0)
-                return replayMisses(wl.stream, geo,
-                                    makePolicyFactory("lru"));
-            if (p <= policies.size())
-                return replayMisses(wl.stream, geo,
-                                    makePolicyFactory(policies[p - 1]));
-            // The memoized per-workload index: built by the first OPT
-            // cell that needs it, shared by all others.
-            return replayMissesOpt(wl.stream, wl.nextUse(), geo);
+            ReplaySpec spec;
+            spec.geo = geo;
+            if (p >= 1 && p <= policies.size()) {
+                spec.policy = policies[p - 1];
+            } else if (p > policies.size()) {
+                // The memoized per-workload index: built by the first
+                // OPT cell that needs it, shared by all others.
+                spec.policy = "opt";
+                spec.nextUse = &wl.nextUse();
+            }
+            return replayMisses(wl.stream, spec);
         });
 
     std::vector<std::vector<double>> columns(policies.size() + 1);
@@ -85,9 +83,6 @@ main(int argc, char **argv)
         means.push_back(geomean(column));
     table.addRow("geomean", means, 3);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -8,16 +8,14 @@
  * per policy; OPT's rate calibrates the floor.
  *
  * Usage: fig6_sharing_awareness [--scale=1] [--threads=8]
- *        [--llc-mb=4] [--csv]
+ *        [--llc-mb=4] [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
 #include "core/awareness.hh"
 #include "mem/repl/factory.hh"
 #include "mem/repl/opt.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
 #include "sim/stream_sim.hh"
 
@@ -48,10 +46,9 @@ scorePolicy(const Trace &stream, const NextUseIndex &index,
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
-    const std::uint64_t llc_bytes =
-        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    BenchDriver driver("fig6_sharing_awareness", argc, argv);
+    const StudyConfig &config = driver.config();
+    const std::uint64_t llc_bytes = driver.llcBytes();
     const CacheGeometry geo = config.llcGeometry(llc_bytes);
     const SeqNo window = config.oracleWindow(llc_bytes);
 
@@ -75,7 +72,7 @@ main(int argc, char **argv)
 
         std::vector<double> row;
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            const auto factory = makePolicyFactory(policies[p]);
+            const auto factory = requirePolicyFactory(policies[p]);
             const Rates rates =
                 scorePolicy(wl.stream, index, geo, window,
                             factory(geo.numSets(), geo.ways));
@@ -96,9 +93,6 @@ main(int argc, char **argv)
         means.push_back(mean(column));
     table.addRow("mean", means, 2);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

@@ -9,25 +9,21 @@
  * is policy-generic.
  *
  * Usage: fig7_oracle [--scale=1] [--threads=8] [--window-factor=4]
- *        [--protection-rounds=128] [--post-rounds=0] [--jobs=N] [--csv]
+ *        [--protection-rounds=128] [--post-rounds=0] [--jobs=N]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
-#include <iostream>
-#include <memory>
-
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("fig7_oracle", argc, argv);
+    const StudyConfig &config = driver.config();
     const std::vector<std::string> bases{"lru", "srrip", "drrip"};
 
     std::vector<std::string> headers{"app"};
@@ -40,7 +36,7 @@ main(int argc, char **argv)
         "base policy",
         headers);
 
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
     // The next-use index of a workload is shared read-only by all of
@@ -65,13 +61,16 @@ main(int argc, char **argv)
             const CapturedWorkload &wl = captured[w];
             const NextUseIndex &index = wl.nextUse();
 
-            const CacheGeometry geo = config.llcGeometry(bytes);
             OracleLabeler oracle = makeOracle(index, config, bytes);
-            const auto plain = replayMisses(
-                wl.stream, geo, makePolicyFactory(bases[b]));
-            const auto aware = replayMissesWrapped(
-                wl.stream, geo, makePolicyFactory(bases[b]), oracle,
-                config);
+            ReplaySpec plain_spec;
+            plain_spec.policy = bases[b];
+            plain_spec.geo = config.llcGeometry(bytes);
+            const auto plain = replayMisses(wl.stream, plain_spec);
+
+            ReplaySpec aware_spec = plain_spec;
+            aware_spec.labeler = &oracle;
+            aware_spec.config = &config;
+            const auto aware = replayMisses(wl.stream, aware_spec);
             return plain == 0 ? 1.0
                               : static_cast<double>(aware) /
                                     static_cast<double>(plain);
@@ -105,14 +104,10 @@ main(int argc, char **argv)
     table.addRow("mean", means, 3);
     table.addRow("reduction%", reductions, 1);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    std::cout
-        << "Paper headline: sharing-aware oracle over LRU reduces LLC "
-           "misses ~6% (4MB) and\n~10% (8MB) on average; lower ratios "
-           "are better.\n";
-    return 0;
+    driver.report(table);
+    driver.note(
+        "Paper headline: sharing-aware oracle over LRU reduces LLC "
+        "misses ~6% (4MB) and\n~10% (8MB) on average; lower ratios "
+        "are better.");
+    return driver.finish();
 }

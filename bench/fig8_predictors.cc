@@ -8,18 +8,14 @@
  * replaces the oracle inside the sharing-aware victim filter.
  *
  * Usage: fig8_predictors [--scale=1] [--threads=8] [--llc-mb=4]
- *        [--pred-index-bits=14] [--csv]
+ *        [--pred-index-bits=14] [--format={text,csv,json}]
+ *        [--stats-out=PATH]
  */
 
-#include <iostream>
-
-#include "common/options.hh"
 #include "common/table.hh"
 #include "core/predictor.hh"
-#include "core/sharing_aware.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/stream_sim.hh"
 
 using namespace casim;
 
@@ -36,25 +32,23 @@ struct PredictorRun
 PredictorRun
 runPredictor(const CapturedWorkload &wl, const NextUseIndex &index,
              const StudyConfig &config, const CacheGeometry &geo,
-             SeqNo window, FillLabeler &predictor, std::uint64_t lru)
+             FillLabeler &predictor, std::uint64_t lru)
 {
     OracleLabeler truth = makeOracle(index, config, geo.sizeBytes);
     LabelerEvaluator evaluated(predictor, &truth);
 
-    auto wrapped = std::make_unique<SharingAwareWrapper>(
-        makePolicyFactory("lru")(geo.numSets(), geo.ways),
-        config.protectionRounds, config.postShareRounds,
-        config.protectionQuota, config.dueling);
-    StreamSim sim(wl.stream, geo, std::move(wrapped));
-    sim.setLabeler(&evaluated);
-    sim.run();
+    ReplaySpec spec;
+    spec.geo = geo;
+    spec.labeler = &evaluated;
+    spec.config = &config;
+    const auto misses = replayMisses(wl.stream, spec);
 
     PredictorRun run;
     run.accuracy = evaluated.accuracy();
     run.precision = evaluated.precision();
     run.recall = evaluated.recall();
     run.ratio = lru == 0 ? 1.0
-                         : static_cast<double>(sim.misses()) /
+                         : static_cast<double>(misses) /
                                static_cast<double>(lru);
     return run;
 }
@@ -64,12 +58,10 @@ runPredictor(const CapturedWorkload &wl, const NextUseIndex &index,
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
-    const std::uint64_t llc_bytes =
-        options.getUint("llc-mb", config.llcSmallBytes >> 20) << 20;
+    BenchDriver driver("fig8_predictors", argc, argv);
+    const StudyConfig &config = driver.config();
+    const std::uint64_t llc_bytes = driver.llcBytes();
     const CacheGeometry geo = config.llcGeometry(llc_bytes);
-    const SeqNo window = config.oracleWindow(llc_bytes);
 
     TablePrinter table(
         "Figure 8: fill-time sharing predictors vs the oracle, " +
@@ -83,19 +75,23 @@ main(int argc, char **argv)
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload wl = captureWorkload(info.name, config);
         const NextUseIndex &index = wl.nextUse();
-        const auto lru =
-            replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+        ReplaySpec lru_spec;
+        lru_spec.geo = geo;
+        const auto lru = replayMisses(wl.stream, lru_spec);
 
         AddressSharingPredictor addr(config.predictor);
         PcSharingPredictor pc(config.predictor);
-        const PredictorRun a = runPredictor(wl, index, config, geo,
-                                            window, addr, lru);
+        const PredictorRun a =
+            runPredictor(wl, index, config, geo, addr, lru);
         const PredictorRun p =
-            runPredictor(wl, index, config, geo, window, pc, lru);
+            runPredictor(wl, index, config, geo, pc, lru);
 
         OracleLabeler oracle = makeOracle(index, config, llc_bytes);
-        const auto aware = replayMissesWrapped(
-            wl.stream, geo, makePolicyFactory("lru"), oracle, config);
+        ReplaySpec aware_spec;
+        aware_spec.geo = geo;
+        aware_spec.labeler = &oracle;
+        aware_spec.config = &config;
+        const auto aware = replayMisses(wl.stream, aware_spec);
         const double o_ratio = lru == 0
                                    ? 1.0
                                    : static_cast<double>(aware) /
@@ -119,15 +115,11 @@ main(int argc, char **argv)
                   mean(oracle_ratio)},
                  3);
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    std::cout
-        << "Paper conclusion: neither the block-address- nor the "
-           "PC-indexed history predictor\nreaches the accuracy needed "
-           "to recover the oracle's gain — the predictor-guided\nmiss "
-           "ratios sit well above the oracle's.\n";
-    return 0;
+    driver.report(table);
+    driver.note(
+        "Paper conclusion: neither the block-address- nor the "
+        "PC-indexed history predictor\nreaches the accuracy needed "
+        "to recover the oracle's gain — the predictor-guided\nmiss "
+        "ratios sit well above the oracle's.");
+    return driver.finish();
 }

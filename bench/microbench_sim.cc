@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hh"
 #include "core/oracle.hh"
 #include "core/sharing_aware.hh"
@@ -55,7 +58,7 @@ std::unique_ptr<Cache>
 makeFilledCache(const CacheGeometry &geo)
 {
     auto cache = std::make_unique<Cache>(
-        "micro", geo, makePolicyFactory("lru")(geo.numSets(), geo.ways));
+        "micro", geo, requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     const unsigned sets = geo.numSets();
     SeqNo seq = 0;
     for (unsigned way = 0; way < geo.ways; ++way) {
@@ -156,7 +159,7 @@ BM_StreamSimPolicy(benchmark::State &state, const std::string &policy)
     const Trace &trace = randomTrace();
     const CacheGeometry geo = microGeometry();
     for (auto _ : state) {
-        const auto factory = makePolicyFactory(policy);
+        const auto factory = requirePolicyFactory(policy);
         StreamSim sim(trace, geo, factory(geo.numSets(), geo.ways));
         sim.run();
         benchmark::DoNotOptimize(sim.misses());
@@ -193,7 +196,7 @@ BM_StreamSimOracleWrapped(benchmark::State &state)
     for (auto _ : state) {
         OracleLabeler oracle(index, 4 * (geo.sizeBytes / kBlockBytes));
         auto wrapped = std::make_unique<SharingAwareWrapper>(
-            makePolicyFactory("lru")(geo.numSets(), geo.ways), 256);
+            requirePolicyFactory("lru")(geo.numSets(), geo.ways), 256);
         StreamSim sim(trace, geo, std::move(wrapped));
         sim.setLabeler(&oracle);
         sim.run();
@@ -237,7 +240,7 @@ BM_HierarchyRun(benchmark::State &state)
     config.numCores = 8;
     config.llc = microGeometry();
     for (auto _ : state) {
-        Hierarchy hierarchy(config, makePolicyFactory("lru"));
+        Hierarchy hierarchy(config, requirePolicyFactory("lru"));
         hierarchy.run(trace);
         hierarchy.finish();
         benchmark::DoNotOptimize(hierarchy.llcSeq());
@@ -264,4 +267,49 @@ BENCHMARK(BM_HierarchyRun);
 } // namespace
 } // namespace casim
 
-BENCHMARK_MAIN();
+/**
+ * Accept the suite-wide observability flags by translating them to
+ * google-benchmark's native reporting options before its own parser
+ * sees the command line:
+ *
+ *   --format=json        -> --benchmark_format=json
+ *   --stats-out=PATH     -> --benchmark_out=PATH (JSON)
+ *
+ * All other arguments pass through untouched, so the full
+ * --benchmark_* surface keeps working.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> translated;
+    translated.reserve(static_cast<std::size_t>(argc) + 2);
+    translated.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--format=json") {
+            translated.emplace_back("--benchmark_format=json");
+        } else if (arg == "--format=text" || arg == "--format=csv") {
+            // Console output is the default; csv maps to the console
+            // reporter too since benchmark's csv reporter is
+            // deprecated.
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            translated.emplace_back("--benchmark_out=" +
+                                    arg.substr(12));
+            translated.emplace_back("--benchmark_out_format=json");
+        } else {
+            translated.emplace_back(arg);
+        }
+    }
+    std::vector<char *> args;
+    args.reserve(translated.size());
+    for (auto &arg : translated)
+        args.push_back(arg.data());
+    int translated_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&translated_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(translated_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

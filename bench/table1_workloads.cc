@@ -5,17 +5,15 @@
  * kilo demand reference (MPKR, our MPKI proxy) under LRU at both
  * studied LLC capacities.
  *
- * Usage: table1_workloads [--scale=1] [--threads=8] [--jobs=N] [--csv]
+ * Usage: table1_workloads [--scale=1] [--threads=8] [--jobs=N]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
  */
 
 #include <algorithm>
-#include <iostream>
 
-#include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
+#include "sim/bench_driver.hh"
 #include "sim/experiment.hh"
-#include "sim/parallel.hh"
 
 using namespace casim;
 
@@ -38,8 +36,8 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    const Options options(argc, argv);
-    const StudyConfig config = StudyConfig::fromOptions(options);
+    BenchDriver driver("table1_workloads", argc, argv);
+    const StudyConfig &config = driver.config();
 
     TablePrinter table(
         "Table 1: multi-threaded workload inventory (" +
@@ -48,7 +46,7 @@ main(int argc, char **argv)
          "llc_refs(K)", "mpkr_4mb", "mpkr_8mb"});
 
     const auto infos = allWorkloads();
-    ParallelRunner runner(options.jobs());
+    ParallelRunner &runner = driver.runner();
 
     // Each cell captures one workload and computes its whole row; no
     // state is shared between cells, and results land in suite order.
@@ -70,9 +68,9 @@ main(int argc, char **argv)
         row.writePct = 100.0 * trace.writeFraction();
         row.llcRefsK = wl.stream.size() / 1000.0;
         const auto mpkr = [&](std::uint64_t llc_bytes) {
-            const auto misses =
-                replayMisses(wl.stream, config.llcGeometry(llc_bytes),
-                             makePolicyFactory("lru"));
+            ReplaySpec spec;
+            spec.geo = config.llcGeometry(llc_bytes);
+            const auto misses = replayMisses(wl.stream, spec);
             return 1000.0 * static_cast<double>(misses) /
                    static_cast<double>(wl.demandAccesses);
         };
@@ -93,9 +91,6 @@ main(int argc, char **argv)
                       TablePrinter::fmt(row.mpkrLarge, 2)});
     }
 
-    if (options.has("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+    driver.report(table);
+    return driver.finish();
 }

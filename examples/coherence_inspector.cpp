@@ -39,7 +39,7 @@ main(int argc, char **argv)
     hier.numCores = config.workload.threads;
     hier.llc = config.llcGeometry(llc_bytes);
 
-    Hierarchy hierarchy(hier, makePolicyFactory("lru"));
+    Hierarchy hierarchy(hier, requirePolicyFactory("lru"));
     SharingTracker tracker(hier.numCores);
     hierarchy.setLlcObserver(&tracker);
     hierarchy.run(trace);

@@ -43,14 +43,18 @@ main(int argc, char **argv)
         {"policy", "misses", "miss_ratio", "vs_lru", "sa_misses",
          "sa_vs_plain"});
 
-    const auto lru_misses =
-        replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+    ReplaySpec lru_spec;
+    lru_spec.geo = geo;
+    const auto lru_misses = replayMisses(wl.stream, lru_spec);
     for (const auto &policy : builtinPolicyNames()) {
-        const auto factory = makePolicyFactory(policy);
-        const auto misses = replayMisses(wl.stream, geo, factory);
+        ReplaySpec spec = lru_spec;
+        spec.policy = policy;
+        const auto misses = replayMisses(wl.stream, spec);
         OracleLabeler fresh = makeOracle(index, config, llc_bytes);
-        const auto sa = replayMissesWrapped(wl.stream, geo, factory,
-                                            fresh, config);
+        ReplaySpec sa_spec = spec;
+        sa_spec.labeler = &fresh;
+        sa_spec.config = &config;
+        const auto sa = replayMisses(wl.stream, sa_spec);
         table.addRow(
             {policy, std::to_string(misses),
              TablePrinter::fmt(double(misses) / wl.stream.size(), 4),
@@ -59,7 +63,10 @@ main(int argc, char **argv)
              TablePrinter::fmt(misses == 0 ? 1.0 : double(sa) / misses,
                                3)});
     }
-    const auto opt = replayMissesOpt(wl.stream, index, geo);
+    ReplaySpec opt_spec = lru_spec;
+    opt_spec.policy = "opt";
+    opt_spec.nextUse = &index;
+    const auto opt = replayMisses(wl.stream, opt_spec);
     table.addSeparator();
     table.addRow({"opt (offline)", std::to_string(opt),
                   TablePrinter::fmt(double(opt) / wl.stream.size(), 4),

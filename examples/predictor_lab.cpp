@@ -39,13 +39,11 @@ evaluate(const std::string &label, FillLabeler &labeler,
          const StudyConfig &config, const CacheGeometry &geo)
 {
     LabelerEvaluator evaluated(labeler, truth);
-    auto wrapped = std::make_unique<SharingAwareWrapper>(
-        makePolicyFactory("lru")(geo.numSets(), geo.ways),
-        config.protectionRounds, config.postShareRounds,
-        config.protectionQuota, config.dueling);
-    StreamSim sim(wl.stream, geo, std::move(wrapped));
-    sim.setLabeler(&evaluated);
-    sim.run();
+    ReplaySpec spec;
+    spec.geo = geo;
+    spec.labeler = &evaluated;
+    spec.config = &config;
+    const auto misses = replayMisses(wl.stream, spec);
 
     LabResult result;
     result.name = label;
@@ -53,7 +51,7 @@ evaluate(const std::string &label, FillLabeler &labeler,
     result.fillPrecision = evaluated.precision();
     result.fillRecall = evaluated.recall();
     result.outcomeAccuracy = evaluated.outcomeAccuracy();
-    result.misses = sim.misses();
+    result.misses = misses;
     return result;
 }
 
@@ -79,8 +77,9 @@ main(int argc, char **argv)
     const CapturedWorkload wl = captureWorkload(name, config);
     const NextUseIndex index(wl.stream);
     const SeqNo window = config.oracleWindow(llc_bytes);
-    const auto lru =
-        replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+    ReplaySpec lru_spec;
+    lru_spec.geo = geo;
+    const auto lru = replayMisses(wl.stream, lru_spec);
 
     AddressSharingPredictor addr(config.predictor);
     PcSharingPredictor pc(config.predictor);

@@ -60,17 +60,20 @@ main(int argc, char **argv)
         {"llc", "lru", "opt", "sa-oracle+lru", "oracle_gain%"});
     for (const std::uint64_t bytes :
          {config.llcSmallBytes, config.llcLargeBytes}) {
-        const CacheGeometry geo = config.llcGeometry(bytes);
         const NextUseIndex index(captured.stream);
         OracleLabeler oracle = makeOracle(index, config, bytes);
 
-        const auto lru = replayMisses(captured.stream, geo,
-                                      makePolicyFactory("lru"));
-        const auto opt =
-            replayMissesOpt(captured.stream, index, geo);
-        const auto wrapped = replayMissesWrapped(
-            captured.stream, geo, makePolicyFactory("lru"), oracle,
-            config);
+        ReplaySpec lru_spec;
+        lru_spec.geo = config.llcGeometry(bytes);
+        const auto lru = replayMisses(captured.stream, lru_spec);
+        ReplaySpec opt_spec = lru_spec;
+        opt_spec.policy = "opt";
+        opt_spec.nextUse = &index;
+        const auto opt = replayMisses(captured.stream, opt_spec);
+        ReplaySpec aware_spec = lru_spec;
+        aware_spec.labeler = &oracle;
+        aware_spec.config = &config;
+        const auto wrapped = replayMisses(captured.stream, aware_spec);
 
         const double base = static_cast<double>(lru);
         table.addRow(std::to_string(bytes >> 20) + "MB",

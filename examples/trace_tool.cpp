@@ -81,13 +81,18 @@ doReplay(const Options &options)
     const CacheGeometry geo = config.llcGeometry(llc_bytes);
 
     const Trace trace = loadTrace(in);
-    StreamSim sim(trace, geo,
-                  makePolicyFactory(policy)(geo.numSets(), geo.ways));
-    sim.run();
+    ReplaySpec spec;
+    spec.policy = policy;
+    spec.geo = geo;
+    const auto misses = replayMisses(trace, spec);
     std::cout << policy << " on '" << trace.name() << "' at "
-              << (llc_bytes >> 20) << "MB: " << sim.misses()
+              << (llc_bytes >> 20) << "MB: " << misses
               << " misses / " << trace.size() << " refs (ratio "
-              << TablePrinter::fmt(sim.missRatio(), 4) << ")\n";
+              << TablePrinter::fmt(trace.empty()
+                                       ? 0.0
+                                       : double(misses) / trace.size(),
+                                   4)
+              << ")\n";
     return 0;
 }
 

@@ -48,15 +48,18 @@ main(int argc, char **argv)
         int k = 0;
         for (const std::uint64_t bytes :
              {config.llcSmallBytes, config.llcLargeBytes}) {
-            const CacheGeometry geo = config.llcGeometry(bytes);
             OracleLabeler oracle = makeOracle(index, config, bytes);
-            const auto lru = replayMisses(captured.stream, geo,
-                                          makePolicyFactory("lru"));
-            const auto opt =
-                replayMissesOpt(captured.stream, index, geo);
-            const auto sa = replayMissesWrapped(
-                captured.stream, geo, makePolicyFactory("lru"), oracle,
-                config);
+            ReplaySpec lru_spec;
+            lru_spec.geo = config.llcGeometry(bytes);
+            const auto lru = replayMisses(captured.stream, lru_spec);
+            ReplaySpec opt_spec = lru_spec;
+            opt_spec.policy = "opt";
+            opt_spec.nextUse = &index;
+            const auto opt = replayMisses(captured.stream, opt_spec);
+            ReplaySpec sa_spec = lru_spec;
+            sa_spec.labeler = &oracle;
+            sa_spec.config = &config;
+            const auto sa = replayMisses(captured.stream, sa_spec);
             opt_ratio[k] = opt / double(lru);
             sa_ratio[k] = sa / double(lru);
             ++k;

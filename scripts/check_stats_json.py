@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate a casim bench JSON document against the casim-stats-1 schema.
+
+Usage:
+    check_stats_json.py DOC.json [--text=OUTPUT.txt]
+
+Checks key presence and types for the whole document (see
+docs/stats_schema.md).  With --text=FILE, additionally verifies that
+every table row in the document appears cell-exact in the captured text
+output: the JSON must reproduce the text-table numbers verbatim.
+
+Exits 0 when the document is valid, 1 otherwise, printing one line per
+problem.  Uses only the standard library.
+"""
+
+import json
+import re
+import sys
+
+SCHEMA_ID = "casim-stats-1"
+
+CONFIG_KEYS = {
+    "threads": int,
+    "scale": (int, float),
+    "seed": int,
+    "llc_small_bytes": int,
+    "llc_large_bytes": int,
+    "llc_ways": int,
+    "capture_dir": str,
+}
+
+STAT_KINDS = {
+    "counter": {"value": int},
+    "vector": {"values": dict, "total": int},
+    "distribution": {
+        "count": int,
+        "mean": (int, float, type(None)),
+        "min": (int, float, type(None)),
+        "max": (int, float, type(None)),
+        "stddev": (int, float, type(None)),
+    },
+    "histogram": {"buckets": dict, "total": int},
+    "formula": {"value": (int, float, type(None))},
+}
+
+errors = []
+
+
+def error(message):
+    errors.append(message)
+    print(f"check_stats_json: {message}", file=sys.stderr)
+
+
+def check_type(value, expected, what):
+    # bool is an int subclass; never accept it where a number is expected.
+    if isinstance(value, bool) or not isinstance(value, expected):
+        error(f"{what}: expected {expected}, got {type(value).__name__}")
+        return False
+    return True
+
+
+def check_table(table, index):
+    what = f"tables[{index}]"
+    for key, kind in (("title", str), ("headers", list),
+                      ("rows", list), ("separators", list)):
+        if key not in table:
+            error(f"{what}: missing '{key}'")
+            return
+        check_type(table[key], kind, f"{what}.{key}")
+    width = len(table["headers"])
+    for r, row in enumerate(table["rows"]):
+        if not check_type(row, list, f"{what}.rows[{r}]"):
+            continue
+        if len(row) != width:
+            error(f"{what}.rows[{r}]: {len(row)} cells, "
+                  f"expected {width} (header width)")
+        for c, cell in enumerate(row):
+            check_type(cell, str, f"{what}.rows[{r}][{c}]")
+    for s, sep in enumerate(table["separators"]):
+        check_type(sep, int, f"{what}.separators[{s}]")
+
+
+def check_stat(name, stat, group_key):
+    what = f"stats[{group_key}][{name}]"
+    if not check_type(stat, dict, what):
+        return
+    kind = stat.get("kind")
+    if kind not in STAT_KINDS:
+        error(f"{what}: unknown kind {kind!r}")
+        return
+    for field, expected in STAT_KINDS[kind].items():
+        if field not in stat:
+            error(f"{what}: missing '{field}'")
+        else:
+            check_type(stat[field], expected, f"{what}.{field}")
+
+
+def check_document(doc):
+    for key, kind in (("schema", str), ("bench", str), ("config", dict),
+                      ("tables", list), ("notes", list), ("stats", dict)):
+        if key not in doc:
+            error(f"document: missing top-level '{key}'")
+            return
+        check_type(doc[key], kind, f"document.{key}")
+
+    if doc["schema"] != SCHEMA_ID:
+        error(f"schema: expected {SCHEMA_ID!r}, got {doc['schema']!r}")
+
+    for key, kind in CONFIG_KEYS.items():
+        if key not in doc["config"]:
+            error(f"config: missing '{key}'")
+        else:
+            check_type(doc["config"][key], kind, f"config.{key}")
+
+    for i, table in enumerate(doc["tables"]):
+        if check_type(table, dict, f"tables[{i}]"):
+            check_table(table, i)
+
+    for i, note in enumerate(doc["notes"]):
+        check_type(note, str, f"notes[{i}]")
+
+    for group_key, group in doc["stats"].items():
+        if not check_type(group, dict, f"stats[{group_key}]"):
+            continue
+        for name, stat in group.items():
+            check_stat(name, stat, group_key)
+
+
+def check_against_text(doc, text):
+    """Every JSON table row must appear cell-exact in the text output."""
+    lines = text.splitlines()
+    for i, table in enumerate(doc.get("tables", [])):
+        title = table.get("title", "")
+        if not any(title in line for line in lines):
+            error(f"tables[{i}]: title {title!r} not in text output")
+        for r, row in enumerate(table.get("rows", [])):
+            # Cells may contain spaces; in the text table consecutive
+            # cells are separated by runs of whitespace.
+            pattern = re.compile(
+                r"\s+".join(re.escape(cell) for cell in row))
+            if not any(pattern.search(line) for line in lines):
+                error(f"tables[{i}].rows[{r}]: cells {row!r} do not "
+                      f"match any text-output line")
+
+
+def main(argv):
+    doc_path = None
+    text_path = None
+    for arg in argv[1:]:
+        if arg.startswith("--text="):
+            text_path = arg[len("--text="):]
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 1
+        elif doc_path is None:
+            doc_path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 1
+    if doc_path is None:
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    try:
+        with open(doc_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        error(f"cannot load {doc_path}: {exc}")
+        return 1
+
+    check_document(doc)
+
+    if text_path is not None:
+        try:
+            with open(text_path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as exc:
+            error(f"cannot load {text_path}: {exc}")
+            return 1
+        check_against_text(doc, text)
+
+    if errors:
+        print(f"check_stats_json: {doc_path}: {len(errors)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_stats_json: {doc_path}: OK "
+          f"({len(doc['tables'])} tables, {len(doc['stats'])} stat groups)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,8 +2,10 @@
 # Tier-1 verification: the standard build + full test suite, a
 # ThreadSanitizer + CASIM_PARANOID build running the parallel-runner and
 # capture-cache tests to catch data races and tag-store inconsistencies,
-# and a cold-then-warm capture-cache replay whose outputs must match
-# byte for byte.
+# a cold-then-warm capture-cache replay whose outputs must match byte
+# for byte, and machine-readable result emission (--stats-out /
+# --format=json) validated against docs/stats_schema.md with the JSON
+# tables cross-checked cell-exact against the text output.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]
 set -euo pipefail
@@ -37,5 +39,20 @@ if ! cmp -s "${capdir}/cold.txt" "${capdir}/warm.txt"; then
     exit 1
 fi
 echo "cold/warm outputs identical"
+
+echo "== tier-1: JSON result documents match text tables =="
+for fig in fig5_policy_comparison fig7_oracle; do
+    "${prefix}/bench/${fig}" --scale=0.05 --jobs=2 \
+        --capture-dir="${capdir}/cache" \
+        --stats-out="${capdir}/${fig}.json" > "${capdir}/${fig}.txt"
+    python3 scripts/check_stats_json.py "${capdir}/${fig}.json" \
+        --text="${capdir}/${fig}.txt"
+done
+
+echo "== tier-1: --format=json emits a valid document on stdout =="
+"${prefix}/bench/fig5_policy_comparison" --scale=0.05 --jobs=2 \
+    --capture-dir="${capdir}/cache" --format=json \
+    > "${capdir}/fig5_stdout.json"
+python3 scripts/check_stats_json.py "${capdir}/fig5_stdout.json"
 
 echo "tier-1 OK"

@@ -6,6 +6,7 @@
 #include "common/stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <numeric>
 
@@ -35,6 +36,46 @@ printCsvRow(std::ostream &os, const std::string &name, double value)
 } // namespace
 
 void
+printJsonString(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+printJsonNumber(std::ostream &os, double value)
+{
+    if (!std::isfinite(value)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << buf;
+}
+
+void
 Counter::print(std::ostream &os) const
 {
     printRow(os, name(), static_cast<double>(value_), desc());
@@ -44,6 +85,13 @@ void
 Counter::printCsv(std::ostream &os) const
 {
     printCsvRow(os, name(), static_cast<double>(value_));
+}
+
+void
+Counter::printJson(std::ostream &os) const
+{
+    printJsonString(os, name());
+    os << ": {\"kind\": \"counter\", \"value\": " << value_ << "}";
 }
 
 std::uint64_t
@@ -75,6 +123,20 @@ CounterVector::printCsv(std::ostream &os) const
     for (std::size_t i = 0; i < values_.size(); ++i)
         printCsvRow(os, name() + "::" + labels_[i],
                     static_cast<double>(values_[i]));
+}
+
+void
+CounterVector::printJson(std::ostream &os) const
+{
+    printJsonString(os, name());
+    os << ": {\"kind\": \"vector\", \"values\": {";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i)
+            os << ", ";
+        printJsonString(os, labels_[i]);
+        os << ": " << values_[i];
+    }
+    os << "}, \"total\": " << total() << "}";
 }
 
 void
@@ -129,6 +191,22 @@ Distribution::printCsv(std::ostream &os) const
 }
 
 void
+Distribution::printJson(std::ostream &os) const
+{
+    printJsonString(os, name());
+    os << ": {\"kind\": \"distribution\", \"count\": " << count_
+       << ", \"mean\": ";
+    printJsonNumber(os, mean());
+    os << ", \"min\": ";
+    printJsonNumber(os, min());
+    os << ", \"max\": ";
+    printJsonNumber(os, max());
+    os << ", \"stddev\": ";
+    printJsonNumber(os, stddev());
+    os << "}";
+}
+
+void
 Histogram::sample(double x, std::uint64_t weight)
 {
     std::size_t i = 0;
@@ -179,6 +257,25 @@ Histogram::printCsv(std::ostream &os) const
 }
 
 void
+Histogram::printJson(std::ostream &os) const
+{
+    printJsonString(os, name());
+    os << ": {\"kind\": \"histogram\", \"buckets\": {";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << ", ";
+        std::string label;
+        if (i < bounds_.size())
+            label = "<=" + std::to_string(bounds_[i]);
+        else
+            label = "overflow";
+        printJsonString(os, label);
+        os << ": " << counts_[i];
+    }
+    os << "}, \"total\": " << total() << "}";
+}
+
+void
 Formula::print(std::ostream &os) const
 {
     printRow(os, name(), fn_(), desc());
@@ -188,6 +285,15 @@ void
 Formula::printCsv(std::ostream &os) const
 {
     printCsvRow(os, name(), fn_());
+}
+
+void
+Formula::printJson(std::ostream &os) const
+{
+    printJsonString(os, name());
+    os << ": {\"kind\": \"formula\", \"value\": ";
+    printJsonNumber(os, fn_());
+    os << "}";
 }
 
 std::string
@@ -266,6 +372,18 @@ StatGroup::dumpCsv(std::ostream &os) const
 {
     for (const auto &stat : stats_)
         stat->printCsv(os);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+        if (i)
+            os << ", ";
+        stats_[i]->printJson(os);
+    }
+    os << "}";
 }
 
 const StatBase *

@@ -47,6 +47,14 @@ class StatBase
     /** Append "name,value" rows to a CSV listing. */
     virtual void printCsv(std::ostream &os) const = 0;
 
+    /**
+     * Append exactly one JSON object member, `"name": {...}`, to a JSON
+     * listing.  The value object always carries a "kind" tag naming the
+     * statistic type (see docs/stats_schema.md); the caller owns the
+     * separating commas and the enclosing braces.
+     */
+    virtual void printJson(std::ostream &os) const = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -67,6 +75,7 @@ class Counter : public StatBase
     void reset() override { value_ = 0; }
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     std::uint64_t value_ = 0;
@@ -98,6 +107,7 @@ class CounterVector : public StatBase
     void reset() override;
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     std::vector<std::string> labels_;
@@ -124,6 +134,7 @@ class Distribution : public StatBase
     void reset() override;
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     std::uint64_t count_ = 0;
@@ -163,6 +174,7 @@ class Histogram : public StatBase
     void reset() override;
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     std::vector<double> bounds_;
@@ -185,6 +197,7 @@ class Formula : public StatBase
     void reset() override {}
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     std::function<double()> fn_;
@@ -231,8 +244,20 @@ class StatGroup
     /** Render a "name,value" CSV listing of every owned statistic. */
     void dumpCsv(std::ostream &os) const;
 
+    /**
+     * Render one JSON object, `{"stat": {...}, ...}`, holding every
+     * owned statistic keyed by its full (prefixed) name.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Look up a statistic by its full name; nullptr if absent. */
     const StatBase *find(const std::string &name) const;
+
+    /** The prefix this group qualifies its stat names with. */
+    const std::string &prefix() const { return prefix_; }
+
+    /** Number of owned statistics. */
+    std::size_t size() const { return stats_.size(); }
 
   private:
     std::string qualify(const std::string &name) const;
@@ -240,6 +265,15 @@ class StatGroup
     std::string prefix_;
     std::vector<std::unique_ptr<StatBase>> stats_;
 };
+
+/** Append `text` JSON-escaped and double-quoted to `os`. */
+void printJsonString(std::ostream &os, const std::string &text);
+
+/**
+ * Append a double as a valid JSON number that round-trips exactly
+ * (17 significant digits); non-finite values are emitted as null.
+ */
+void printJsonNumber(std::ostream &os, double value);
 
 } // namespace stats
 } // namespace casim

@@ -48,6 +48,24 @@ class TablePrinter
     /** Format a double with fixed precision. */
     static std::string fmt(double value, int precision = 4);
 
+    /** Title printed above the table. */
+    const std::string &title() const { return title_; }
+
+    /** Column headers. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Formatted data rows, exactly as rendered. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
+    /** Row indices preceded by a separator rule. */
+    const std::vector<std::size_t> &separators() const
+    {
+        return separators_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> headers_;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Wall-clock phase timers for coarse-grained simulator profiling.
+ *
+ * A PhaseTimer measures one span of wall time; ScopedPhaseTimer samples
+ * the elapsed seconds of a scope into a stats::Distribution on exit, so
+ * components can report per-task timing through the standard stats
+ * machinery without hand-rolled chrono plumbing.
+ */
+
+#ifndef CASIM_COMMON_TIMER_HH
+#define CASIM_COMMON_TIMER_HH
+
+#include <chrono>
+
+#include "common/stats.hh"
+
+namespace casim {
+
+/** Measures elapsed wall time from construction (or the last restart). */
+class PhaseTimer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    PhaseTimer() : start_(Clock::now()) {}
+
+    /** Restart the span at the current instant. */
+    void restart() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last restart. */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    Clock::time_point start_;
+};
+
+/** Samples the wall time of one scope into a distribution on exit. */
+class ScopedPhaseTimer
+{
+  public:
+    explicit ScopedPhaseTimer(stats::Distribution &dist) : dist_(dist) {}
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+    ~ScopedPhaseTimer() { dist_.sample(timer_.seconds()); }
+
+  private:
+    stats::Distribution &dist_;
+    PhaseTimer timer_;
+};
+
+} // namespace casim
+
+#endif // CASIM_COMMON_TIMER_HH

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hh"
 #include "mem/block.hh"
 #include "mem/repl/policy.hh"
 #include "trace/next_use.hh"
@@ -97,17 +98,35 @@ class OracleLabeler : public FillLabeler
     OracleLabeler(const NextUseIndex &index, SeqNo window,
                   SeqNo near_window = 0)
         : index_(index), window_(window),
-          nearWindow_(near_window == 0 ? window : near_window)
+          nearWindow_(near_window == 0 ? window : near_window),
+          stats_("oracle"),
+          lookups_(stats_.addCounter("lookups", "fills labeled")),
+          shared_(stats_.addCounter("shared_labels",
+                                    "fills labeled shared")),
+          private_(stats_.addCounter("private_labels",
+                                     "fills labeled private")),
+          nearVetoes_(stats_.addCounter(
+              "near_vetoes",
+              "shared-within-window fills vetoed by the near window"))
     {
     }
 
     bool
     predictShared(const ReplContext &fill) override
     {
-        if (!index_.sharedWithin(fill.blockAddr, fill.seq, window_))
+        ++lookups_;
+        if (!index_.sharedWithin(fill.blockAddr, fill.seq, window_)) {
+            ++private_;
             return false;
+        }
         const SeqNo next = index_.nextUse(fill.seq);
-        return next != kSeqNever && next - fill.seq <= nearWindow_;
+        if (next == kSeqNever || next - fill.seq > nearWindow_) {
+            ++nearVetoes_;
+            ++private_;
+            return false;
+        }
+        ++shared_;
+        return true;
     }
 
     std::string name() const override { return "oracle"; }
@@ -118,10 +137,18 @@ class OracleLabeler : public FillLabeler
     /** The near (reuse) window in effect. */
     SeqNo nearWindow() const { return nearWindow_; }
 
+    /** Label-split and veto counters. */
+    const stats::StatGroup &stats() const { return stats_; }
+
   private:
     const NextUseIndex &index_;
     SeqNo window_;
     SeqNo nearWindow_;
+    stats::StatGroup stats_;
+    stats::Counter &lookups_;
+    stats::Counter &shared_;
+    stats::Counter &private_;
+    stats::Counter &nearVetoes_;
 };
 
 /**

@@ -14,7 +14,14 @@ TableSharingPredictor::TableSharingPredictor(const PredictorConfig &config)
     : config_(config),
       ctrMax_(static_cast<std::uint8_t>((1u << config.counterBits) - 1)),
       table_(std::size_t{1} << config.indexBits,
-             static_cast<std::uint8_t>(config.initialValue))
+             static_cast<std::uint8_t>(config.initialValue)),
+      stats_("predictor"),
+      predictions_(stats_.addCounter("lookups",
+                                     "fill-time predictions made")),
+      predictedShared_(stats_.addCounter("predicted_shared",
+                                         "fills predicted shared")),
+      trainings_(stats_.addCounter("trainings",
+                                   "residency outcomes applied"))
 {
     casim_assert(config.indexBits >= 4 && config.indexBits <= 24,
                  "unreasonable predictor size 2^", config.indexBits);
@@ -66,10 +73,10 @@ TableSharingPredictor::counterForKey(std::uint64_t key) const
 double
 TableSharingPredictor::predictedSharedFraction() const
 {
-    if (predictions_ == 0)
+    if (predictions_.value() == 0)
         return 0.0;
-    return static_cast<double>(predictedShared_) /
-           static_cast<double>(predictions_);
+    return static_cast<double>(predictedShared_.value()) /
+           static_cast<double>(predictions_.value());
 }
 
 HybridSharingPredictor::HybridSharingPredictor(
@@ -100,7 +107,12 @@ TaggedSharingPredictor::TaggedSharingPredictor(
       tagMask_((tag_bits >= 32) ? ~0u : ((1u << tag_bits) - 1)),
       byPc_(by_pc),
       ctrMax_(static_cast<std::uint8_t>((1u << config.counterBits) - 1)),
-      table_((std::size_t{1} << config.indexBits) * ways)
+      table_((std::size_t{1} << config.indexBits) * ways),
+      stats_("tagged_predictor"),
+      predictions_(stats_.addCounter("lookups",
+                                     "fill-time predictions made")),
+      tagHits_(stats_.addCounter("tag_hits",
+                                 "predictions served by a tag match"))
 {
     casim_assert(ways >= 1 && ways <= 16,
                  "bad predictor associativity ", ways);
@@ -180,10 +192,10 @@ TaggedSharingPredictor::train(const CacheBlock &block)
 double
 TaggedSharingPredictor::tagCoverage() const
 {
-    return predictions_ == 0
+    return predictions_.value() == 0
                ? 0.0
-               : static_cast<double>(tagHits_) /
-                     static_cast<double>(predictions_);
+               : static_cast<double>(tagHits_.value()) /
+                     static_cast<double>(predictions_.value());
 }
 
 namespace {
@@ -234,37 +246,40 @@ LabelerEvaluator::train(const CacheBlock &block)
 double
 LabelerEvaluator::accuracy() const
 {
-    return ratio(tp_ + tn_, tp_ + tn_ + fp_ + fn_);
+    return ratio(tp_.value() + tn_.value(),
+                 tp_.value() + tn_.value() + fp_.value() + fn_.value());
 }
 
 double
 LabelerEvaluator::precision() const
 {
-    return ratio(tp_, tp_ + fp_);
+    return ratio(tp_.value(), tp_.value() + fp_.value());
 }
 
 double
 LabelerEvaluator::recall() const
 {
-    return ratio(tp_, tp_ + fn_);
+    return ratio(tp_.value(), tp_.value() + fn_.value());
 }
 
 double
 LabelerEvaluator::outcomeAccuracy() const
 {
-    return ratio(otp_ + otn_, otp_ + otn_ + ofp_ + ofn_);
+    return ratio(otp_.value() + otn_.value(),
+                 otp_.value() + otn_.value() + ofp_.value() +
+                     ofn_.value());
 }
 
 double
 LabelerEvaluator::outcomePrecision() const
 {
-    return ratio(otp_, otp_ + ofp_);
+    return ratio(otp_.value(), otp_.value() + ofp_.value());
 }
 
 double
 LabelerEvaluator::outcomeRecall() const
 {
-    return ratio(otp_, otp_ + ofn_);
+    return ratio(otp_.value(), otp_.value() + ofn_.value());
 }
 
 } // namespace casim

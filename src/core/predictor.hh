@@ -52,13 +52,16 @@ class TableSharingPredictor : public FillLabeler
     unsigned counterForKey(std::uint64_t key) const;
 
     /** Predictions made so far. */
-    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t predictions() const { return predictions_.value(); }
 
     /** Fraction of predictions that were SHARED. */
     double predictedSharedFraction() const;
 
     /** Training events applied so far. */
-    std::uint64_t trainings() const { return trainings_; }
+    std::uint64_t trainings() const { return trainings_.value(); }
+
+    /** Lookup/label/training counters. */
+    const stats::StatGroup &stats() const { return stats_; }
 
   protected:
     /** Fill-time key (address or PC). */
@@ -73,9 +76,10 @@ class TableSharingPredictor : public FillLabeler
     PredictorConfig config_;
     std::uint8_t ctrMax_;
     std::vector<std::uint8_t> table_;
-    std::uint64_t predictions_ = 0;
-    std::uint64_t predictedShared_ = 0;
-    std::uint64_t trainings_ = 0;
+    stats::StatGroup stats_;
+    stats::Counter &predictions_;
+    stats::Counter &predictedShared_;
+    stats::Counter &trainings_;
 };
 
 /** Predictor indexed by the filled block's address. */
@@ -182,7 +186,10 @@ class TaggedSharingPredictor : public FillLabeler
     double tagCoverage() const;
 
     /** Predictions made so far. */
-    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t predictions() const { return predictions_.value(); }
+
+    /** Lookup/tag-hit counters. */
+    const stats::StatGroup &stats() const { return stats_; }
 
   private:
     struct Entry
@@ -203,8 +210,9 @@ class TaggedSharingPredictor : public FillLabeler
     std::uint8_t ctrMax_;
     std::vector<Entry> table_;
     std::uint32_t clock_ = 0;
-    std::uint64_t predictions_ = 0;
-    std::uint64_t tagHits_ = 0;
+    stats::StatGroup stats_;
+    stats::Counter &predictions_;
+    stats::Counter &tagHits_;
 };
 
 /**
@@ -223,7 +231,27 @@ class LabelerEvaluator : public FillLabeler
      *              nullptr to disable fill-time scoring.
      */
     LabelerEvaluator(FillLabeler &inner, FillLabeler *truth)
-        : inner_(inner), truth_(truth)
+        : inner_(inner), truth_(truth), stats_("labeler_eval"),
+          tp_(stats_.addCounter("fill_true_pos",
+                                "fill-time agreement: both shared")),
+          fp_(stats_.addCounter(
+              "fill_false_pos",
+              "fill-time: predicted shared, truth private")),
+          tn_(stats_.addCounter("fill_true_neg",
+                                "fill-time agreement: both private")),
+          fn_(stats_.addCounter(
+              "fill_false_neg",
+              "fill-time: predicted private, truth shared")),
+          otp_(stats_.addCounter("outcome_true_pos",
+                                 "eviction-time: both shared")),
+          ofp_(stats_.addCounter(
+              "outcome_false_pos",
+              "eviction-time: predicted shared, residency private")),
+          otn_(stats_.addCounter("outcome_true_neg",
+                                 "eviction-time: both private")),
+          ofn_(stats_.addCounter(
+              "outcome_false_neg",
+              "eviction-time: predicted private, residency shared"))
     {
     }
 
@@ -232,10 +260,10 @@ class LabelerEvaluator : public FillLabeler
     std::string name() const override { return inner_.name(); }
 
     /** Fill-time counts against the ground truth labeler. */
-    std::uint64_t truePositives() const { return tp_; }
-    std::uint64_t falsePositives() const { return fp_; }
-    std::uint64_t trueNegatives() const { return tn_; }
-    std::uint64_t falseNegatives() const { return fn_; }
+    std::uint64_t truePositives() const { return tp_.value(); }
+    std::uint64_t falsePositives() const { return fp_.value(); }
+    std::uint64_t trueNegatives() const { return tn_.value(); }
+    std::uint64_t falseNegatives() const { return fn_.value(); }
 
     /** Fill-time accuracy against the ground truth (0 if no fills). */
     double accuracy() const;
@@ -255,11 +283,15 @@ class LabelerEvaluator : public FillLabeler
     /** Residency-outcome recall measured at eviction. */
     double outcomeRecall() const;
 
+    /** Both confusion matrices as counters. */
+    const stats::StatGroup &stats() const { return stats_; }
+
   private:
     FillLabeler &inner_;
     FillLabeler *truth_;
-    std::uint64_t tp_ = 0, fp_ = 0, tn_ = 0, fn_ = 0;
-    std::uint64_t otp_ = 0, ofp_ = 0, otn_ = 0, ofn_ = 0;
+    stats::StatGroup stats_;
+    stats::Counter &tp_, &fp_, &tn_, &fn_;
+    stats::Counter &otp_, &ofp_, &otn_, &ofn_;
 };
 
 } // namespace casim

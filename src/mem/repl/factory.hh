@@ -6,6 +6,7 @@
 #ifndef CASIM_MEM_REPL_FACTORY_HH
 #define CASIM_MEM_REPL_FACTORY_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,16 +14,46 @@
 
 namespace casim {
 
+/** Metadata describing one known replacement policy. */
+struct PolicyDesc
+{
+    /** Canonical lookup name, e.g. "srrip". */
+    std::string name;
+
+    /** Human-readable display name, e.g. "SRRIP". */
+    std::string displayName;
+
+    /**
+     * True when the policy cannot be built from (sets, ways) alone and
+     * needs experiment context (a next-use index or a sharing labeler),
+     * as OPT and the sharing-aware wrapper do.
+     */
+    bool needsOracleContext = false;
+};
+
 /**
- * Return a factory for the named built-in policy.
+ * Return a factory for the named built-in policy, or std::nullopt if
+ * the name is unknown or requires experiment context (see PolicyDesc).
  *
  * Known names: "lru", "random", "nru", "srrip", "brrip", "drrip",
- * "lip", "bip", "dip", "ship".  OPT and the sharing-aware wrapper need
- * experiment context and are constructed explicitly instead.
- *
- * Fatal on unknown names.
+ * "lip", "bip", "dip", "ship", "tadip", "tadrrip".  OPT and the
+ * sharing-aware wrapper need experiment context and are constructed
+ * explicitly instead.
  */
-ReplPolicyFactory makePolicyFactory(const std::string &name);
+std::optional<ReplPolicyFactory> makePolicyFactory(const std::string &name);
+
+/**
+ * Like makePolicyFactory, but fatal on unknown names with a message
+ * listing every known policy.  For call sites where the name is a
+ * compile-time constant or was already validated.
+ */
+ReplPolicyFactory requirePolicyFactory(const std::string &name);
+
+/** Metadata for the named policy; std::nullopt if unknown. */
+std::optional<PolicyDesc> policyDesc(const std::string &name);
+
+/** Metadata for every known policy, built-ins first. */
+std::vector<PolicyDesc> allPolicyDescs();
 
 /** Names of all built-in (online, implementable) policies. */
 std::vector<std::string> builtinPolicyNames();

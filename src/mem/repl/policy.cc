@@ -33,86 +33,121 @@ mesiStateName(MesiState state)
     return "?";
 }
 
+namespace {
+
+template <typename Policy>
 ReplPolicyFactory
+simpleFactory()
+{
+    return [](unsigned sets, unsigned ways) {
+        return std::unique_ptr<ReplPolicy>(new Policy(sets, ways));
+    };
+}
+
+struct PolicyEntry
+{
+    PolicyDesc desc;
+    ReplPolicyFactory (*make)();
+};
+
+// The factory has no thread-count channel for the thread-aware
+// policies; the study's 8-core CMP is assumed.  Construct
+// TadipPolicy / TaDrripPolicy directly for other thread counts.
+const PolicyEntry kPolicyTable[] = {
+    {{"lru", "LRU", false}, simpleFactory<LruPolicy>},
+    {{"random", "Random", false}, simpleFactory<RandomPolicy>},
+    {{"nru", "NRU", false}, simpleFactory<NruPolicy>},
+    {{"srrip", "SRRIP", false}, simpleFactory<SrripPolicy>},
+    {{"brrip", "BRRIP", false}, simpleFactory<BrripPolicy>},
+    {{"drrip", "DRRIP", false}, simpleFactory<DrripPolicy>},
+    {{"lip", "LIP", false}, simpleFactory<LipPolicy>},
+    {{"bip", "BIP", false}, simpleFactory<BipPolicy>},
+    {{"dip", "DIP", false}, simpleFactory<DipPolicy>},
+    {{"ship", "SHiP", false}, simpleFactory<ShipPolicy>},
+    {{"tadip", "TA-DIP", false},
+     []() -> ReplPolicyFactory {
+         return [](unsigned sets, unsigned ways) {
+             return std::unique_ptr<ReplPolicy>(
+                 new TadipPolicy(sets, ways, 8));
+         };
+     }},
+    {{"tadrrip", "TA-DRRIP", false},
+     []() -> ReplPolicyFactory {
+         return [](unsigned sets, unsigned ways) {
+             return std::unique_ptr<ReplPolicy>(
+                 new TaDrripPolicy(sets, ways, 8));
+         };
+     }},
+};
+
+// Context-dependent policies: no self-contained factory, but benches
+// and the result sink can still query their metadata by name.
+const PolicyDesc kContextPolicies[] = {
+    {"opt", "Belady OPT", true},
+    {"sharing-aware", "Sharing-aware wrapper", true},
+};
+
+} // namespace
+
+std::optional<ReplPolicyFactory>
 makePolicyFactory(const std::string &name)
 {
-    if (name == "lru") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(new LruPolicy(sets, ways));
-        };
+    for (const auto &entry : kPolicyTable) {
+        if (entry.desc.name == name)
+            return entry.make();
     }
-    if (name == "random") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(
-                new RandomPolicy(sets, ways));
-        };
+    return std::nullopt;
+}
+
+ReplPolicyFactory
+requirePolicyFactory(const std::string &name)
+{
+    auto factory = makePolicyFactory(name);
+    if (!factory) {
+        std::string known;
+        for (const auto &entry : kPolicyTable) {
+            if (!known.empty())
+                known += ", ";
+            known += entry.desc.name;
+        }
+        casim_fatal("unknown replacement policy '", name,
+                    "' (known: ", known, ")");
     }
-    if (name == "nru") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(new NruPolicy(sets, ways));
-        };
+    return std::move(*factory);
+}
+
+std::optional<PolicyDesc>
+policyDesc(const std::string &name)
+{
+    for (const auto &entry : kPolicyTable) {
+        if (entry.desc.name == name)
+            return entry.desc;
     }
-    if (name == "srrip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(
-                new SrripPolicy(sets, ways));
-        };
+    for (const auto &desc : kContextPolicies) {
+        if (desc.name == name)
+            return desc;
     }
-    if (name == "brrip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(
-                new BrripPolicy(sets, ways));
-        };
-    }
-    if (name == "drrip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(
-                new DrripPolicy(sets, ways));
-        };
-    }
-    if (name == "lip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(new LipPolicy(sets, ways));
-        };
-    }
-    if (name == "bip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(new BipPolicy(sets, ways));
-        };
-    }
-    if (name == "dip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(new DipPolicy(sets, ways));
-        };
-    }
-    if (name == "ship") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(new ShipPolicy(sets, ways));
-        };
-    }
-    if (name == "tadip") {
-        // The factory has no thread-count channel; the study's 8-core
-        // CMP is assumed.  Construct TadipPolicy directly for other
-        // thread counts.
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(
-                new TadipPolicy(sets, ways, 8));
-        };
-    }
-    if (name == "tadrrip") {
-        return [](unsigned sets, unsigned ways) {
-            return std::unique_ptr<ReplPolicy>(
-                new TaDrripPolicy(sets, ways, 8));
-        };
-    }
-    casim_fatal("unknown replacement policy '", name, "'");
+    return std::nullopt;
+}
+
+std::vector<PolicyDesc>
+allPolicyDescs()
+{
+    std::vector<PolicyDesc> descs;
+    for (const auto &entry : kPolicyTable)
+        descs.push_back(entry.desc);
+    for (const auto &desc : kContextPolicies)
+        descs.push_back(desc);
+    return descs;
 }
 
 std::vector<std::string>
 builtinPolicyNames()
 {
-    return {"lru",  "random", "nru",   "srrip", "brrip", "drrip",
-            "lip",  "bip",    "dip",   "ship",  "tadip", "tadrrip"};
+    std::vector<std::string> names;
+    for (const auto &entry : kPolicyTable)
+        names.push_back(entry.desc.name);
+    return names;
 }
 
 } // namespace casim

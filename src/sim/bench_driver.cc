@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the shared bench driver.
+ */
+
+#include "sim/bench_driver.hh"
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "sim/capture_cache.hh"
+
+namespace casim {
+
+namespace {
+
+OutputFormat
+parseFormat(const Options &options)
+{
+    // --csv predates --format and remains an alias for it.
+    const std::string fallback = options.has("csv") ? "csv" : "text";
+    const std::string format = options.getString("format", fallback);
+    if (format == "text")
+        return OutputFormat::Text;
+    if (format == "csv")
+        return OutputFormat::Csv;
+    if (format == "json")
+        return OutputFormat::Json;
+    casim_fatal("unknown --format '", format,
+                "' (known: text, csv, json)");
+}
+
+} // namespace
+
+BenchDriver::BenchDriver(std::string bench, int argc,
+                         const char *const *argv)
+    : options_(argc, argv), config_(StudyConfig::fromOptions(options_)),
+      format_(parseFormat(options_)),
+      statsOutPath_(options_.getString("stats-out", "")),
+      sink_(std::move(bench), config_), benchStats_("bench")
+{
+    benchStats_.addFormula("wall_seconds",
+                           "bench wall time up to emission", [this] {
+                               return wallTimer_.seconds();
+                           });
+}
+
+std::uint64_t
+BenchDriver::llcBytes() const
+{
+    return options_.getUint("llc-mb", config_.llcSmallBytes >> 20) << 20;
+}
+
+ParallelRunner &
+BenchDriver::runner()
+{
+    if (!runner_)
+        runner_ = std::make_unique<ParallelRunner>(options_.jobs());
+    return *runner_;
+}
+
+void
+BenchDriver::report(const TablePrinter &table)
+{
+    sink_.addTable(table);
+    if (format_ == OutputFormat::Text)
+        table.print(std::cout);
+    else if (format_ == OutputFormat::Csv)
+        table.printCsv(std::cout);
+}
+
+void
+BenchDriver::note(const std::string &text)
+{
+    sink_.addNote(text);
+    if (format_ != OutputFormat::Json)
+        std::cout << text << "\n";
+}
+
+int
+BenchDriver::finish()
+{
+    sink_.addGroup(benchStats_);
+    if (runner_)
+        sink_.addGroup(runner_->stats());
+    sink_.addGroup(captureCacheStats());
+
+    if (format_ == OutputFormat::Json)
+        sink_.writeJson(std::cout);
+    if (!statsOutPath_.empty())
+        sink_.writeJsonFile(statsOutPath_);
+    return 0;
+}
+
+} // namespace casim

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include <unistd.h>
@@ -19,6 +20,53 @@
 namespace casim {
 
 namespace {
+
+/** The capture-cache counters plus the mutex serializing increments. */
+struct CacheStats
+{
+    std::mutex mutex;
+    stats::StatGroup group{"capture_cache"};
+    stats::Counter &hits =
+        group.addCounter("hits", "captures loaded from a cached bundle");
+    stats::Counter &coldMisses = group.addCounter(
+        "cold_misses", "lookups that found no cache file");
+    stats::Counter &staleMisses = group.addCounter(
+        "stale_misses",
+        "bundles rejected for a stale config hash or format version");
+    stats::Counter &corruptMisses = group.addCounter(
+        "corrupt_misses",
+        "bundles rejected as truncated, checksum-bad or inconsistent");
+    stats::Counter &saves =
+        group.addCounter("saves", "bundles written to the cache");
+    stats::Counter &saveFailures = group.addCounter(
+        "save_failures", "bundle writes that failed (best-effort)");
+};
+
+CacheStats &
+cacheStats()
+{
+    static CacheStats stats;
+    return stats;
+}
+
+void
+bump(stats::Counter &counter)
+{
+    std::lock_guard<std::mutex> lock(cacheStats().mutex);
+    ++counter;
+}
+
+/**
+ * A stale bundle is a well-formed file written by an incompatible
+ * configuration or format; everything else readCaptureBundle reports
+ * (bad magic, truncation, checksum mismatch, ...) is corruption.
+ */
+bool
+isStaleBundleError(const std::string &why)
+{
+    return why == "config hash mismatch" ||
+           why == "unsupported bundle version";
+}
 
 /**
  * Version of the metadata packing below.  Folded into the config hash
@@ -123,6 +171,23 @@ unpackMeta(const std::vector<std::uint64_t> &meta,
 
 } // namespace
 
+stats::StatGroup &
+captureCacheStats()
+{
+    return cacheStats().group;
+}
+
+std::uint64_t
+captureCacheCounter(const std::string &name)
+{
+    const auto *stat =
+        cacheStats().group.find("capture_cache." + name);
+    const auto *counter = dynamic_cast<const stats::Counter *>(stat);
+    casim_assert(counter != nullptr, "unknown capture-cache counter '",
+                 name, "'");
+    return counter->value();
+}
+
 std::uint64_t
 captureConfigHash(const std::string &workload,
                   const WorkloadParams &params,
@@ -170,6 +235,9 @@ loadCapturedWorkload(const std::string &path,
 {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
+        // The normal cold path: nothing cached yet, nothing to warn
+        // about.
+        bump(cacheStats().coldMisses);
         if (why != nullptr)
             *why = "cannot open";
         return false;
@@ -177,26 +245,35 @@ loadCapturedWorkload(const std::string &path,
     std::vector<std::uint64_t> meta;
     Trace stream{"", 1};
     std::string error;
-    if (!readCaptureBundle(is, config_hash, meta, stream, &error)) {
+    bool ok = readCaptureBundle(is, config_hash, meta, stream, &error);
+    if (ok && !unpackMeta(meta, out)) {
+        ok = false;
+        error = "inconsistent bundle meta";
+    }
+    if (!ok) {
+        const bool stale = isStaleBundleError(error);
+        bump(stale ? cacheStats().staleMisses
+                   : cacheStats().corruptMisses);
+        casim_warn("capture cache: ignoring ",
+                   stale ? "stale" : "corrupt", " bundle ", path, " (",
+                   error, "); regenerating capture");
         if (why != nullptr)
             *why = error;
         return false;
     }
-    if (!unpackMeta(meta, out)) {
-        if (why != nullptr)
-            *why = "inconsistent bundle meta";
-        return false;
-    }
     out.stream = std::move(stream);
+    bump(cacheStats().hits);
     if (why != nullptr)
         why->clear();
     return true;
 }
 
+namespace {
+
 bool
-saveCapturedWorkload(const std::string &path,
-                     std::uint64_t config_hash,
-                     const CapturedWorkload &captured)
+saveCapturedWorkloadImpl(const std::string &path,
+                         std::uint64_t config_hash,
+                         const CapturedWorkload &captured)
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -230,6 +307,18 @@ saveCapturedWorkload(const std::string &path,
         return false;
     }
     return true;
+}
+
+} // namespace
+
+bool
+saveCapturedWorkload(const std::string &path,
+                     std::uint64_t config_hash,
+                     const CapturedWorkload &captured)
+{
+    const bool ok = saveCapturedWorkloadImpl(path, config_hash, captured);
+    bump(ok ? cacheStats().saves : cacheStats().saveFailures);
+    return ok;
 }
 
 } // namespace casim

@@ -19,9 +19,22 @@
 
 #include <string>
 
+#include "common/stats.hh"
 #include "sim/experiment.hh"
 
 namespace casim {
+
+/**
+ * Process-wide counters for the persistent capture cache: hits,
+ * cold/stale/corrupt misses, saves and save failures.  Increments are
+ * internally serialized, so the counters are accurate even when the
+ * parallel runner captures workloads concurrently; read them only
+ * after the runs of interest have completed.
+ */
+stats::StatGroup &captureCacheStats();
+
+/** Value of one capture-cache counter by short name, e.g. "hits". */
+std::uint64_t captureCacheCounter(const std::string &name);
 
 /**
  * Fingerprint of everything that determines one workload's capture:

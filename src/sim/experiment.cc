@@ -49,7 +49,7 @@ captureWorkloadFresh(const std::string &name, const StudyConfig &config,
 
     captured.stream = Trace(name + ".llc", config.workload.threads);
     captured.hierarchy = runHierarchy(trace, hier,
-                                      makePolicyFactory("lru"),
+                                      requirePolicyFactory("lru"),
                                       &captured.stream);
     return captured;
 }
@@ -100,37 +100,52 @@ captureAllWorkloads(const StudyConfig &config, ParallelRunner &runner)
         });
 }
 
-std::uint64_t
-replayMisses(const Trace &stream, const CacheGeometry &geo,
-             const ReplPolicyFactory &factory)
-{
-    StreamSim sim(stream, geo, factory(geo.numSets(), geo.ways));
-    sim.run();
-    return sim.misses();
-}
+namespace {
 
-std::uint64_t
-replayMissesOpt(const Trace &stream, const NextUseIndex &index,
-                const CacheGeometry &geo)
+/** Build the (possibly wrapped) replacement policy a spec describes. */
+std::unique_ptr<ReplPolicy>
+makeReplayPolicy(const ReplaySpec &spec)
 {
-    StreamSim sim(stream, geo,
-                  std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
-                                              index));
-    sim.run();
-    return sim.misses();
-}
-
-std::uint64_t
-replayMissesWrapped(const Trace &stream, const CacheGeometry &geo,
-                    const ReplPolicyFactory &base, FillLabeler &labeler,
-                    const StudyConfig &config)
-{
-    auto wrapped = std::make_unique<SharingAwareWrapper>(
-        base(geo.numSets(), geo.ways), config.protectionRounds,
+    const CacheGeometry &geo = spec.geo;
+    std::unique_ptr<ReplPolicy> base;
+    if (spec.policy == "opt") {
+        casim_assert(spec.nextUse != nullptr,
+                     "ReplaySpec: policy 'opt' needs a next-use index");
+        base = std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
+                                           *spec.nextUse);
+    } else {
+        base = requirePolicyFactory(spec.policy)(geo.numSets(),
+                                                 geo.ways);
+    }
+    if (spec.labeler == nullptr)
+        return base;
+    casim_assert(spec.config != nullptr,
+                 "ReplaySpec: a labeler needs the study config for the "
+                 "wrapper's protection budgets");
+    const StudyConfig &config = *spec.config;
+    return std::make_unique<SharingAwareWrapper>(
+        std::move(base), config.protectionRounds,
         config.postShareRounds, config.protectionQuota,
         config.dueling);
-    StreamSim sim(stream, geo, std::move(wrapped));
-    sim.setLabeler(&labeler);
+}
+
+// StreamSim registers itself as its cache's observer, so it cannot be
+// returned from a factory; attach the spec's hooks to one constructed
+// in place instead.
+void
+applySpec(StreamSim &sim, const ReplaySpec &spec)
+{
+    sim.setLabeler(spec.labeler);
+    sim.setPrefetcher(spec.prefetcher);
+}
+
+} // namespace
+
+std::uint64_t
+replayMisses(const Trace &stream, const ReplaySpec &spec)
+{
+    StreamSim sim(stream, spec.geo, makeReplayPolicy(spec));
+    applySpec(sim, spec);
     sim.run();
     return sim.misses();
 }
@@ -144,10 +159,11 @@ makeOracle(const NextUseIndex &index, const StudyConfig &config,
 }
 
 SharingSummary
-replaySharing(const Trace &stream, const CacheGeometry &geo,
-              const ReplPolicyFactory &factory, unsigned num_cores)
+replaySharing(const Trace &stream, const ReplaySpec &spec,
+              unsigned num_cores)
 {
-    StreamSim sim(stream, geo, factory(geo.numSets(), geo.ways));
+    StreamSim sim(stream, spec.geo, makeReplayPolicy(spec));
+    applySpec(sim, spec);
     SharingTracker tracker(num_cores);
     sim.setObserver(&tracker);
     sim.run();

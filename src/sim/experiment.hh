@@ -21,6 +21,8 @@
 
 namespace casim {
 
+class StridePrefetcher;
+
 /** A workload generated, simulated and captured once for replay. */
 struct CapturedWorkload
 {
@@ -83,35 +85,59 @@ captureAllWorkloads(const StudyConfig &config);
 std::vector<CapturedWorkload>
 captureAllWorkloads(const StudyConfig &config, ParallelRunner &runner);
 
-/** Replay misses under a named or custom base policy. */
-std::uint64_t replayMisses(const Trace &stream, const CacheGeometry &geo,
-                           const ReplPolicyFactory &factory);
-
-/** Replay misses under Belady's OPT. */
-std::uint64_t replayMissesOpt(const Trace &stream,
-                              const NextUseIndex &index,
-                              const CacheGeometry &geo);
-
 /**
- * Replay misses under a base policy wrapped by the sharing-aware victim
- * filter fed from `labeler`, using the protection budgets and quota
- * from `config`.
+ * Named description of one captured-stream replay.
+ *
+ * Replaces the old positional replay helpers: every knob a replay can
+ * take is a named field, so call sites read as configuration instead
+ * of argument soup.
+ *
+ *   ReplaySpec spec;
+ *   spec.policy = "srrip";
+ *   spec.geo = config.llcGeometry(bytes);
+ *   spec.labeler = &oracle;       // compose the sharing-aware wrapper
+ *   spec.config = &config;        // protection budgets for the wrapper
+ *   replayMisses(wl.stream, spec);
  */
-std::uint64_t replayMissesWrapped(const Trace &stream,
-                                  const CacheGeometry &geo,
-                                  const ReplPolicyFactory &base,
-                                  FillLabeler &labeler,
-                                  const StudyConfig &config);
+struct ReplaySpec
+{
+    /** Base policy: any builtinPolicyNames() entry, or "opt". */
+    std::string policy = "lru";
+
+    /** LLC geometry to replay at. */
+    CacheGeometry geo;
+
+    /** Next-use index over the stream; required when policy is "opt". */
+    const NextUseIndex *nextUse = nullptr;
+
+    /**
+     * Fill-time labeler (oracle or predictor).  Non-null composes the
+     * sharing-aware victim filter around the base policy, with the
+     * protection budgets taken from `config` (required then).
+     */
+    FillLabeler *labeler = nullptr;
+
+    /** Study parameters for the wrapper; required with `labeler`. */
+    const StudyConfig *config = nullptr;
+
+    /**
+     * Caller-owned LLC stride prefetcher, attached when non-null so
+     * its accuracy can be read back after the replay.  Incompatible
+     * with "opt" (see StreamSim::setPrefetcher).
+     */
+    StridePrefetcher *prefetcher = nullptr;
+};
+
+/** Replay the stream under `spec` and return the demand misses. */
+std::uint64_t replayMisses(const Trace &stream, const ReplaySpec &spec);
 
 /** Build the study's oracle labeler for one LLC capacity. */
 OracleLabeler makeOracle(const NextUseIndex &index,
                          const StudyConfig &config,
                          std::uint64_t llc_bytes);
 
-/** Replay under a policy and return the sharing characterization. */
-SharingSummary replaySharing(const Trace &stream,
-                             const CacheGeometry &geo,
-                             const ReplPolicyFactory &factory,
+/** Replay under `spec` and return the sharing characterization. */
+SharingSummary replaySharing(const Trace &stream, const ReplaySpec &spec,
                              unsigned num_cores);
 
 } // namespace casim

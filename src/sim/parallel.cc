@@ -5,11 +5,25 @@
 
 #include "sim/parallel.hh"
 
+#include <algorithm>
+
+#include "common/timer.hh"
+
 namespace casim {
 
 ParallelRunner::ParallelRunner(unsigned jobs)
-    : jobs_(jobs == 0 ? 1 : jobs)
+    : jobs_(jobs == 0 ? 1 : jobs), stats_("runner"),
+      tasks_(stats_.addCounter("tasks", "simulation cells executed")),
+      batches_(stats_.addCounter("batches", "run() fan-outs issued"))
+      , taskSeconds_(stats_.addDistribution(
+            "task_seconds", "wall time of each simulation cell"))
 {
+    stats_.addFormula("jobs", "worker count",
+                      [this] { return static_cast<double>(jobs_); });
+    stats_.addFormula("max_queue_depth",
+                      "deepest job queue observed", [this] {
+                          return static_cast<double>(maxQueueDepth_);
+                      });
     if (jobs_ == 1)
         return; // serial mode: never touch threading machinery
     workers_.reserve(jobs_);
@@ -45,9 +59,12 @@ ParallelRunner::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        PhaseTimer timer;
         job();
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            taskSeconds_.sample(timer.seconds());
+            ++tasks_;
             if (--pending_ == 0)
                 batchDone_.notify_all();
         }
@@ -62,13 +79,19 @@ ParallelRunner::run(std::size_t n,
         return;
     if (jobs_ == 1 || n == 1) {
         // The exact serial code path: inline, in index order.
-        for (std::size_t i = 0; i < n; ++i)
+        ++batches_;
+        for (std::size_t i = 0; i < n; ++i) {
+            PhaseTimer timer;
             task(i);
+            taskSeconds_.sample(timer.seconds());
+            ++tasks_;
+        }
         return;
     }
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        ++batches_;
         pending_ = n;
         firstError_ = nullptr;
         for (std::size_t i = 0; i < n; ++i) {
@@ -82,6 +105,7 @@ ParallelRunner::run(std::size_t n,
                 }
             });
         }
+        maxQueueDepth_ = std::max(maxQueueDepth_, queue_.size());
     }
     workReady_.notify_all();
 

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.hh"
+
 namespace casim {
 
 /** Fixed-size worker pool executing indexed tasks deterministically. */
@@ -75,6 +77,13 @@ class ParallelRunner
         return out;
     }
 
+    /**
+     * Execution counters: batches and tasks run, per-task wall time,
+     * the worker count and the deepest queue observed.  Read only
+     * between run() calls — sampling is serialized with the queue.
+     */
+    const stats::StatGroup &stats() const { return stats_; }
+
   private:
     /** Worker main loop: pop jobs until asked to stop. */
     void workerLoop();
@@ -87,8 +96,14 @@ class ParallelRunner
     std::condition_variable batchDone_;
     std::deque<std::function<void()>> queue_;
     std::size_t pending_ = 0;
+    std::size_t maxQueueDepth_ = 0;
     std::exception_ptr firstError_;
     bool stopping_ = false;
+
+    stats::StatGroup stats_;
+    stats::Counter &tasks_;
+    stats::Counter &batches_;
+    stats::Distribution &taskSeconds_;
 };
 
 } // namespace casim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Implementation of the JSON result sink.
+ */
+
+#include "sim/result_sink.hh"
+
+#include <fstream>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace casim {
+
+using stats::printJsonNumber;
+using stats::printJsonString;
+
+namespace {
+
+void
+printStringArray(std::ostream &os, const std::vector<std::string> &items)
+{
+    os << "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            os << ", ";
+        printJsonString(os, items[i]);
+    }
+    os << "]";
+}
+
+} // namespace
+
+ResultSink::ResultSink(std::string bench, const StudyConfig &config)
+    : bench_(std::move(bench)), config_(config)
+{
+}
+
+void
+ResultSink::addTable(const TablePrinter &table)
+{
+    TableCopy copy;
+    copy.title = table.title();
+    copy.headers = table.headers();
+    copy.rows = table.rows();
+    copy.separators = table.separators();
+    tables_.push_back(std::move(copy));
+}
+
+void
+ResultSink::addNote(const std::string &note)
+{
+    notes_.push_back(note);
+}
+
+void
+ResultSink::addGroup(const stats::StatGroup &group)
+{
+    groups_.push_back(&group);
+}
+
+void
+ResultSink::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"schema\": ";
+    printJsonString(os, kStatsSchemaId);
+    os << ",\n  \"bench\": ";
+    printJsonString(os, bench_);
+
+    os << ",\n  \"config\": {";
+    os << "\"threads\": " << config_.workload.threads;
+    os << ", \"scale\": ";
+    printJsonNumber(os, config_.workload.scale);
+    os << ", \"seed\": " << config_.workload.seed;
+    os << ", \"llc_small_bytes\": " << config_.llcSmallBytes;
+    os << ", \"llc_large_bytes\": " << config_.llcLargeBytes;
+    os << ", \"llc_ways\": " << config_.llcWays;
+    os << ", \"capture_dir\": ";
+    printJsonString(os, config_.captureDir);
+    os << "}";
+
+    os << ",\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const TableCopy &table = tables_[t];
+        os << (t ? ",\n    {" : "\n    {");
+        os << "\"title\": ";
+        printJsonString(os, table.title);
+        os << ",\n     \"headers\": ";
+        printStringArray(os, table.headers);
+        os << ",\n     \"rows\": [";
+        for (std::size_t r = 0; r < table.rows.size(); ++r) {
+            if (r)
+                os << ",\n              ";
+            printStringArray(os, table.rows[r]);
+        }
+        os << "],\n     \"separators\": [";
+        for (std::size_t s = 0; s < table.separators.size(); ++s) {
+            if (s)
+                os << ", ";
+            os << table.separators[s];
+        }
+        os << "]}";
+    }
+    os << (tables_.empty() ? "]" : "\n  ]");
+
+    os << ",\n  \"notes\": ";
+    printStringArray(os, notes_);
+
+    // Group keys are the stat-name prefixes; a second group with the
+    // same prefix gets a "#N" suffix so keys stay unique.
+    os << ",\n  \"stats\": {";
+    std::map<std::string, unsigned> seen;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        std::string key = groups_[g]->prefix();
+        if (key.empty())
+            key = "stats";
+        const unsigned n = ++seen[key];
+        if (n > 1)
+            key += "#" + std::to_string(n);
+        os << (g ? ",\n    " : "\n    ");
+        printJsonString(os, key);
+        os << ": ";
+        groups_[g]->dumpJson(os);
+    }
+    os << (groups_.empty() ? "}" : "\n  }");
+
+    os << "\n}\n";
+}
+
+bool
+ResultSink::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        casim_warn("result sink: cannot open '", path, "' for writing");
+        return false;
+    }
+    writeJson(os);
+    os.flush();
+    if (!os.good()) {
+        casim_warn("result sink: write to '", path, "' failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace casim

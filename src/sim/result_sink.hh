@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Machine-readable result emission for the bench binaries.
+ *
+ * A ResultSink collects everything one bench run produced — its figure
+ * tables (cell-exact, as formatted for the text output), free-form
+ * notes, the study configuration, and the stat groups of every
+ * participating component — and renders a single versioned JSON
+ * document.  See docs/stats_schema.md for the schema.
+ *
+ * Table cells are stored as the exact strings TablePrinter renders, so
+ * a JSON document always reproduces the text-table numbers verbatim;
+ * consumers that want typed values parse the cells (they are plain
+ * fixed-precision decimals).
+ */
+
+#ifndef CASIM_SIM_RESULT_SINK_HH
+#define CASIM_SIM_RESULT_SINK_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/config.hh"
+
+namespace casim {
+
+/** Schema identifier stamped into every emitted document. */
+inline constexpr const char *kStatsSchemaId = "casim-stats-1";
+
+/** Collects one bench run's results and emits them as JSON. */
+class ResultSink
+{
+  public:
+    /**
+     * @param bench  Name of the bench binary, e.g. "fig5_policy_comparison".
+     * @param config The study configuration echoed into the document.
+     */
+    ResultSink(std::string bench, const StudyConfig &config);
+
+    /** Record a figure table (cells copied as formatted). */
+    void addTable(const TablePrinter &table);
+
+    /** Record one free-form note line. */
+    void addNote(const std::string &note);
+
+    /**
+     * Register a component stat group.  The sink stores a pointer and
+     * reads the statistics at writeJson() time, so the group must stay
+     * alive until then.  Groups sharing a prefix are disambiguated
+     * with a "#N" suffix in the document.
+     */
+    void addGroup(const stats::StatGroup &group);
+
+    /** Render the full document (one JSON object, trailing newline). */
+    void writeJson(std::ostream &os) const;
+
+    /** Render to a file; false (with a warning) on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    struct TableCopy
+    {
+        std::string title;
+        std::vector<std::string> headers;
+        std::vector<std::vector<std::string>> rows;
+        std::vector<std::size_t> separators;
+    };
+
+    std::string bench_;
+    StudyConfig config_;
+    std::vector<TableCopy> tables_;
+    std::vector<std::string> notes_;
+    std::vector<const stats::StatGroup *> groups_;
+};
+
+} // namespace casim
+
+#endif // CASIM_SIM_RESULT_SINK_HH

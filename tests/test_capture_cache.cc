@@ -2,7 +2,8 @@
  * @file
  * Tests for the persistent capture cache: warm loads must be
  * byte-identical to cold regeneration, and stale, truncated or
- * corrupted cache files must silently fall back to regeneration.
+ * corrupted cache files must fall back to regeneration while counting
+ * the fallback in the capture_cache stat group.
  */
 
 #include <cstdint>
@@ -126,6 +127,9 @@ TEST(CaptureCache, WarmLoadIsByteIdenticalAcrossAllWorkloads)
     const StudyConfig uncached = tinyConfig();
     const StudyConfig cached = tinyConfig(dir.str());
 
+    const auto hits_before = captureCacheCounter("hits");
+    const auto cold_before = captureCacheCounter("cold_misses");
+    std::uint64_t workloads = 0;
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload fresh =
             captureWorkload(info.name, uncached);
@@ -134,7 +138,13 @@ TEST(CaptureCache, WarmLoadIsByteIdenticalAcrossAllWorkloads)
         SCOPED_TRACE(info.name);
         expectSameCapture(fresh, cold);
         expectSameCapture(fresh, warm);
+        ++workloads;
     }
+    // One cold miss and one warm hit per workload (uncached runs never
+    // touch the cache).
+    EXPECT_EQ(captureCacheCounter("hits") - hits_before, workloads);
+    EXPECT_EQ(captureCacheCounter("cold_misses") - cold_before,
+              workloads);
 }
 
 TEST(CaptureCache, TruncatedFileFallsBackToRegeneration)
@@ -147,9 +157,13 @@ TEST(CaptureCache, TruncatedFileFallsBackToRegeneration)
     const auto size = fs::file_size(file);
     fs::resize_file(file, size / 2);
 
+    const auto corrupt_before = captureCacheCounter("corrupt_misses");
     const CapturedWorkload again = captureWorkload("canneal", cached);
     expectSameCapture(fresh, again);
-    // The regeneration must also have repaired the cache file.
+    // The fallback is counted as a corrupt miss, and the regeneration
+    // must also have repaired the cache file.
+    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
+              1u);
     EXPECT_EQ(fs::file_size(onlyCacheFile(dir.path())), size);
 }
 
@@ -173,8 +187,11 @@ TEST(CaptureCache, BitFlippedFileFallsBackToRegeneration)
     f.write(&byte, 1);
     f.close();
 
+    const auto corrupt_before = captureCacheCounter("corrupt_misses");
     const CapturedWorkload again = captureWorkload("canneal", cached);
     expectSameCapture(fresh, again);
+    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
+              1u);
 }
 
 TEST(CaptureCache, VersionMismatchFallsBackToRegeneration)
@@ -193,8 +210,12 @@ TEST(CaptureCache, VersionMismatchFallsBackToRegeneration)
             sizeof(future_version));
     f.close();
 
+    // An unsupported bundle version is a stale cache entry, not
+    // corruption.
+    const auto stale_before = captureCacheCounter("stale_misses");
     const CapturedWorkload again = captureWorkload("canneal", cached);
     expectSameCapture(fresh, again);
+    EXPECT_EQ(captureCacheCounter("stale_misses") - stale_before, 1u);
 }
 
 TEST(CaptureCache, ConfigChangeMissesTheCache)

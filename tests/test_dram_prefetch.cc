@@ -70,7 +70,7 @@ TEST(Dram, HierarchyUsesModelWhenEnabled)
     config.l1 = CacheGeometry{1024, 2, kBlockBytes};
     config.llc = CacheGeometry{8 * 1024, 4, kBlockBytes};
     config.useDramModel = true;
-    Hierarchy hierarchy(config, makePolicyFactory("lru"));
+    Hierarchy hierarchy(config, requirePolicyFactory("lru"));
     hierarchy.access(MemAccess{0x0000, 0x400, 0, false});
     EXPECT_EQ(hierarchy.dram().accesses(), 1u);
     EXPECT_EQ(hierarchy.cycles(),
@@ -167,12 +167,12 @@ TEST(StreamSimPrefetch, SequentialStreamBenefits)
     const CacheGeometry geo{64 * 1024, 8, kBlockBytes};
 
     StreamSim plain(trace, geo,
-                    makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                    requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     plain.run();
 
     StridePrefetcher prefetcher;
     StreamSim fetched(trace, geo,
-                      makePolicyFactory("lru")(geo.numSets(),
+                      requirePolicyFactory("lru")(geo.numSets(),
                                                geo.ways));
     fetched.setPrefetcher(&prefetcher);
     fetched.run();
@@ -194,7 +194,7 @@ TEST(StreamSimPrefetch, PrefetchedFlagClearsOnDemandHit)
     const CacheGeometry geo{8 * 1024, 4, kBlockBytes};
     StridePrefetcher prefetcher;
     StreamSim sim(trace, geo,
-                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                  requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     sim.setPrefetcher(&prefetcher);
     sim.run();
     // Every resident block that was demanded has its flag cleared.

@@ -28,7 +28,7 @@ std::unique_ptr<Hierarchy>
 makeHierarchy(unsigned cores = 2)
 {
     return std::make_unique<Hierarchy>(tinyConfig(cores),
-                                       makePolicyFactory("lru"));
+                                       requirePolicyFactory("lru"));
 }
 
 MemAccess
@@ -147,7 +147,7 @@ TEST(Hierarchy, LlcEvictionBackInvalidatesL1)
     HierarchyConfig config = tinyConfig();
     config.l1 = CacheGeometry{2048, 4, kBlockBytes}; // 8 sets x 4 ways
     auto h = std::make_unique<Hierarchy>(config,
-                                         makePolicyFactory("lru"));
+                                         requirePolicyFactory("lru"));
     // LLC has 32 sets x 4 ways.  Five blocks in LLC set 0:
     // stride = 32 * 64 = 0x800 (also all in L1 set 0).
     for (int i = 0; i < 5; ++i)

@@ -30,7 +30,7 @@ class PolicyInvariants : public ::testing::TestWithParam<std::string>
 /** A policy must never return an excluded or out-of-range victim. */
 TEST_P(PolicyInvariants, VictimRespectsExclusion)
 {
-    const auto factory = makePolicyFactory(GetParam());
+    const auto factory = requirePolicyFactory(GetParam());
     auto policy = factory(4, 8);
     Rng rng(2024);
     for (unsigned set = 0; set < 4; ++set)
@@ -63,7 +63,7 @@ TEST_P(PolicyInvariants, DeterministicReplay)
 
     const auto run = [&]() {
         StreamSim sim(trace, geo,
-                      makePolicyFactory(GetParam())(geo.numSets(),
+                      requirePolicyFactory(GetParam())(geo.numSets(),
                                                     geo.ways));
         sim.run();
         return sim.misses();
@@ -82,7 +82,7 @@ TEST_P(PolicyInvariants, AccountingAddsUp)
                      rng.chance(0.5));
     const CacheGeometry geo{8 * 1024, 4, kBlockBytes};
     StreamSim sim(trace, geo,
-                  makePolicyFactory(GetParam())(geo.numSets(),
+                  requirePolicyFactory(GetParam())(geo.numSets(),
                                                 geo.ways));
     sim.run();
     EXPECT_EQ(sim.hits() + sim.misses(), trace.size());
@@ -106,13 +106,13 @@ TEST_P(PolicyInvariants, NeverLabelerIsTransparent)
     const CacheGeometry geo{16 * 1024, 8, kBlockBytes};
 
     StreamSim plain(trace, geo,
-                    makePolicyFactory(GetParam())(geo.numSets(),
+                    requirePolicyFactory(GetParam())(geo.numSets(),
                                                   geo.ways));
     plain.run();
 
     NeverSharedLabeler never;
     auto wrapped = std::make_unique<SharingAwareWrapper>(
-        makePolicyFactory(GetParam())(geo.numSets(), geo.ways), 256, 0,
+        requirePolicyFactory(GetParam())(geo.numSets(), geo.ways), 256, 0,
         0.5, true, /*demote_private=*/false);
     StreamSim aware(trace, geo, std::move(wrapped));
     aware.setLabeler(&never);
@@ -140,7 +140,7 @@ TEST_P(PolicyInvariants, HierarchyRunsWithPolicyAsLlc)
     config.numCores = 4;
     config.l1 = CacheGeometry{2 * 1024, 2, kBlockBytes};
     config.llc = CacheGeometry{16 * 1024, 4, kBlockBytes};
-    Hierarchy hierarchy(config, makePolicyFactory(GetParam()));
+    Hierarchy hierarchy(config, requirePolicyFactory(GetParam()));
     Rng rng(321);
     for (int i = 0; i < 30000; ++i) {
         hierarchy.access(MemAccess{rng.below(1024) * kBlockBytes,
@@ -170,13 +170,13 @@ TEST_P(PolicyInvariants, OracleWrapperBoundedOnRandomStream)
     const CacheGeometry geo{16 * 1024, 8, kBlockBytes};
 
     StreamSim plain(trace, geo,
-                    makePolicyFactory(GetParam())(geo.numSets(),
+                    requirePolicyFactory(GetParam())(geo.numSets(),
                                                   geo.ways));
     plain.run();
 
     OracleLabeler oracle(index, 4 * (geo.sizeBytes / kBlockBytes));
     auto wrapped = std::make_unique<SharingAwareWrapper>(
-        makePolicyFactory(GetParam())(geo.numSets(), geo.ways));
+        requirePolicyFactory(GetParam())(geo.numSets(), geo.ways));
     StreamSim aware(trace, geo, std::move(wrapped));
     aware.setLabeler(&oracle);
     aware.run();
@@ -247,7 +247,7 @@ TEST_P(WorkloadProperties, HierarchyDigestsTrace)
     config.numCores = 4;
     config.l1 = CacheGeometry{2 * 1024, 2, kBlockBytes};
     config.llc = CacheGeometry{32 * 1024, 4, kBlockBytes};
-    Hierarchy hierarchy(config, makePolicyFactory("lru"));
+    Hierarchy hierarchy(config, requirePolicyFactory("lru"));
     SharingTracker tracker(4);
     hierarchy.setLlcObserver(&tracker);
     hierarchy.run(trace);
@@ -296,7 +296,7 @@ TEST_P(GeometrySweep, OccupancyBounded)
                      static_cast<CoreId>(rng.below(2)),
                      rng.chance(0.3));
     StreamSim sim(trace, geo,
-                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                  requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     sim.run();
     EXPECT_LE(sim.cache().validBlocks(), geo.numSets() * geo.ways);
     EXPECT_EQ(sim.hits() + sim.misses(), trace.size());
@@ -314,7 +314,7 @@ TEST_P(GeometrySweep, OptDominatesLru)
                      static_cast<CoreId>(rng.below(2)), false);
     const NextUseIndex index(trace);
     StreamSim lru(trace, geo,
-                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                  requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     lru.run();
     StreamSim opt(trace, geo,
                   std::make_unique<OptPolicy>(geo.numSets(), geo.ways,

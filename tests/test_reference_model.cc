@@ -69,7 +69,7 @@ TEST(ReferenceModel, LruMatchesOnRandomStreams)
 
         const CacheGeometry geo{32 * 1024, 8, kBlockBytes};
         StreamSim sim(trace, geo,
-                      makePolicyFactory("lru")(geo.numSets(),
+                      requirePolicyFactory("lru")(geo.numSets(),
                                                geo.ways));
         sim.run();
 
@@ -92,7 +92,7 @@ TEST(ReferenceModel, LruMatchesOnGeneratedWorkload)
 
     const CacheGeometry geo{64 * 1024, 4, kBlockBytes};
     StreamSim sim(trace, geo,
-                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                  requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     sim.run();
 
     ReferenceLru reference(geo.numSets(), geo.ways);
@@ -115,7 +115,7 @@ TEST(ReferenceModel, CyclicScanClosedForm)
                          false);
     const CacheGeometry geo{ways * kBlockBytes, ways, kBlockBytes};
     StreamSim sim(trace, geo,
-                  makePolicyFactory("lru")(geo.numSets(), geo.ways));
+                  requirePolicyFactory("lru")(geo.numSets(), geo.ways));
     sim.run();
     EXPECT_EQ(sim.misses(), trace.size());
 }
@@ -164,7 +164,7 @@ TEST(ReferenceModel, WorkingSetThatFitsMissesOnlyCold)
     const CacheGeometry geo{64 * 1024, 8, kBlockBytes}; // 1024 blocks
     for (const auto &policy : builtinPolicyNames()) {
         StreamSim sim(trace, geo,
-                      makePolicyFactory(policy)(geo.numSets(),
+                      requirePolicyFactory(policy)(geo.numSets(),
                                                 geo.ways));
         sim.run();
         EXPECT_EQ(sim.misses(), trace.footprintBlocks()) << policy;

@@ -322,7 +322,7 @@ TEST(Opt, HitRefreshesNextUse)
 TEST(Factory, BuildsAllKnownPolicies)
 {
     for (const auto &name : builtinPolicyNames()) {
-        const auto factory = makePolicyFactory(name);
+        const auto factory = requirePolicyFactory(name);
         const auto policy = factory(16, 4);
         ASSERT_NE(policy, nullptr) << name;
         EXPECT_EQ(policy->name(), name);
@@ -439,7 +439,7 @@ TEST(MesiNames, AllStatesPrintable)
 TEST(ReplProperty, VictimAlwaysLegal)
 {
     for (const auto &name : builtinPolicyNames()) {
-        const auto factory = makePolicyFactory(name);
+        const auto factory = requirePolicyFactory(name);
         auto policy = factory(8, 4);
         Rng rng(1234);
         std::vector<std::vector<bool>> valid(8,

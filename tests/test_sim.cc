@@ -87,7 +87,7 @@ TEST(HierarchySim, RunProducesConsistentCounts)
 
     Trace captured("cap", config.workload.threads);
     const HierarchyRunResult result = runHierarchy(
-        trace, hier, makePolicyFactory("lru"), &captured);
+        trace, hier, requirePolicyFactory("lru"), &captured);
 
     EXPECT_EQ(result.demandAccesses, trace.size());
     EXPECT_EQ(result.llcAccesses, result.llcHits + result.llcMisses);
@@ -107,7 +107,7 @@ TEST(HierarchySim, SharingSummaryAddsUp)
     hier.llc = config.llcGeometry(config.llcSmallBytes);
 
     const HierarchyRunResult result =
-        runHierarchy(trace, hier, makePolicyFactory("lru"), nullptr);
+        runHierarchy(trace, hier, requirePolicyFactory("lru"), nullptr);
     const auto &sharing = result.sharing;
 
     // Class hits partition total hits.
@@ -148,9 +148,9 @@ TEST(Experiment, ReplayLruMatchesCaptureRunMisses)
     // the same order.
     const StudyConfig config = tinyStudy();
     const CapturedWorkload wl = captureWorkload("ocean", config);
-    const auto replayed =
-        replayMisses(wl.stream, config.llcGeometry(config.llcSmallBytes),
-                     makePolicyFactory("lru"));
+    ReplaySpec spec;
+    spec.geo = config.llcGeometry(config.llcSmallBytes);
+    const auto replayed = replayMisses(wl.stream, spec);
     EXPECT_EQ(replayed, wl.hierarchy.llcMisses);
 }
 
@@ -158,12 +158,12 @@ TEST(Experiment, LargerLlcNeverMissesMoreUnderLru)
 {
     const StudyConfig config = tinyStudy();
     const CapturedWorkload wl = captureWorkload("canneal", config);
-    const auto small =
-        replayMisses(wl.stream, config.llcGeometry(config.llcSmallBytes),
-                     makePolicyFactory("lru"));
-    const auto large =
-        replayMisses(wl.stream, config.llcGeometry(config.llcLargeBytes),
-                     makePolicyFactory("lru"));
+    ReplaySpec small_spec;
+    small_spec.geo = config.llcGeometry(config.llcSmallBytes);
+    const auto small = replayMisses(wl.stream, small_spec);
+    ReplaySpec large_spec;
+    large_spec.geo = config.llcGeometry(config.llcLargeBytes);
+    const auto large = replayMisses(wl.stream, large_spec);
     // LRU's stack property: inclusion holds for same-associativity...
     // only guaranteed when sets grow, but in practice the doubled
     // cache must not miss more on these streams.
@@ -177,10 +177,16 @@ TEST(Experiment, OptIsOptimalAcrossPolicies)
     const CacheGeometry geo =
         config.llcGeometry(config.llcSmallBytes);
     const NextUseIndex index(wl.stream);
-    const auto opt = replayMissesOpt(wl.stream, index, geo);
+    ReplaySpec opt_spec;
+    opt_spec.policy = "opt";
+    opt_spec.geo = geo;
+    opt_spec.nextUse = &index;
+    const auto opt = replayMisses(wl.stream, opt_spec);
     for (const auto &policy : builtinPolicyNames()) {
-        const auto misses =
-            replayMisses(wl.stream, geo, makePolicyFactory(policy));
+        ReplaySpec spec;
+        spec.policy = policy;
+        spec.geo = geo;
+        const auto misses = replayMisses(wl.stream, spec);
         EXPECT_LE(opt, misses) << policy;
     }
 }
@@ -193,11 +199,18 @@ TEST(Experiment, OracleWrapperNeverBeatsOpt)
     const CacheGeometry geo =
         config.llcGeometry(config.llcSmallBytes);
     const NextUseIndex index(wl.stream);
-    const auto opt = replayMissesOpt(wl.stream, index, geo);
+    ReplaySpec opt_spec;
+    opt_spec.policy = "opt";
+    opt_spec.geo = geo;
+    opt_spec.nextUse = &index;
+    const auto opt = replayMisses(wl.stream, opt_spec);
     OracleLabeler oracle =
         makeOracle(index, config, config.llcSmallBytes);
-    const auto aware = replayMissesWrapped(
-        wl.stream, geo, makePolicyFactory("lru"), oracle, config);
+    ReplaySpec aware_spec;
+    aware_spec.geo = geo;
+    aware_spec.labeler = &oracle;
+    aware_spec.config = &config;
+    const auto aware = replayMisses(wl.stream, aware_spec);
     EXPECT_GE(aware, opt);
 }
 
@@ -207,13 +220,13 @@ TEST(Experiment, ReplaySharingMatchesDirectTracker)
     const CapturedWorkload wl = captureWorkload("fft", config);
     const CacheGeometry geo =
         config.llcGeometry(config.llcSmallBytes);
-    const SharingSummary summary = replaySharing(
-        wl.stream, geo, makePolicyFactory("lru"),
-        config.workload.threads);
+    ReplaySpec spec;
+    spec.geo = geo;
+    const SharingSummary summary =
+        replaySharing(wl.stream, spec, config.workload.threads);
     const std::uint64_t hits =
         summary.sharedHits + summary.privateHits;
-    const auto misses =
-        replayMisses(wl.stream, geo, makePolicyFactory("lru"));
+    const auto misses = replayMisses(wl.stream, spec);
     EXPECT_EQ(hits + misses, wl.stream.size());
 }
 

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Tests for the machine-readable results layer: StatGroup JSON
+ * emission, JSON string/number helpers, the ResultSink document, and
+ * the policy-factory metadata queries that back the bench drivers.
+ *
+ * The JSON assertions use a minimal recursive-descent parser (objects,
+ * arrays, strings, numbers, null) — enough to round-trip every
+ * construct the emitter produces without an external dependency.
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "mem/repl/factory.hh"
+#include "sim/config.hh"
+#include "sim/result_sink.hh"
+
+namespace casim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser, just for these tests.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue
+{
+    std::variant<std::nullptr_t, double, std::string, JsonArray,
+                 JsonObject>
+        data = nullptr;
+
+    bool isNull() const
+    {
+        return std::holds_alternative<std::nullptr_t>(data);
+    }
+    double num() const { return std::get<double>(data); }
+    const std::string &str() const
+    {
+        return std::get<std::string>(data);
+    }
+    const JsonArray &arr() const { return std::get<JsonArray>(data); }
+    const JsonObject &obj() const { return std::get<JsonObject>(data); }
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        const auto it = obj().find(key);
+        EXPECT_NE(it, obj().end()) << "missing key '" << key << "'";
+        static const JsonValue null_value;
+        return it == obj().end() ? null_value : it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue value = parseValue();
+        skipSpace();
+        EXPECT_EQ(pos_, text_.size()) << "trailing JSON content";
+        return value;
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            ADD_FAILURE() << "expected '" << c << "' at offset "
+                          << pos_;
+            ok_ = false;
+            return;
+        }
+        ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        if (!ok_)
+            return {};
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue{parseString()};
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return JsonValue{nullptr};
+        }
+        return parseNumber();
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonObject object;
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue{std::move(object)};
+        }
+        while (ok_) {
+            std::string key = parseString();
+            expect(':');
+            object.emplace(std::move(key), parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        return JsonValue{std::move(object)};
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonArray array;
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue{std::move(array)};
+        }
+        while (ok_) {
+            array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect(']');
+        return JsonValue{std::move(array)};
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                out.push_back(static_cast<char>(
+                    std::stoi(hex, nullptr, 16)));
+                break;
+              }
+              default:
+                ADD_FAILURE() << "bad escape '\\" << esc << "'";
+                ok_ = false;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            ADD_FAILURE() << "expected number at offset " << pos_;
+            ok_ = false;
+            return {};
+        }
+        return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    JsonParser parser(text);
+    return parser.parse();
+}
+
+// ---------------------------------------------------------------------
+
+TEST(StatsJson, StringEscaping)
+{
+    std::ostringstream os;
+    stats::printJsonString(os, "a\"b\\c\nd\te\x01" "f");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(StatsJson, NumberFormatting)
+{
+    const auto render = [](double value) {
+        std::ostringstream os;
+        stats::printJsonNumber(os, value);
+        return os.str();
+    };
+    EXPECT_EQ(render(0.0), "0");
+    EXPECT_EQ(render(42.0), "42");
+    EXPECT_EQ(render(0.25), "0.25");
+    // Non-finite values have no JSON representation; they become null.
+    EXPECT_EQ(render(std::nan("")), "null");
+    EXPECT_EQ(render(INFINITY), "null");
+    // Full round-trip precision for awkward doubles.
+    const double third = 1.0 / 3.0;
+    EXPECT_EQ(std::stod(render(third)), third);
+}
+
+TEST(StatsJson, GroupRoundTripsEveryStatKind)
+{
+    stats::StatGroup group("g");
+    auto &ctr = group.addCounter("events", "event count");
+    auto &vec = group.addVector("kinds", "per-kind", {"read", "write"});
+    auto &dist = group.addDistribution("lat", "latency");
+    auto &hist = group.addHistogram("sizes", "sizes", {1, 4, 16});
+    group.addFormula("rate", "events per latency sample",
+                     [&] { return ctr.value() / 2.0; });
+
+    ctr += 7;
+    vec.add(0, 3);
+    vec.add(1, 4);
+    dist.sample(1.0);
+    dist.sample(3.0);
+    hist.sample(2);
+    hist.sample(100);
+
+    std::ostringstream os;
+    group.dumpJson(os);
+    const JsonValue doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.at("g.events").at("kind").str(), "counter");
+    EXPECT_EQ(doc.at("g.events").at("value").num(), 7.0);
+
+    const JsonValue &kinds = doc.at("g.kinds");
+    EXPECT_EQ(kinds.at("kind").str(), "vector");
+    EXPECT_EQ(kinds.at("values").at("read").num(), 3.0);
+    EXPECT_EQ(kinds.at("values").at("write").num(), 4.0);
+    EXPECT_EQ(kinds.at("total").num(), 7.0);
+
+    const JsonValue &lat = doc.at("g.lat");
+    EXPECT_EQ(lat.at("kind").str(), "distribution");
+    EXPECT_EQ(lat.at("count").num(), 2.0);
+    EXPECT_EQ(lat.at("mean").num(), 2.0);
+    EXPECT_EQ(lat.at("min").num(), 1.0);
+    EXPECT_EQ(lat.at("max").num(), 3.0);
+
+    const JsonValue &sizes = doc.at("g.sizes");
+    EXPECT_EQ(sizes.at("kind").str(), "histogram");
+    // Bucket labels match the text listing: std::to_string(bound).
+    EXPECT_EQ(sizes.at("buckets").at("<=4.000000").num(), 1.0);
+    EXPECT_EQ(sizes.at("buckets").at("overflow").num(), 1.0);
+    EXPECT_EQ(sizes.at("total").num(), 2.0);
+
+    EXPECT_EQ(doc.at("g.rate").at("kind").str(), "formula");
+    EXPECT_EQ(doc.at("g.rate").at("value").num(), 3.5);
+}
+
+TEST(StatsJson, EmptyDistributionEmitsNullMoments)
+{
+    stats::StatGroup group("e");
+    group.addDistribution("d", "empty");
+    std::ostringstream os;
+    group.dumpJson(os);
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("e.d").at("count").num(), 0.0);
+}
+
+TEST(ResultSinkJson, DocumentReproducesTableCellsVerbatim)
+{
+    StudyConfig config;
+    TablePrinter table("Demo table", {"app", "value"});
+    table.addRow({"canneal", "0.123"});
+    table.addRow("ocean", {0.456789}, 3);
+    table.addSeparator();
+    table.addRow({"mean", "0.290"});
+
+    stats::StatGroup group("demo");
+    auto &ctr = group.addCounter("runs", "runs");
+    ++ctr;
+
+    ResultSink sink("test_bench", config);
+    sink.addTable(table);
+    sink.addNote("a note with a\nnewline");
+    sink.addGroup(group);
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    const JsonValue doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.at("schema").str(), kStatsSchemaId);
+    EXPECT_EQ(doc.at("bench").str(), "test_bench");
+    EXPECT_EQ(doc.at("config").at("threads").num(),
+              static_cast<double>(config.workload.threads));
+
+    const JsonArray &tables = doc.at("tables").arr();
+    ASSERT_EQ(tables.size(), 1u);
+    EXPECT_EQ(tables[0].at("title").str(), "Demo table");
+    const JsonArray &rows = tables[0].at("rows").arr();
+    ASSERT_EQ(rows.size(), 3u);
+    // Cells are the exact strings the text table renders — including
+    // the fixed-precision formatting applied by addRow.
+    EXPECT_EQ(rows[0].arr()[1].str(), "0.123");
+    EXPECT_EQ(rows[1].arr()[1].str(), "0.457");
+    EXPECT_EQ(rows[2].arr()[0].str(), "mean");
+    const JsonArray &separators = tables[0].at("separators").arr();
+    ASSERT_EQ(separators.size(), 1u);
+    EXPECT_EQ(separators[0].num(), 2.0);
+
+    EXPECT_EQ(doc.at("notes").arr()[0].str(), "a note with a\nnewline");
+    EXPECT_EQ(doc.at("stats")
+                  .at("demo")
+                  .at("demo.runs")
+                  .at("value")
+                  .num(),
+              1.0);
+}
+
+TEST(ResultSinkJson, AddTableDoesNotPerturbTextOutput)
+{
+    StudyConfig config;
+    TablePrinter table("T", {"a", "b"});
+    table.addRow("x", {1.23456}, 2);
+
+    std::ostringstream before;
+    table.print(before);
+
+    ResultSink sink("bench", config);
+    sink.addTable(table);
+    std::ostringstream json;
+    sink.writeJson(json);
+
+    std::ostringstream after;
+    table.print(after);
+    EXPECT_EQ(before.str(), after.str());
+}
+
+TEST(ResultSinkJson, DuplicateGroupPrefixesAreDisambiguated)
+{
+    StudyConfig config;
+    stats::StatGroup a("dup"), b("dup");
+    ++a.addCounter("n", "n");
+    b.addCounter("n", "n") += 2;
+
+    ResultSink sink("bench", config);
+    sink.addGroup(a);
+    sink.addGroup(b);
+    std::ostringstream os;
+    sink.writeJson(os);
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("stats").at("dup").at("dup.n").at("value").num(),
+              1.0);
+    EXPECT_EQ(
+        doc.at("stats").at("dup#2").at("dup.n").at("value").num(),
+        2.0);
+}
+
+// ---------------------------------------------------------------------
+// Policy factory metadata (the query API the bench drivers rely on).
+
+TEST(PolicyFactory, UnknownNameIsEmptyOptional)
+{
+    EXPECT_FALSE(makePolicyFactory("no-such-policy").has_value());
+    EXPECT_FALSE(policyDesc("no-such-policy").has_value());
+}
+
+TEST(PolicyFactory, BuiltinsAreConstructible)
+{
+    for (const auto &name : builtinPolicyNames()) {
+        const auto factory = makePolicyFactory(name);
+        ASSERT_TRUE(factory.has_value()) << name;
+        const auto policy = (*factory)(64, 8);
+        ASSERT_NE(policy, nullptr) << name;
+        const auto desc = policyDesc(name);
+        ASSERT_TRUE(desc.has_value()) << name;
+        EXPECT_EQ(desc->name, name);
+        EXPECT_FALSE(desc->displayName.empty()) << name;
+        EXPECT_FALSE(desc->needsOracleContext) << name;
+    }
+}
+
+TEST(PolicyFactory, ContextPoliciesAreDescribedButNotConstructible)
+{
+    // "opt" and "sharing-aware" need per-run context (a next-use index
+    // or a labeler), so they have descriptors but no bare factory.
+    for (const std::string name : {"opt", "sharing-aware"}) {
+        EXPECT_FALSE(makePolicyFactory(name).has_value()) << name;
+        const auto desc = policyDesc(name);
+        ASSERT_TRUE(desc.has_value()) << name;
+        EXPECT_TRUE(desc->needsOracleContext) << name;
+    }
+}
+
+TEST(PolicyFactory, AllDescsCoverBuiltinsAndContextPolicies)
+{
+    const auto descs = allPolicyDescs();
+    const auto builtins = builtinPolicyNames();
+    EXPECT_EQ(descs.size(), builtins.size() + 2);
+}
+
+} // namespace
+} // namespace casim

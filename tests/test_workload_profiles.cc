@@ -40,7 +40,7 @@ profileOf(const std::string &name, double scale = 0.1)
     // exceed the LLC the way the full setup's do.
     config.l1 = CacheGeometry{8 * 1024, 8, kBlockBytes};
     config.llc = CacheGeometry{512 * 1024, 16, kBlockBytes};
-    Hierarchy hierarchy(config, makePolicyFactory("lru"));
+    Hierarchy hierarchy(config, requirePolicyFactory("lru"));
     SharingTracker tracker(8);
     hierarchy.setLlcObserver(&tracker);
     hierarchy.run(trace);
