@@ -39,11 +39,10 @@ main(int argc, char **argv)
     ParallelRunner &runner = driver.runner();
     const auto captured = captureAllWorkloads(config, runner);
 
-    // The next-use index of a workload is shared read-only by all of
-    // its cells; warm the per-workload memoized indexes in parallel so
-    // no replay cell stalls on a build.
-    runner.run(captured.size(),
-               [&](std::size_t i) { captured[i].nextUse(); });
+    // The next-use index and label planes of a workload are shared
+    // read-only by all of its cells; warm them in parallel so no
+    // replay cell stalls on a build or a label sweep.
+    warmSharingOracle(captured, config, runner);
 
     // One cell per (workload, base policy, LLC capacity); each cell
     // owns its oracle, wrapper and both replays.  Slot layout is

@@ -221,6 +221,52 @@ BM_NextUseIndexBuild(benchmark::State &state)
 }
 
 void
+BM_LabelPlaneBuild(benchmark::State &state)
+{
+    // One uncached O(n) two-pointer sweep over the whole trace: the
+    // cost a cold run pays per distinct (window, near-window) pair.
+    const Trace &trace = randomTrace();
+    const NextUseIndex index(trace);
+    const SeqNo window =
+        4 * (microGeometry().sizeBytes / kBlockBytes);
+    for (auto _ : state) {
+        const auto plane = index.computeLabelPlane(window, window);
+        benchmark::DoNotOptimize(plane.codes.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_OracleLabel(benchmark::State &state)
+{
+    // Steady-state fill labeling: every trace position asked through
+    // predictShared(), the replay's per-fill cost.  The plane is
+    // memoized on the index, so the timed region measures lookups,
+    // not the sweep (BM_LabelPlaneBuild covers that).
+    const Trace &trace = randomTrace();
+    const NextUseIndex index(trace);
+    const SeqNo window =
+        4 * (microGeometry().sizeBytes / kBlockBytes);
+    for (auto _ : state) {
+        OracleLabeler oracle(index, window);
+        std::uint64_t shared = 0;
+        SeqNo seq = 0;
+        for (const MemAccess &access : trace) {
+            ReplContext fill{access.blockAddr(), access.pc,
+                             access.core, access.isWrite, seq++,
+                             false};
+            shared += oracle.predictShared(fill) ? 1 : 0;
+        }
+        benchmark::DoNotOptimize(shared);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
 BM_TraceGeneration(benchmark::State &state)
 {
     WorkloadParams params;
@@ -261,6 +307,8 @@ BENCHMARK_CAPTURE(BM_StreamSimPolicy, dip, "dip");
 BENCHMARK(BM_StreamSimOpt);
 BENCHMARK(BM_StreamSimOracleWrapped);
 BENCHMARK(BM_NextUseIndexBuild);
+BENCHMARK(BM_LabelPlaneBuild);
+BENCHMARK(BM_OracleLabel);
 BENCHMARK(BM_TraceGeneration);
 BENCHMARK(BM_HierarchyRun);
 

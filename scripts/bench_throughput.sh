@@ -5,7 +5,10 @@
 # cold, and warm.  Run it before and after a perf change to keep the
 # repo's perf trajectory honest.
 #
-# Usage: scripts/bench_throughput.sh [build-dir] [out-json]
+# Usage: scripts/bench_throughput.sh [--smoke] [build-dir] [out-json]
+#   --smoke    CI mode: tiny scale, one repetition, result JSON written
+#              to a temp file so BENCH_replay.json is never clobbered.
+#              Exercises every binary and check at minimal cost.
 #   build-dir  defaults to "build" (must already be built)
 #   out-json   defaults to "BENCH_replay.json"
 # Environment:
@@ -14,10 +17,24 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+    smoke=1
+    shift
+fi
 build="${1:-build}"
 out="${2:-BENCH_replay.json}"
 scale="${BENCH_SCALE:-0.2}"
 reps="${BENCH_REPS:-3}"
+if [ "$smoke" -eq 1 ]; then
+    scale="${BENCH_SCALE:-0.02}"
+    reps=1
+    # Smoke runs validate the harness, not the numbers: keep the real
+    # perf baseline untouched unless the caller named an output.
+    if [ "${2:-}" = "" ]; then
+        out="$(mktemp /tmp/bench_replay_smoke.XXXXXX.json)"
+    fi
+fi
 
 micro="${build}/bench/microbench_sim"
 fullbench="${build}/bench/fig5_policy_comparison"
@@ -28,12 +45,16 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== microbenchmarks (${reps} repetitions) =="
-"$micro" \
-    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimOpt|NextUseIndexBuild|HierarchyRun' \
-    --benchmark_repetitions="$reps" \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_out="$tmpdir/micro.json" \
+micro_args=(
+    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimOpt|NextUseIndexBuild|LabelPlaneBuild|OracleLabel|HierarchyRun'
+    --benchmark_repetitions="$reps"
+    --benchmark_out="$tmpdir/micro.json"
     --benchmark_out_format=json
+)
+# With a single repetition there are no aggregates to report.
+[ "$reps" -gt 1 ] && micro_args+=(--benchmark_report_aggregates_only=true)
+[ "$smoke" -eq 1 ] && micro_args+=(--benchmark_min_time=0.05)
+"$micro" "${micro_args[@]}"
 
 ms_now() { date +%s%N; }
 elapsed_ms() { echo $(( ($2 - $1) / 1000000 )); }
@@ -62,19 +83,26 @@ cmp -s "$tmpdir/off.txt" "$tmpdir/warm.txt" || {
 echo "capture-cache outputs byte-identical (off/cold/warm)"
 
 python3 - "$tmpdir/micro.json" "$out" "$scale" \
-         "$off_ms" "$cold_ms" "$warm_ms" <<'EOF'
+         "$off_ms" "$cold_ms" "$warm_ms" "$smoke" <<'EOF'
 import json, sys
 
-micro_path, out_path, scale, off_ms, cold_ms, warm_ms = sys.argv[1:7]
+micro_path, out_path, scale, off_ms, cold_ms, warm_ms, smoke = \
+    sys.argv[1:8]
 with open(micro_path) as f:
     micro = json.load(f)
 
 rates = {}
 for run in micro["benchmarks"]:
-    # Keep the median aggregate of each benchmark's repetitions.
-    if run.get("aggregate_name") != "median":
+    # Keep the median aggregate of each benchmark's repetitions; with a
+    # single repetition (smoke mode) there are no aggregates, so fall
+    # back to the lone iteration run.
+    is_median = run.get("aggregate_name") == "median"
+    is_plain = "aggregate_name" not in run
+    if not (is_median or is_plain):
         continue
     name = run["run_name"]
+    if name in rates and not is_median:
+        continue
     rates[name] = {
         "items_per_second": run.get("items_per_second"),
         "cpu_time_ns": run.get("cpu_time"),
@@ -82,6 +110,7 @@ for run in micro["benchmarks"]:
 
 report = {
     "schema": "casim-bench-replay-v1",
+    "smoke": smoke == "1",
     "microbench": rates,
     "full_bench": {
         "binary": "fig5_policy_comparison",

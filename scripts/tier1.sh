@@ -23,7 +23,7 @@ cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread \
       -DCASIM_PARANOID=ON >/dev/null
 cmake --build "${prefix}-tsan" -j --target casim_tests
 "${prefix}-tsan"/tests/casim_tests \
-    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*'
+    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*'
 
 echo "== tier-1: cold vs warm capture cache, byte-identical output =="
 capdir="$(mktemp -d)"
@@ -40,6 +40,22 @@ if ! cmp -s "${capdir}/cold.txt" "${capdir}/warm.txt"; then
 fi
 echo "cold/warm outputs identical"
 
+echo "== tier-1: oracle label planes match the per-fill scan =="
+# The precomputed label planes must be a pure lookup-table rewrite of
+# the scan oracle: fig7's text output has to be byte-identical with the
+# planes disabled (CASIM_NO_LABEL_PLANES forces the old scan path).
+fig7="${prefix}/bench/fig7_oracle"
+"${fig7}" --scale=0.05 --capture-dir="${capdir}/cache" \
+    > "${capdir}/fig7_plane.txt"
+CASIM_NO_LABEL_PLANES=1 "${fig7}" --scale=0.05 \
+    --capture-dir="${capdir}/cache" > "${capdir}/fig7_scan.txt"
+if ! cmp -s "${capdir}/fig7_plane.txt" "${capdir}/fig7_scan.txt"; then
+    echo "FATAL: label-plane fig7 output differs from scan oracle" >&2
+    diff "${capdir}/fig7_plane.txt" "${capdir}/fig7_scan.txt" >&2 || true
+    exit 1
+fi
+echo "plane/scan fig7 outputs identical"
+
 echo "== tier-1: JSON result documents match text tables =="
 for fig in fig5_policy_comparison fig7_oracle; do
     "${prefix}/bench/${fig}" --scale=0.05 --jobs=2 \
@@ -54,5 +70,11 @@ echo "== tier-1: --format=json emits a valid document on stdout =="
     --capture-dir="${capdir}/cache" --format=json \
     > "${capdir}/fig5_stdout.json"
 python3 scripts/check_stats_json.py "${capdir}/fig5_stdout.json"
+
+echo "== tier-1: throughput-bench smoke run =="
+# Keeps the microbench binaries and the bench_throughput harness from
+# silently bit-rotting; writes its JSON to a temp file, never to
+# BENCH_replay.json.
+scripts/bench_throughput.sh --smoke "${prefix}"
 
 echo "tier-1 OK"

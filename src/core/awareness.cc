@@ -15,11 +15,11 @@ AwarenessScorer::onEviction(const Cache &cache, unsigned set,
     const CacheBlock &victim = cache.blockAt(set, victim_way);
     // The victim's residency "would still be shared" if its future
     // window contains references and the residency's sharer set (past
-    // touches plus future touches) spans at least two cores.
-    const std::uint64_t future =
-        index_.coreMaskWithin(victim.addr, now, window_);
-    if (future == 0 ||
-        popCount(victim.touchedMask | future) < 2)
+    // touches plus future touches) spans at least two cores.  The
+    // early-exit query stops scanning the reference list as soon as
+    // the verdict is decided, instead of materializing the full mask.
+    if (!index_.residencyStaysShared(victim.addr, now, window_,
+                                     victim.touchedMask))
         return;
     ++sharedVictims_;
 
@@ -32,12 +32,12 @@ AwarenessScorer::onEviction(const Cache &cache, unsigned set,
         const CacheBlock &other = cache.blockAt(set, way);
         if (!other.valid)
             continue;
-        const std::uint64_t other_future =
-            index_.coreMaskWithin(other.addr, now, window_);
-        if (other_future == 0 ||
-            popCount(other.touchedMask | other_future) < 2) {
+        bool other_has_future = false;
+        if (!index_.residencyStaysShared(other.addr, now, window_,
+                                         other.touchedMask,
+                                         &other_has_future)) {
             unshared_candidate = true;
-            if (other_future == 0) {
+            if (!other_has_future) {
                 dead_candidate = true;
                 break;
             }

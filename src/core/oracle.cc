@@ -5,7 +5,21 @@
 
 #include "core/oracle.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace casim {
+
+bool
+oracleScanForced()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("CASIM_NO_LABEL_PLANES");
+        return env != nullptr && *env != '\0' &&
+               std::strcmp(env, "0") != 0;
+    }();
+    return forced;
+}
 
 void
 ResidencyReplayLabeler::recordOutcome(Addr block_addr, bool was_shared)

@@ -18,12 +18,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "mem/block.hh"
 #include "mem/repl/policy.hh"
 #include "trace/next_use.hh"
 
 namespace casim {
+
+/**
+ * True when the CASIM_NO_LABEL_PLANES environment variable disables
+ * the precomputed label planes, forcing OracleLabeler back onto the
+ * per-fill scan path.  Used by tier1.sh to diff the two
+ * implementations; both produce byte-identical output.
+ */
+bool oracleScanForced();
 
 /**
  * Interface of a fill-time sharing labeler.
@@ -99,6 +108,9 @@ class OracleLabeler : public FillLabeler
                   SeqNo near_window = 0)
         : index_(index), window_(window),
           nearWindow_(near_window == 0 ? window : near_window),
+          plane_(oracleScanForced()
+                     ? nullptr
+                     : &index.labelPlane(window_, nearWindow_)),
           stats_("oracle"),
           lookups_(stats_.addCounter("lookups", "fills labeled")),
           shared_(stats_.addCounter("shared_labels",
@@ -115,18 +127,31 @@ class OracleLabeler : public FillLabeler
     predictShared(const ReplContext &fill) override
     {
         ++lookups_;
-        if (!index_.sharedWithin(fill.blockAddr, fill.seq, window_)) {
-            ++private_;
-            return false;
+        std::uint8_t code;
+        if (plane_ != nullptr && fill.seq < plane_->codes.size() &&
+            index_.blockAt(fill.seq) == fill.blockAddr) {
+            // Demand fill: the precomputed plane holds the decision.
+            code = plane_->codes[fill.seq];
+#ifdef CASIM_PARANOID
+            casim_assert(code == index_.scanLabel(fill.blockAddr,
+                                                  fill.seq, window_,
+                                                  nearWindow_),
+                         "label plane diverges from the scan oracle");
+#endif
+        } else {
+            // Prefetch fills target a block other than the trace
+            // record at fill.seq (or the plane is disabled): scan.
+            code = index_.scanLabel(fill.blockAddr, fill.seq, window_,
+                                    nearWindow_);
         }
-        const SeqNo next = index_.nextUse(fill.seq);
-        if (next == kSeqNever || next - fill.seq > nearWindow_) {
+        if (code == NextUseIndex::kLabelShared) {
+            ++shared_;
+            return true;
+        }
+        if (code == NextUseIndex::kLabelNearVeto)
             ++nearVetoes_;
-            ++private_;
-            return false;
-        }
-        ++shared_;
-        return true;
+        ++private_;
+        return false;
     }
 
     std::string name() const override { return "oracle"; }
@@ -144,6 +169,10 @@ class OracleLabeler : public FillLabeler
     const NextUseIndex &index_;
     SeqNo window_;
     SeqNo nearWindow_;
+
+    /** Precomputed labels for demand fills; null forces the scan. */
+    const NextUseIndex::LabelPlane *plane_;
+
     stats::StatGroup stats_;
     stats::Counter &lookups_;
     stats::Counter &shared_;

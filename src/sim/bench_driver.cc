@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "sim/capture_cache.hh"
+#include "trace/next_use.hh"
 
 namespace casim {
 
@@ -84,6 +85,7 @@ BenchDriver::finish()
     if (runner_)
         sink_.addGroup(runner_->stats());
     sink_.addGroup(captureCacheStats());
+    sink_.addGroup(labelPlaneStats());
 
     if (format_ == OutputFormat::Json)
         sink_.writeJson(std::cout);

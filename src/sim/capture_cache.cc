@@ -69,11 +69,14 @@ isStaleBundleError(const std::string &why)
 }
 
 /**
- * Version of the metadata packing below.  Folded into the config hash
- * so a layout change invalidates every existing cache file instead of
- * misinterpreting it.
+ * Version of the metadata packing below and of the aux-section
+ * labeling semantics (the >= 2-distinct-cores sharing threshold and
+ * the near-window veto the persisted label planes encode).  Folded
+ * into the config hash so a change invalidates every existing cache
+ * file instead of misinterpreting it.  Version 2: bundles embed the
+ * next-use chain + label planes (CCAP format v2).
  */
-constexpr std::uint64_t kCaptureMetaVersion = 1;
+constexpr std::uint64_t kCaptureMetaVersion = 2;
 
 std::uint64_t
 doubleBits(double value)
@@ -244,8 +247,10 @@ loadCapturedWorkload(const std::string &path,
     }
     std::vector<std::uint64_t> meta;
     Trace stream{"", 1};
+    CaptureAux aux;
     std::string error;
-    bool ok = readCaptureBundle(is, config_hash, meta, stream, &error);
+    bool ok = readCaptureBundle(is, config_hash, meta, stream, &error,
+                                &aux);
     if (ok && !unpackMeta(meta, out)) {
         ok = false;
         error = "inconsistent bundle meta";
@@ -262,6 +267,9 @@ loadCapturedWorkload(const std::string &path,
         return false;
     }
     out.stream = std::move(stream);
+    if (!aux.empty())
+        out.nextUseAux =
+            std::make_shared<const CaptureAux>(std::move(aux));
     bump(cacheStats().hits);
     if (why != nullptr)
         why->clear();
@@ -273,7 +281,8 @@ namespace {
 bool
 saveCapturedWorkloadImpl(const std::string &path,
                          std::uint64_t config_hash,
-                         const CapturedWorkload &captured)
+                         const CapturedWorkload &captured,
+                         const CaptureAux *aux)
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -292,7 +301,7 @@ saveCapturedWorkloadImpl(const std::string &path,
             return false;
         bool ok = writeCaptureBundle(os, config_hash,
                                      packMeta(captured),
-                                     captured.stream);
+                                     captured.stream, aux);
         os.flush();
         ok = ok && os.good();
         if (!ok) {
@@ -314,9 +323,11 @@ saveCapturedWorkloadImpl(const std::string &path,
 bool
 saveCapturedWorkload(const std::string &path,
                      std::uint64_t config_hash,
-                     const CapturedWorkload &captured)
+                     const CapturedWorkload &captured,
+                     const CaptureAux *aux)
 {
-    const bool ok = saveCapturedWorkloadImpl(path, config_hash, captured);
+    const bool ok =
+        saveCapturedWorkloadImpl(path, config_hash, captured, aux);
     bump(ok ? cacheStats().saves : cacheStats().saveFailures);
     return ok;
 }

@@ -71,10 +71,15 @@ bool loadCapturedWorkload(const std::string &path,
  * file and renames it into place so concurrent processes never observe
  * a partial file.  Best-effort: failures are reported via the return
  * value, never fatal — the cache is an accelerator, not a dependency.
+ *
+ * @param aux Optional precomputed next-use chain + label planes to
+ *            embed so warm loads skip the index build and the oracle's
+ *            label sweeps.
  */
 bool saveCapturedWorkload(const std::string &path,
                           std::uint64_t config_hash,
-                          const CapturedWorkload &captured);
+                          const CapturedWorkload &captured,
+                          const CaptureAux *aux = nullptr);
 
 } // namespace casim
 

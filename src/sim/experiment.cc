@@ -5,6 +5,8 @@
 
 #include "sim/experiment.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "core/sharing_aware.hh"
 #include "mem/repl/factory.hh"
@@ -15,10 +17,24 @@
 namespace casim {
 
 const NextUseIndex &
-CapturedWorkload::nextUse() const
+CapturedWorkload::nextUse(const IndexFanout &fanout) const
 {
-    std::call_once(lazyIndex_->once, [this] {
-        lazyIndex_->index = std::make_unique<NextUseIndex>(stream);
+    std::call_once(lazyIndex_->once, [this, &fanout] {
+        if (nextUseAux != nullptr &&
+            nextUseAux->nextUse.size() == stream.size()) {
+            std::vector<NextUseIndex::LabelPlane> planes;
+            planes.reserve(nextUseAux->planes.size());
+            for (const CaptureAuxPlane &plane : nextUseAux->planes) {
+                if (plane.codes.size() == stream.size())
+                    planes.push_back({plane.window, plane.nearWindow,
+                                      plane.codes});
+            }
+            lazyIndex_->index = std::make_unique<NextUseIndex>(
+                stream, nextUseAux->nextUse, std::move(planes));
+        } else {
+            lazyIndex_->index =
+                std::make_unique<NextUseIndex>(stream, fanout);
+        }
     });
     return *lazyIndex_->index;
 }
@@ -54,7 +70,44 @@ captureWorkloadFresh(const std::string &name, const StudyConfig &config,
     return captured;
 }
 
+/**
+ * The precomputed next-use data a bundle persists: the chain plus one
+ * label plane per studied oracle window.  Building it forces the
+ * capture's memoized index, so the current process reuses the same
+ * work the bundle saves for future ones.
+ */
+CaptureAux
+buildCaptureAux(const CapturedWorkload &captured,
+                const StudyConfig &config)
+{
+    CaptureAux aux;
+    const NextUseIndex &index = captured.nextUse();
+    aux.nextUse = index.chain();
+    for (const auto &[window, near] : studyOracleWindows(config)) {
+        const NextUseIndex::LabelPlane &plane =
+            index.labelPlane(window, near);
+        aux.planes.push_back({window, near, plane.codes});
+    }
+    return aux;
+}
+
 } // namespace
+
+std::vector<std::pair<SeqNo, SeqNo>>
+studyOracleWindows(const StudyConfig &config)
+{
+    std::vector<std::pair<SeqNo, SeqNo>> pairs;
+    for (const std::uint64_t bytes :
+         {config.llcSmallBytes, config.llcLargeBytes}) {
+        const SeqNo window = config.oracleWindow(bytes);
+        const SeqNo raw_near = config.oracleNearWindow(bytes);
+        const auto pair = std::make_pair(
+            window, raw_near == 0 ? window : raw_near);
+        if (std::find(pairs.begin(), pairs.end(), pair) == pairs.end())
+            pairs.push_back(pair);
+    }
+    return pairs;
+}
 
 CapturedWorkload
 captureWorkload(const std::string &name, const StudyConfig &config)
@@ -75,7 +128,8 @@ captureWorkload(const std::string &name, const StudyConfig &config)
         return captured;
 
     captured = captureWorkloadFresh(name, config, hier);
-    if (!saveCapturedWorkload(path, hash, captured))
+    const CaptureAux aux = buildCaptureAux(captured, config);
+    if (!saveCapturedWorkload(path, hash, captured, &aux))
         casim_warn("capture cache: cannot save '", path,
                    "', continuing uncached");
     return captured;
@@ -156,6 +210,37 @@ makeOracle(const NextUseIndex &index, const StudyConfig &config,
 {
     return OracleLabeler(index, config.oracleWindow(llc_bytes),
                          config.oracleNearWindow(llc_bytes));
+}
+
+void
+warmSharingOracle(const std::vector<CapturedWorkload> &captured,
+                  const StudyConfig &config, ParallelRunner &runner)
+{
+    const auto pairs = studyOracleWindows(config);
+    if (captured.size() >= runner.jobs()) {
+        // Plenty of workloads: one warm-up task each, exactly the
+        // granularity of the replay cells that follow.
+        runner.run(captured.size(), [&](std::size_t i) {
+            const NextUseIndex &index = captured[i].nextUse();
+            for (const auto &[window, near] : pairs)
+                index.labelPlane(window, near);
+        });
+        return;
+    }
+
+    // Fewer workloads than workers: keep the pool busy by fanning each
+    // build's block-sharded phases out instead.  This must stay at top
+    // level — ParallelRunner::run does not nest.
+    const IndexFanout fanout =
+        [&runner](std::size_t n,
+                  const std::function<void(std::size_t)> &task) {
+            runner.run(n, task);
+        };
+    for (const CapturedWorkload &wl : captured) {
+        const NextUseIndex &index = wl.nextUse(fanout);
+        for (const auto &[window, near] : pairs)
+            index.labelPlane(window, near, fanout);
+    }
 }
 
 SharingSummary

@@ -17,6 +17,7 @@
 #include "sim/hierarchy_sim.hh"
 #include "sim/parallel.hh"
 #include "trace/next_use.hh"
+#include "trace/trace_io.hh"
 #include "wgen/registry.hh"
 
 namespace casim {
@@ -42,13 +43,28 @@ struct CapturedWorkload
     Trace stream{"", 1};
 
     /**
+     * Precomputed next-use chain and label planes from a warm capture
+     * bundle; when present (and consistent with `stream`), the first
+     * nextUse() call adopts them instead of rebuilding, so warm runs
+     * skip both the index build and the oracle's label sweeps.
+     */
+    std::shared_ptr<const CaptureAux> nextUseAux;
+
+    /**
      * Offline next-use index over `stream`, built on first use and
      * memoized, so every (policy, capacity) cell of a bench shares one
      * build instead of re-deriving the per-block reference lists.
      * Thread-safe: concurrent cells serialize on the first build.
      * Copies of a CapturedWorkload share the memoized index.
      */
-    const NextUseIndex &nextUse() const;
+    const NextUseIndex &nextUse() const { return nextUse({}); }
+
+    /**
+     * As nextUse(), with `fanout` parallelizing the build phases.
+     * Only safe with a fanout that runs at top level (never from
+     * inside a ParallelRunner task — its run() cannot nest).
+     */
+    const NextUseIndex &nextUse(const IndexFanout &fanout) const;
 
   private:
     struct LazyIndex
@@ -135,6 +151,26 @@ std::uint64_t replayMisses(const Trace &stream, const ReplaySpec &spec);
 OracleLabeler makeOracle(const NextUseIndex &index,
                          const StudyConfig &config,
                          std::uint64_t llc_bytes);
+
+/**
+ * The distinct (window, near-window) pairs the study's oracles use
+ * across its two LLC capacities, with OracleLabeler's "0 means full
+ * window" normalization applied — the label-plane keys a bench needs.
+ */
+std::vector<std::pair<SeqNo, SeqNo>>
+studyOracleWindows(const StudyConfig &config);
+
+/**
+ * Pre-build every captured workload's next-use index and the label
+ * planes for the study's oracle windows, so the replay cells (possibly
+ * running under the same runner) find them memoized.  With at least as
+ * many workloads as workers the warm-up fans out one task per
+ * workload; with fewer, each build itself is parallelized over block
+ * ranges.  Must be called at top level, not from inside a runner task.
+ */
+void warmSharingOracle(const std::vector<CapturedWorkload> &captured,
+                       const StudyConfig &config,
+                       ParallelRunner &runner);
 
 /** Replay under `spec` and return the sharing characterization. */
 SharingSummary replaySharing(const Trace &stream, const ReplaySpec &spec,

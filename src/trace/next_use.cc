@@ -1,62 +1,282 @@
 /**
  * @file
- * Implementation of the offline per-block reference index.
+ * Implementation of the offline per-block reference index and the
+ * label-plane sweeps.
  */
 
 #include "trace/next_use.hh"
 
 #include <algorithm>
+#include <array>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace casim {
 
-NextUseIndex::NextUseIndex(const Trace &trace)
+namespace {
+
+/** The label-plane counters plus the mutex serializing increments. */
+struct PlaneStats
 {
-    casim_assert(trace.size() < kNone, "trace too large for 32-bit index");
+    std::mutex mutex;
+    stats::StatGroup group{"label_plane"};
+    stats::Counter &builds = group.addCounter(
+        "builds", "label planes built by the O(n) two-pointer sweep");
+    stats::Counter &memoHits = group.addCounter(
+        "memo_hits", "plane requests served from the in-memory memo");
+    stats::Counter &adopted = group.addCounter(
+        "adopted", "planes adopted from a warm capture bundle");
+    stats::Counter &bytes = group.addCounter(
+        "bytes", "bytes held by built or adopted label planes");
+};
+
+PlaneStats &
+planeStats()
+{
+    static PlaneStats stats;
+    return stats;
+}
+
+void
+bumpPlane(stats::Counter &counter, std::uint64_t by = 1)
+{
+    std::lock_guard<std::mutex> lock(planeStats().mutex);
+    counter += by;
+}
+
+/**
+ * Finalizer-style mix spreading block addresses (low bits zero after
+ * alignment) uniformly over the open-addressing table.
+ */
+std::uint64_t
+mixAddr(Addr block)
+{
+    std::uint64_t x = block + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+stats::StatGroup &
+labelPlaneStats()
+{
+    return planeStats().group;
+}
+
+std::uint64_t
+labelPlaneCounter(const std::string &name)
+{
+    const auto *stat = planeStats().group.find("label_plane." + name);
+    const auto *counter = dynamic_cast<const stats::Counter *>(stat);
+    casim_assert(counter != nullptr, "unknown label-plane counter '",
+                 name, "'");
+    return counter->value();
+}
+
+void
+NextUseIndex::checkIndexable(std::size_t trace_size)
+{
+    if (trace_size >= kNone)
+        casim_fatal("trace with ", trace_size,
+                    " references overflows the 32-bit next-use index "
+                    "(limit ",
+                    kNone - 1,
+                    "; positions would collide with the no-next-use "
+                    "sentinel) — capture at a smaller scale");
+}
+
+NextUseIndex::NextUseIndex(const Trace &trace, const IndexFanout &fanout)
+{
+    checkIndexable(trace.size());
     const std::size_t n = trace.size();
+    refs_ = n == 0 ? nullptr : &*trace.begin();
     next_.assign(n, kNone);
-    perBlock_.reserve(n / 8 + 16);
+    ensureSlices(fanout);
 
-    // Forward pass fills the per-block reference lists in order.
-    for (std::size_t i = 0; i < n; ++i) {
-        auto &refs = perBlock_[trace[i].blockAddr()];
-        refs.pos.push_back(static_cast<std::uint32_t>(i));
-        refs.core.push_back(trace[i].core);
+    // The next-use chain falls out of consecutive slice entries; shards
+    // write disjoint positions, so the fill parallelizes over blocks.
+    forEachBlockShard(fanout, [this](std::uint32_t lo, std::uint32_t hi) {
+        for (std::uint32_t b = lo; b < hi; ++b) {
+            for (std::uint32_t k = s_.sliceBegin[b];
+                 k + 1 < s_.sliceBegin[b + 1]; ++k)
+                next_[s_.pos[k]] = s_.pos[k + 1];
+        }
+    });
+}
+
+NextUseIndex::NextUseIndex(const Trace &trace,
+                           std::vector<std::uint32_t> chain,
+                           std::vector<LabelPlane> planes)
+{
+    checkIndexable(trace.size());
+    casim_assert(chain.size() == trace.size(),
+                 "adopted next-use chain length does not match trace");
+    refs_ = trace.empty() ? nullptr : &*trace.begin();
+    next_ = std::move(chain);
+    adoptedChain_ = true;
+    std::uint64_t adopted_bytes = 0;
+    for (LabelPlane &plane : planes) {
+        casim_assert(plane.codes.size() == trace.size(),
+                     "adopted label plane length does not match trace");
+        adopted_bytes += plane.codes.size();
+        const auto key = std::make_pair(plane.window, plane.nearWindow);
+        planes_.emplace(key, std::move(plane));
     }
-
-    // The next-use chain falls out of consecutive list entries.
-    for (auto &[block, refs] : perBlock_) {
-        for (std::size_t k = 0; k + 1 < refs.pos.size(); ++k)
-            next_[refs.pos[k]] = refs.pos[k + 1];
+    if (!planes_.empty()) {
+        bumpPlane(planeStats().adopted, planes_.size());
+        bumpPlane(planeStats().bytes, adopted_bytes);
     }
 }
 
-const NextUseIndex::BlockRefs *
-NextUseIndex::refsFor(Addr block) const
+void
+NextUseIndex::ensureSlices(const IndexFanout &fanout) const
 {
-    auto it = perBlock_.find(block);
-    return it == perBlock_.end() ? nullptr : &it->second;
+    std::call_once(slicesOnce_, [this, &fanout] { buildSlices(fanout); });
+}
+
+void
+NextUseIndex::buildSlices(const IndexFanout &fanout) const
+{
+    (void)fanout;
+    const std::size_t n = next_.size();
+
+    // Dense block ids via open addressing at <= 50% load.  Ids are
+    // assigned in first-appearance order, so the whole build is
+    // deterministic regardless of the address distribution.
+    std::size_t cap = 16;
+    while (cap < 2 * n)
+        cap <<= 1;
+    s_.table.assign(cap, 0);
+    s_.tableMask = cap - 1;
+    s_.blockAddr.reserve(n / 8 + 16);
+
+    std::vector<std::uint32_t> id_of(n);
+    std::vector<std::uint32_t> counts;
+    counts.reserve(n / 8 + 16);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr block = refs_[i].blockAddr();
+        std::size_t slot = mixAddr(block) & s_.tableMask;
+        std::uint32_t id;
+        for (;;) {
+            const std::uint32_t entry = s_.table[slot];
+            if (entry == 0) {
+                id = static_cast<std::uint32_t>(s_.blockAddr.size());
+                s_.blockAddr.push_back(block);
+                counts.push_back(0);
+                s_.table[slot] = id + 1;
+                break;
+            }
+            if (s_.blockAddr[entry - 1] == block) {
+                id = entry - 1;
+                break;
+            }
+            slot = (slot + 1) & s_.tableMask;
+        }
+        id_of[i] = id;
+        ++counts[id];
+    }
+
+    // Prefix sums carve per-block slices; the scatter pass visits the
+    // trace in order, so each slice comes out position-sorted for free.
+    const std::uint32_t blocks =
+        static_cast<std::uint32_t>(s_.blockAddr.size());
+    s_.sliceBegin.resize(blocks + 1);
+    std::uint32_t run = 0;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+        s_.sliceBegin[b] = run;
+        run += counts[b];
+        counts[b] = s_.sliceBegin[b];
+    }
+    s_.sliceBegin[blocks] = run;
+
+    s_.pos.resize(n);
+    s_.core.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t at = counts[id_of[i]]++;
+        s_.pos[at] = static_cast<std::uint32_t>(i);
+        s_.core[at] = refs_[i].core;
+    }
+
+#ifdef CASIM_PARANOID
+    // Cross-check a bundle-adopted next-use chain against the freshly
+    // derived slices.  Eagerly built chains are skipped: they are
+    // filled *from* these slices after buildSlices returns, so here
+    // next_ is still all-sentinel.
+    if (adoptedChain_) {
+        for (std::uint32_t b = 0; b < blocks; ++b) {
+            for (std::uint32_t k = s_.sliceBegin[b];
+                 k < s_.sliceBegin[b + 1]; ++k) {
+                const std::uint32_t expect =
+                    k + 1 < s_.sliceBegin[b + 1] ? s_.pos[k + 1] : kNone;
+                casim_assert(next_[s_.pos[k]] == expect,
+                             "next-use chain inconsistent with slices");
+            }
+        }
+    }
+#endif
+}
+
+NextUseIndex::Span
+NextUseIndex::spanFor(Addr block) const
+{
+    ensureSlices();
+    if (s_.pos.empty())
+        return {};
+    std::size_t slot = mixAddr(block) & s_.tableMask;
+    for (;;) {
+        const std::uint32_t entry = s_.table[slot];
+        if (entry == 0)
+            return {};
+        if (s_.blockAddr[entry - 1] == block) {
+            const std::uint32_t begin = s_.sliceBegin[entry - 1];
+            const std::uint32_t end = s_.sliceBegin[entry];
+            return {s_.pos.data() + begin, s_.core.data() + begin,
+                    end - begin};
+        }
+        slot = (slot + 1) & s_.tableMask;
+    }
+}
+
+void
+NextUseIndex::forEachBlockShard(
+    const IndexFanout &fanout,
+    const std::function<void(std::uint32_t, std::uint32_t)> &shard) const
+{
+    const std::uint64_t blocks = blockCount();
+    if (!fanout || blocks < 2) {
+        shard(0, static_cast<std::uint32_t>(blocks));
+        return;
+    }
+    const std::uint64_t shards = std::min<std::uint64_t>(blocks, 256);
+    fanout(static_cast<std::size_t>(shards), [&](std::size_t index) {
+        const auto lo = static_cast<std::uint32_t>(
+            blocks * index / shards);
+        const auto hi = static_cast<std::uint32_t>(
+            blocks * (index + 1) / shards);
+        shard(lo, hi);
+    });
 }
 
 unsigned
 NextUseIndex::distinctCoresFrom(Addr block, SeqNo from, SeqNo window,
                                 unsigned cap) const
 {
-    const BlockRefs *refs = refsFor(block);
-    if (refs == nullptr)
+    const Span refs = spanFor(block);
+    if (refs.count == 0)
         return 0;
 
     const SeqNo limit =
         (from > kSeqNever - window) ? kSeqNever : from + window;
-    auto it = std::lower_bound(refs->pos.begin(), refs->pos.end(),
-                               static_cast<std::uint32_t>(from));
+    const std::uint32_t *it = std::lower_bound(
+        refs.pos, refs.pos + refs.count,
+        static_cast<std::uint32_t>(from));
     std::uint64_t mask = 0;
     unsigned count = 0;
-    for (; it != refs->pos.end() && *it < limit; ++it) {
-        const std::size_t k =
-            static_cast<std::size_t>(it - refs->pos.begin());
-        const std::uint64_t bit = 1ULL << refs->core[k];
+    for (; it != refs.pos + refs.count && *it < limit; ++it) {
+        const std::uint64_t bit = 1ULL << refs.core[it - refs.pos];
         if ((mask & bit) == 0) {
             mask |= bit;
             if (++count >= cap)
@@ -69,35 +289,62 @@ NextUseIndex::distinctCoresFrom(Addr block, SeqNo from, SeqNo window,
 std::uint64_t
 NextUseIndex::coreMaskWithin(Addr block, SeqNo from, SeqNo window) const
 {
-    const BlockRefs *refs = refsFor(block);
-    if (refs == nullptr)
+    const Span refs = spanFor(block);
+    if (refs.count == 0)
         return 0;
     const SeqNo limit =
         (from > kSeqNever - window) ? kSeqNever : from + window;
-    auto it = std::lower_bound(refs->pos.begin(), refs->pos.end(),
-                               static_cast<std::uint32_t>(from));
+    const std::uint32_t *it = std::lower_bound(
+        refs.pos, refs.pos + refs.count,
+        static_cast<std::uint32_t>(from));
     std::uint64_t mask = 0;
-    for (; it != refs->pos.end() && *it < limit; ++it) {
-        const std::size_t k =
-            static_cast<std::size_t>(it - refs->pos.begin());
-        mask |= 1ULL << refs->core[k];
-    }
+    for (; it != refs.pos + refs.count && *it < limit; ++it)
+        mask |= 1ULL << refs.core[it - refs.pos];
     return mask;
+}
+
+bool
+NextUseIndex::residencyStaysShared(Addr block, SeqNo from, SeqNo window,
+                                   std::uint64_t prior_mask,
+                                   bool *has_future) const
+{
+    const Span refs = spanFor(block);
+    const SeqNo limit =
+        (from > kSeqNever - window) ? kSeqNever : from + window;
+    const std::uint32_t *it =
+        refs.count == 0
+            ? nullptr
+            : std::lower_bound(refs.pos, refs.pos + refs.count,
+                               static_cast<std::uint32_t>(from));
+    bool any = false;
+    std::uint64_t mask = prior_mask;
+    const bool prior_shared = popCount(prior_mask) >= 2;
+    for (; it != nullptr && it != refs.pos + refs.count && *it < limit;
+         ++it) {
+        any = true;
+        if (prior_shared)
+            break;
+        mask |= 1ULL << refs.core[it - refs.pos];
+        if (popCount(mask) >= 2)
+            break;
+    }
+    if (has_future != nullptr)
+        *has_future = any;
+    return any && popCount(mask) >= 2;
 }
 
 SeqNo
 NextUseIndex::nextUseByOther(Addr block, SeqNo from, CoreId by) const
 {
-    const BlockRefs *refs = refsFor(block);
-    if (refs == nullptr)
+    const Span refs = spanFor(block);
+    if (refs.count == 0)
         return kSeqNever;
 
-    auto it = std::lower_bound(refs->pos.begin(), refs->pos.end(),
-                               static_cast<std::uint32_t>(from));
-    for (; it != refs->pos.end(); ++it) {
-        const std::size_t k =
-            static_cast<std::size_t>(it - refs->pos.begin());
-        if (refs->core[k] != by)
+    const std::uint32_t *it = std::lower_bound(
+        refs.pos, refs.pos + refs.count,
+        static_cast<std::uint32_t>(from));
+    for (; it != refs.pos + refs.count; ++it) {
+        if (refs.core[it - refs.pos] != by)
             return *it;
     }
     return kSeqNever;
@@ -106,8 +353,109 @@ NextUseIndex::nextUseByOther(Addr block, SeqNo from, CoreId by) const
 std::size_t
 NextUseIndex::referenceCount(Addr block) const
 {
-    const BlockRefs *refs = refsFor(block);
-    return refs == nullptr ? 0 : refs->pos.size();
+    return spanFor(block).count;
+}
+
+std::uint8_t
+NextUseIndex::scanLabel(Addr block, SeqNo from, SeqNo window,
+                        SeqNo near_window) const
+{
+    if (!sharedWithin(block, from, window))
+        return kLabelPrivate;
+    const SeqNo next = from < next_.size() ? nextUse(from) : kSeqNever;
+    if (next == kSeqNever || next - from > near_window)
+        return kLabelNearVeto;
+    return kLabelShared;
+}
+
+NextUseIndex::LabelPlane
+NextUseIndex::computeLabelPlane(SeqNo window, SeqNo near_window,
+                                const IndexFanout &fanout) const
+{
+    ensureSlices(fanout);
+    LabelPlane plane{window, near_window,
+                     std::vector<std::uint8_t>(next_.size(),
+                                               kLabelPrivate)};
+
+    // Per block: slide the window [pos[k], pos[k] + window) over the
+    // sorted slice with two pointers.  `left`/`right` bound the slice
+    // entries currently counted, so each entry enters and leaves the
+    // per-core counts exactly once — O(refs) per block, O(n) total,
+    // independent of the window size.  Shards write disjoint code
+    // ranges (each position belongs to exactly one block's slice).
+    forEachBlockShard(fanout, [&](std::uint32_t lo, std::uint32_t hi) {
+        std::array<std::uint32_t, kMaxCores> core_refs{};
+        for (std::uint32_t b = lo; b < hi; ++b) {
+            const std::uint32_t begin = s_.sliceBegin[b];
+            const std::uint32_t end = s_.sliceBegin[b + 1];
+            const std::uint32_t m = end - begin;
+            const std::uint32_t *pos = s_.pos.data() + begin;
+            const CoreId *core = s_.core.data() + begin;
+            unsigned distinct = 0;
+            std::uint32_t left = 0, right = 0;
+            for (std::uint32_t k = 0; k < m; ++k) {
+                while (left < k) {
+                    if (left < right &&
+                        --core_refs[core[left]] == 0)
+                        --distinct;
+                    ++left;
+                }
+                if (right < left)
+                    right = left;
+                const SeqNo from = pos[k];
+                const SeqNo limit = (from > kSeqNever - window)
+                                        ? kSeqNever
+                                        : from + window;
+                while (right < m && pos[right] < limit) {
+                    if (core_refs[core[right]]++ == 0)
+                        ++distinct;
+                    ++right;
+                }
+                if (distinct >= 2) {
+                    const bool veto =
+                        k + 1 >= m ||
+                        SeqNo{pos[k + 1]} - from > near_window;
+                    plane.codes[from] =
+                        veto ? kLabelNearVeto : kLabelShared;
+                }
+            }
+            // Drain the still-counted tail so the count array can be
+            // reused for the shard's next block.
+            for (std::uint32_t k = left; k < right; ++k)
+                --core_refs[core[k]];
+        }
+    });
+    return plane;
+}
+
+const NextUseIndex::LabelPlane &
+NextUseIndex::labelPlane(SeqNo window, SeqNo near_window,
+                         const IndexFanout &fanout) const
+{
+    const auto key = std::make_pair(window, near_window);
+    {
+        std::lock_guard<std::mutex> lock(planeMutex_);
+        const auto it = planes_.find(key);
+        if (it != planes_.end()) {
+            bumpPlane(planeStats().memoHits);
+            return it->second;
+        }
+    }
+
+    // Sweep outside the memo lock so independent indexes never
+    // serialize on each other's builds; if two threads race on the
+    // same (window, near) pair, the first insert wins and the loser's
+    // sweep is discarded (identical content either way).
+    LabelPlane plane = computeLabelPlane(window, near_window, fanout);
+    std::lock_guard<std::mutex> lock(planeMutex_);
+    const auto [it, inserted] = planes_.emplace(key, std::move(plane));
+    if (inserted) {
+        bumpPlane(planeStats().builds);
+        bumpPlane(planeStats().bytes, it->second.codes.size());
+    } else {
+        bumpPlane(planeStats().memoHits);
+    }
+    return it->second;
 }
 
 } // namespace casim

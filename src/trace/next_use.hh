@@ -2,30 +2,131 @@
  * @file
  * Offline per-block reference index over a trace.
  *
- * Precomputes (a) the classic next-use chain used by Belady's OPT and
- * (b) per-block sorted reference lists with core ids, which the sharing
- * oracle scans to decide whether a fill will be actively shared within a
- * future window.  Positions are stored as 32-bit offsets; traces are
- * bounded well below 4G references.
+ * Precomputes (a) the classic next-use chain used by Belady's OPT,
+ * (b) per-block sorted reference lists with core ids, which back the
+ * sharing oracle's queries, and (c) memoized *label planes*: for a
+ * given (window, near-window) pair, one O(n) two-pointer sweep labels
+ * every trace position with the oracle's fill-time decision
+ * (private / shared / vetoed-by-near-window), so labeling a fill is an
+ * array lookup instead of an O(window) scan.
+ *
+ * The per-block lists live in one flat counting-sort layout: a serial
+ * O(n) pass assigns dense block ids through an open-addressing table,
+ * a prefix sum over per-id counts carves contiguous slices out of two
+ * shared arrays, and a scatter pass fills them in trace order — so the
+ * slices come out position-sorted without a comparison sort and without
+ * any node-based container.  Positions are stored as 32-bit offsets;
+ * traces are bounded well below 4G references (checkIndexable()).
+ *
+ * The index borrows the trace's record buffer instead of copying it:
+ * the trace must outlive the index, but *moving* the trace (and
+ * whatever owns it) is safe because vector moves keep the heap buffer.
  */
 
 #ifndef CASIM_TRACE_NEXT_USE_HH
 #define CASIM_TRACE_NEXT_USE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
+#include "common/stats.hh"
 #include "trace/trace.hh"
 
 namespace casim {
+
+/**
+ * Optional fan-out hook for the parallelizable build phases (next-use
+ * chain fill, label-plane sweeps): called as fanout(n, task), it must
+ * run task(0) ... task(n-1), each exactly once, returning when all have
+ * finished.  The tasks write disjoint ranges, so any scheduling is
+ * safe.  An empty function means "run inline, serially".  The sim layer
+ * adapts ParallelRunner::run to this signature; the trace layer itself
+ * stays free of threading machinery.
+ */
+using IndexFanout =
+    std::function<void(std::size_t,
+                       const std::function<void(std::size_t)> &)>;
+
+/**
+ * Process-wide label-plane counters: sweeps run, memo hits, planes
+ * adopted from capture bundles, and the bytes they hold.  Increments
+ * are internally serialized (indexes are shared across worker threads);
+ * read them only after the runs of interest have completed.
+ */
+stats::StatGroup &labelPlaneStats();
+
+/** Value of one label-plane counter by short name, e.g. "builds". */
+std::uint64_t labelPlaneCounter(const std::string &name);
 
 /** Offline next-use and per-block reference index. */
 class NextUseIndex
 {
   public:
-    /** Build the index over the full trace (O(n) time). */
-    explicit NextUseIndex(const Trace &trace);
+    /** Oracle fill label for one trace position (see LabelPlane). */
+    enum Label : std::uint8_t
+    {
+        /** No second core inside the window: plain private fill. */
+        kLabelPrivate = 0,
+
+        /** Shared within the window and reused within the near window. */
+        kLabelShared = 1,
+
+        /**
+         * Shared within the window, but the block's own next use lies
+         * beyond the near window — the oracle vetoes the label.
+         */
+        kLabelNearVeto = 2,
+    };
+
+    /**
+     * Precomputed oracle decisions for one (window, nearWindow) pair:
+     * codes[i] is the Label of a fill at stream position i.  Valid only
+     * for demand fills, where the filled block is the trace record at
+     * that position; prefetch fills fall back to scanLabel().
+     */
+    struct LabelPlane
+    {
+        SeqNo window = 0;
+        SeqNo nearWindow = 0;
+        std::vector<std::uint8_t> codes;
+    };
+
+    /**
+     * Build the index over the full trace (O(n) time).  The per-block
+     * slices are derived lazily on first query; `fanout` (when given)
+     * parallelizes the next-use chain fill over block ranges.
+     */
+    explicit NextUseIndex(const Trace &trace,
+                          const IndexFanout &fanout = {});
+
+    /**
+     * Adopt a previously computed next-use chain and label planes (from
+     * a capture bundle), skipping both the chain build and the plane
+     * sweeps.  `chain` must be the exact chain a fresh build over
+     * `trace` would produce — capture bundles are checksummed, so this
+     * is not revalidated (a fresh build cross-checks it under
+     * -DCASIM_PARANOID).  The per-block slices are still derived
+     * lazily, so warm runs that only consult the chain and the planes
+     * never pay for them.
+     */
+    NextUseIndex(const Trace &trace, std::vector<std::uint32_t> chain,
+                 std::vector<LabelPlane> planes);
+
+    NextUseIndex(const NextUseIndex &) = delete;
+    NextUseIndex &operator=(const NextUseIndex &) = delete;
+
+    /**
+     * Die with a clear diagnostic when a trace cannot be indexed with
+     * 32-bit position offsets (either the size overflows or a position
+     * would collide with the index's "no next use" sentinel).  Called
+     * by the constructors; public so the guard is unit-testable with a
+     * mocked size.
+     */
+    static void checkIndexable(std::size_t trace_size);
 
     /** Position of the next reference to the same block, or kSeqNever. */
     SeqNo
@@ -35,8 +136,14 @@ class NextUseIndex
         return n == kNone ? kSeqNever : n;
     }
 
+    /** The raw next-use chain (kNone-terminated 32-bit positions). */
+    const std::vector<std::uint32_t> &chain() const { return next_; }
+
     /** Number of references the index was built over. */
     std::size_t size() const { return next_.size(); }
+
+    /** Block-aligned address of the trace record at position i. */
+    Addr blockAt(SeqNo i) const { return refs_[i].blockAddr(); }
 
     /**
      * Count distinct cores referencing `block` within stream positions
@@ -69,6 +176,20 @@ class NextUseIndex
                                  SeqNo window) const;
 
     /**
+     * True iff `block`'s residency "would still be shared": its window
+     * [from, from + window) contains at least one reference and the
+     * union of `prior_mask` (cores that already touched the residency)
+     * with the cores referencing it inside the window spans >= 2 cores.
+     * Equivalent to popCount(prior_mask | coreMaskWithin(...)) >= 2
+     * with coreMaskWithin(...) != 0, but exits the scan as soon as the
+     * verdict is decided.  `*has_future` (when non-null) receives
+     * whether the window contained any reference at all.
+     */
+    bool residencyStaysShared(Addr block, SeqNo from, SeqNo window,
+                              std::uint64_t prior_mask,
+                              bool *has_future = nullptr) const;
+
+    /**
      * Position of the first reference to `block` at or after `from` that
      * is issued by a core other than `by`, or kSeqNever.
      */
@@ -77,20 +198,96 @@ class NextUseIndex
     /** Total number of references to `block` in the whole trace. */
     std::size_t referenceCount(Addr block) const;
 
+    /**
+     * The oracle's label for a fill of `block` at stream position
+     * `from`, computed by scanning the block's reference list (the
+     * pre-label-plane code path).  The near-window veto follows the
+     * *position's* next-use chain entry, exactly as the scanning
+     * labeler did — for a prefetch fill whose block differs from the
+     * trace record at `from`, that is deliberately the record's chain,
+     * preserving the historical labeling byte for byte.
+     */
+    std::uint8_t scanLabel(Addr block, SeqNo from, SeqNo window,
+                           SeqNo near_window) const;
+
+    /**
+     * One O(n) two-pointer sweep labeling every trace position for the
+     * given (window, near_window) pair.  Uncached; labelPlane() is the
+     * memoizing front end.  `fanout` parallelizes over block ranges.
+     */
+    LabelPlane computeLabelPlane(SeqNo window, SeqNo near_window,
+                                 const IndexFanout &fanout = {}) const;
+
+    /**
+     * The memoized label plane for (window, near_window), built on
+     * first request.  Thread-safe; the returned reference stays valid
+     * for the index's lifetime.
+     */
+    const LabelPlane &labelPlane(SeqNo window, SeqNo near_window,
+                                 const IndexFanout &fanout = {}) const;
+
   private:
     static constexpr std::uint32_t kNone = 0xffffffffu;
 
-    /** Sorted reference positions and their issuing cores for a block. */
-    struct BlockRefs
+    /** Flat per-block reference slices (see file comment). */
+    struct Slices
     {
+        /** Dense block id -> block address, in first-appearance order. */
+        std::vector<Addr> blockAddr;
+
+        /** Dense block id -> first entry in pos/core; blockCount()+1. */
+        std::vector<std::uint32_t> sliceBegin;
+
+        /** All reference positions, grouped by block, sorted within. */
         std::vector<std::uint32_t> pos;
+
+        /** Issuing core of pos[k]. */
         std::vector<CoreId> core;
+
+        /** Open-addressing block table: id + 1, 0 = empty slot. */
+        std::vector<std::uint32_t> table;
+        std::size_t tableMask = 0;
     };
 
-    const BlockRefs *refsFor(Addr block) const;
+    /** View of one block's slice. */
+    struct Span
+    {
+        const std::uint32_t *pos = nullptr;
+        const CoreId *core = nullptr;
+        std::size_t count = 0;
+    };
+
+    void ensureSlices(const IndexFanout &fanout = {}) const;
+    void buildSlices(const IndexFanout &fanout) const;
+    Span spanFor(Addr block) const;
+    std::uint32_t blockCount() const
+    {
+        return static_cast<std::uint32_t>(s_.blockAddr.size());
+    }
+    void forEachBlockShard(
+        const IndexFanout &fanout,
+        const std::function<void(std::uint32_t, std::uint32_t)> &shard)
+        const;
+
+    /** The trace's record buffer (owned by the trace, not the index). */
+    const MemAccess *refs_ = nullptr;
 
     std::vector<std::uint32_t> next_;
-    std::unordered_map<Addr, BlockRefs> perBlock_;
+
+    /**
+     * True when next_ was adopted from a capture bundle rather than
+     * derived from the slices; paranoid builds then cross-check it
+     * against the freshly derived slices.  (During an eager build the
+     * chain is filled *from* the slices after buildSlices returns, so
+     * the check would be premature there — and tautological after.)
+     */
+    bool adoptedChain_ = false;
+
+    mutable std::once_flag slicesOnce_;
+    mutable Slices s_;
+
+    mutable std::mutex planeMutex_;
+    mutable std::map<std::pair<SeqNo, SeqNo>, LabelPlane> planes_;
 };
 
 } // namespace casim

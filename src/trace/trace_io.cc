@@ -23,10 +23,16 @@ constexpr char kMagic[4] = {'C', 'S', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
 
 constexpr char kBundleMagic[4] = {'C', 'C', 'A', 'P'};
-constexpr std::uint32_t kBundleVersion = 1;
+
+// Version 2 appended the checksummed aux section (next-use chain +
+// label planes); version-1 bundles are rejected as stale, not corrupt.
+constexpr std::uint32_t kBundleVersion = 2;
 
 /** Sanity cap on bundle metadata words (stats, not bulk data). */
 constexpr std::uint32_t kBundleMaxMeta = 65536;
+
+/** Sanity cap on label planes per bundle (one per studied window). */
+constexpr std::uint32_t kBundleMaxPlanes = 64;
 
 /** On-disk record stride: addr u64 + pc u64 + core u8 + is_write u8. */
 constexpr std::uint64_t kRecordBytes = 8 + 8 + 1 + 1;
@@ -62,6 +68,73 @@ readScalar(std::istream &is, T &value)
 {
     is.read(reinterpret_cast<char *>(&value), sizeof(value));
     return is.good();
+}
+
+/** Serialize an aux section (see the format comment in the header). */
+std::string
+packAux(const CaptureAux &aux)
+{
+    const std::uint64_t count = aux.nextUse.size();
+    std::uint64_t bytes = 8 + count * 4 + 4;
+    for (const CaptureAuxPlane &plane : aux.planes)
+        bytes += 8 + 8 + plane.codes.size();
+    std::string out(static_cast<std::size_t>(bytes), '\0');
+    char *dst = out.data();
+    const auto put = [&dst](const void *src, std::size_t len) {
+        if (len != 0)
+            std::memcpy(dst, src, len);
+        dst += len;
+    };
+    put(&count, 8);
+    put(aux.nextUse.data(), static_cast<std::size_t>(count) * 4);
+    const std::uint32_t plane_count =
+        static_cast<std::uint32_t>(aux.planes.size());
+    put(&plane_count, 4);
+    for (const CaptureAuxPlane &plane : aux.planes) {
+        put(&plane.window, 8);
+        put(&plane.nearWindow, 8);
+        put(plane.codes.data(), plane.codes.size());
+    }
+    return out;
+}
+
+/**
+ * Inverse of packAux; `count` must equal the bundle stream's record
+ * count.  False on any structural inconsistency.
+ */
+bool
+unpackAux(const std::string &bytes, std::uint64_t count,
+          CaptureAux &aux)
+{
+    const char *src = bytes.data();
+    std::size_t remaining = bytes.size();
+    const auto take = [&](void *dst, std::size_t len) {
+        if (remaining < len)
+            return false;
+        if (len != 0)
+            std::memcpy(dst, src, len);
+        src += len;
+        remaining -= len;
+        return true;
+    };
+    std::uint64_t stored_count = 0;
+    if (!take(&stored_count, 8) || stored_count != count)
+        return false;
+    aux.nextUse.resize(static_cast<std::size_t>(count));
+    if (!take(aux.nextUse.data(), static_cast<std::size_t>(count) * 4))
+        return false;
+    std::uint32_t plane_count = 0;
+    if (!take(&plane_count, 4) || plane_count > kBundleMaxPlanes)
+        return false;
+    aux.planes.resize(plane_count);
+    for (CaptureAuxPlane &plane : aux.planes) {
+        if (!take(&plane.window, 8) || !take(&plane.nearWindow, 8))
+            return false;
+        plane.codes.resize(static_cast<std::size_t>(count));
+        if (!take(plane.codes.data(), static_cast<std::size_t>(count)))
+            return false;
+    }
+    return remaining == 0;
 }
 
 } // namespace
@@ -211,7 +284,7 @@ loadTrace(const std::string &path)
 bool
 writeCaptureBundle(std::ostream &os, std::uint64_t config_hash,
                    const std::vector<std::uint64_t> &meta,
-                   const Trace &stream)
+                   const Trace &stream, const CaptureAux *aux)
 {
     // Serialize the trace first so its byte length and checksum can go
     // in the header; traces are bounded by memory anyway, so the extra
@@ -233,13 +306,21 @@ writeCaptureBundle(std::ostream &os, std::uint64_t config_hash,
                                fnv1a64(payload.data(), payload.size()));
     os.write(payload.data(),
              static_cast<std::streamsize>(payload.size()));
+
+    const std::string aux_bytes =
+        aux == nullptr || aux->empty() ? std::string() : packAux(*aux);
+    writeScalar<std::uint64_t>(os, aux_bytes.size());
+    writeScalar<std::uint64_t>(
+        os, fnv1a64(aux_bytes.data(), aux_bytes.size()));
+    os.write(aux_bytes.data(),
+             static_cast<std::streamsize>(aux_bytes.size()));
     return os.good();
 }
 
 bool
 readCaptureBundle(std::istream &is, std::uint64_t expected_hash,
                   std::vector<std::uint64_t> &meta, Trace &stream,
-                  std::string *error)
+                  std::string *error, CaptureAux *aux)
 {
     const auto fail = [&](const char *what) {
         if (error != nullptr)
@@ -302,8 +383,37 @@ readCaptureBundle(std::istream &is, std::uint64_t expected_hash,
     if (!trace_error.empty())
         return fail("bad bundle trace");
 
+    std::uint64_t aux_len = 0, aux_hash = 0;
+    if (!readScalar(is, aux_len) || !readScalar(is, aux_hash))
+        return fail("truncated bundle aux header");
+    const std::istream::pos_type aux_here = is.tellg();
+    if (aux_here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::istream::pos_type end_pos = is.tellg();
+        is.seekg(aux_here);
+        if (!is.good() || end_pos < aux_here)
+            return fail("unseekable bundle stream");
+        if (aux_len > static_cast<std::uint64_t>(end_pos - aux_here))
+            return fail("truncated bundle aux");
+    } else {
+        is.clear();
+    }
+    std::string aux_bytes(aux_len, '\0');
+    is.read(aux_bytes.data(),
+            static_cast<std::streamsize>(aux_bytes.size()));
+    if (static_cast<std::uint64_t>(is.gcount()) != aux_len)
+        return fail("truncated bundle aux");
+    if (fnv1a64(aux_bytes.data(), aux_bytes.size()) != aux_hash)
+        return fail("bundle aux checksum mismatch");
+    CaptureAux loaded_aux;
+    if (aux_len != 0 &&
+        !unpackAux(aux_bytes, loaded.size(), loaded_aux))
+        return fail("inconsistent bundle aux");
+
     meta = std::move(loaded_meta);
     stream = std::move(loaded);
+    if (aux != nullptr)
+        *aux = std::move(loaded_aux);
     if (error != nullptr)
         error->clear();
     return true;

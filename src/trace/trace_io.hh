@@ -47,14 +47,44 @@ Trace loadTrace(const std::string &path);
 //
 // A capture bundle is the on-disk unit of the persistent capture cache:
 // one captured LLC stream plus a vector of caller-defined u64 metadata
-// words (hierarchy statistics), keyed by a caller-supplied configuration
+// words (hierarchy statistics) plus an optional auxiliary section with
+// precomputed next-use data, keyed by a caller-supplied configuration
 // hash.  The layout is versioned and checksummed so stale, truncated or
 // bit-flipped files are detected and the caller can fall back to
 // regeneration:
 //
 //   magic "CCAP" | version u32 | config_hash u64 | meta_count u32 |
 //   meta u64s | payload_len u64 | payload_fnv1a u64 |
-//   payload bytes (a writeTrace()-format stream)
+//   payload bytes (a writeTrace()-format stream) |
+//   aux_len u64 | aux_fnv1a u64 | aux bytes
+//
+// The aux bytes (version 2; aux_len may be 0) serialize a CaptureAux:
+//
+//   count u64 | next_use u32[count] | plane_count u32 |
+//   plane_count x { window u64 | near_window u64 | codes u8[count] }
+
+/**
+ * Precomputed next-use data carried in a capture bundle so warm runs
+ * skip both the index build and the oracle's label sweeps: the 32-bit
+ * next-use chain over the captured stream, and one label plane per
+ * (window, near-window) pair the writing configuration studied (codes
+ * as in NextUseIndex::Label).
+ */
+struct CaptureAuxPlane
+{
+    std::uint64_t window = 0;
+    std::uint64_t nearWindow = 0;
+    std::vector<std::uint8_t> codes;
+};
+
+/** See CaptureAuxPlane. */
+struct CaptureAux
+{
+    std::vector<std::uint32_t> nextUse;
+    std::vector<CaptureAuxPlane> planes;
+
+    bool empty() const { return nextUse.empty() && planes.empty(); }
+};
 
 /**
  * Serialize a capture bundle.
@@ -63,14 +93,17 @@ Trace loadTrace(const std::string &path);
  * @param config_hash Caller's configuration fingerprint.
  * @param meta        Caller-defined metadata words.
  * @param stream      The captured trace.
+ * @param aux         Optional precomputed next-use data; null or empty
+ *                    writes an empty aux section.
  * @return False on I/O failure.
  */
 bool writeCaptureBundle(std::ostream &os, std::uint64_t config_hash,
                         const std::vector<std::uint64_t> &meta,
-                        const Trace &stream);
+                        const Trace &stream,
+                        const CaptureAux *aux = nullptr);
 
 /**
- * Deserialize a capture bundle, validating structure, checksum and the
+ * Deserialize a capture bundle, validating structure, checksums and the
  * configuration hash.
  *
  * @param is            Input stream positioned at the header.
@@ -78,14 +111,18 @@ bool writeCaptureBundle(std::ostream &os, std::uint64_t config_hash,
  * @param meta          Receives the metadata words on success.
  * @param stream        Receives the trace on success.
  * @param error         Receives a diagnostic on failure.
+ * @param aux           When non-null, receives the bundle's aux section
+ *                      (cleared when the bundle carries none).
  * @return True on success; false leaves meta/stream untouched and sets
  *         `error` (a mismatching config hash is reported as
- *         "config hash mismatch", not a fatal error, so callers can
- *         regenerate).
+ *         "config hash mismatch" and an older format version as
+ *         "unsupported bundle version" — both non-fatal staleness, so
+ *         callers can regenerate).
  */
 bool readCaptureBundle(std::istream &is, std::uint64_t expected_hash,
                        std::vector<std::uint64_t> &meta, Trace &stream,
-                       std::string *error = nullptr);
+                       std::string *error = nullptr,
+                       CaptureAux *aux = nullptr);
 
 } // namespace casim
 

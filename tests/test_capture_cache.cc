@@ -218,6 +218,96 @@ TEST(CaptureCache, VersionMismatchFallsBackToRegeneration)
     EXPECT_EQ(captureCacheCounter("stale_misses") - stale_before, 1u);
 }
 
+TEST(CaptureCache, OldVersionHeaderIsStaleMissNotCorrupt)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+
+    // Rewrite the header's version word to 1 — the pre-aux-section
+    // format this code used to write.  A bundle from the old version
+    // is a well-formed file that is merely out of date: it must be
+    // counted as a stale miss (like a config change), not corruption.
+    const fs::path file = onlyCacheFile(dir.path());
+    std::fstream f(file, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekp(4);
+    const std::uint32_t old_version = 1;
+    f.write(reinterpret_cast<const char *>(&old_version),
+            sizeof(old_version));
+    f.close();
+
+    const auto stale_before = captureCacheCounter("stale_misses");
+    const auto corrupt_before = captureCacheCounter("corrupt_misses");
+    const CapturedWorkload again = captureWorkload("canneal", cached);
+    expectSameCapture(fresh, again);
+    EXPECT_EQ(captureCacheCounter("stale_misses") - stale_before, 1u);
+    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
+              0u);
+}
+
+TEST(CaptureCache, AuxCorruptionFallsBackToRegeneration)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+
+    // The aux section (next-use chain + label planes) sits at the end
+    // of the bundle; flip its very last byte, which only the aux
+    // checksum can notice.
+    const fs::path file = onlyCacheFile(dir.path());
+    std::fstream f(file, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    const auto size = fs::file_size(file);
+    f.seekp(static_cast<std::streamoff>(size - 1));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+    f.close();
+
+    const auto corrupt_before = captureCacheCounter("corrupt_misses");
+    const CapturedWorkload again = captureWorkload("canneal", cached);
+    expectSameCapture(fresh, again);
+    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
+              1u);
+}
+
+TEST(CaptureCache, WarmLoadAdoptsNextUseChainAndPlanes)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    const CapturedWorkload cold = captureWorkload("canneal", cached);
+    const CapturedWorkload warm = captureWorkload("canneal", cached);
+
+    // The warm load must carry the bundle's precomputed chain and one
+    // plane per studied oracle window.
+    ASSERT_NE(warm.nextUseAux, nullptr);
+    const auto pairs = studyOracleWindows(cached);
+    ASSERT_EQ(warm.nextUseAux->planes.size(), pairs.size());
+    EXPECT_EQ(warm.nextUseAux->nextUse.size(), warm.stream.size());
+
+    // Materializing the warm index must adopt, not rebuild...
+    const auto adopted_before = labelPlaneCounter("adopted");
+    const auto builds_before = labelPlaneCounter("builds");
+    const NextUseIndex &warm_index = warm.nextUse();
+    EXPECT_EQ(labelPlaneCounter("adopted") - adopted_before,
+              pairs.size());
+
+    // ... and every adopted plane and chain entry must agree with a
+    // from-scratch build, so oracle decisions are byte-identical.
+    const NextUseIndex &cold_index = cold.nextUse();
+    for (std::size_t i = 0; i < warm.stream.size(); ++i)
+        ASSERT_EQ(warm_index.nextUse(i), cold_index.nextUse(i));
+    for (const auto &[window, near] : pairs) {
+        EXPECT_EQ(warm_index.labelPlane(window, near).codes,
+                  cold_index.labelPlane(window, near).codes);
+    }
+    EXPECT_EQ(labelPlaneCounter("builds") - builds_before, 0u)
+        << "a warm load must not rebuild any label plane";
+}
+
 TEST(CaptureCache, ConfigChangeMissesTheCache)
 {
     ScratchDir dir;
@@ -287,6 +377,57 @@ TEST(CaptureBundle, RoundTripsMetaAndStream)
     ASSERT_EQ(loaded.size(), stream.size());
     for (std::size_t i = 0; i < stream.size(); ++i)
         ASSERT_EQ(loaded[i].addr, stream[i].addr);
+}
+
+TEST(CaptureBundle, RoundTripsAuxSection)
+{
+    Rng rng(6);
+    Trace stream("bundle", 4);
+    for (int i = 0; i < 200; ++i)
+        stream.append(rng.below(64) * kBlockBytes, 0x400,
+                      static_cast<CoreId>(rng.below(4)),
+                      rng.chance(0.5));
+    CaptureAux aux;
+    const NextUseIndex index(stream);
+    aux.nextUse = index.chain();
+    for (const SeqNo window : {SeqNo{50}, SeqNo{500}}) {
+        const auto plane = index.computeLabelPlane(window, window);
+        aux.planes.push_back({window, window, plane.codes});
+    }
+
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(writeCaptureBundle(buffer, 0x77, {}, stream, &aux));
+
+    std::vector<std::uint64_t> meta;
+    Trace loaded{"", 1};
+    CaptureAux loaded_aux;
+    std::string error;
+    ASSERT_TRUE(readCaptureBundle(buffer, 0x77, meta, loaded, &error,
+                                  &loaded_aux))
+        << error;
+    EXPECT_EQ(loaded_aux.nextUse, aux.nextUse);
+    ASSERT_EQ(loaded_aux.planes.size(), aux.planes.size());
+    for (std::size_t p = 0; p < aux.planes.size(); ++p) {
+        EXPECT_EQ(loaded_aux.planes[p].window, aux.planes[p].window);
+        EXPECT_EQ(loaded_aux.planes[p].nearWindow,
+                  aux.planes[p].nearWindow);
+        EXPECT_EQ(loaded_aux.planes[p].codes, aux.planes[p].codes);
+    }
+
+    // A reader that does not ask for the aux still gets the stream,
+    // and a bundle written without aux reads back an empty one.
+    buffer.seekg(0);
+    ASSERT_TRUE(
+        readCaptureBundle(buffer, 0x77, meta, loaded, &error));
+    std::stringstream bare(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(writeCaptureBundle(bare, 0x77, {}, stream));
+    CaptureAux no_aux;
+    no_aux.nextUse.push_back(1); // must be cleared by the read
+    ASSERT_TRUE(readCaptureBundle(bare, 0x77, meta, loaded, &error,
+                                  &no_aux));
+    EXPECT_TRUE(no_aux.empty());
 }
 
 TEST(CaptureBundle, RejectsWrongConfigHash)
