@@ -7,8 +7,11 @@
  * sharing-awareness) remains.
  *
  * Usage: fig5_policy_comparison [--scale=1] [--threads=8]
- *        [--llc-mb=4] [--jobs=N] [--format={text,csv,json}]
- *        [--stats-out=PATH]
+ *        [--llc-mb=4] [--jobs=N] [--shards=K]
+ *        [--format={text,csv,json}] [--stats-out=PATH]
+ *
+ * --shards=K replays each eligible (per-set-state) cell as K
+ * concurrent set shards; the table is byte-identical for any K.
  */
 
 #include "common/table.hh"
@@ -51,6 +54,12 @@ main(int argc, char **argv)
             const std::size_t p = cell % num_cells;
             ReplaySpec spec;
             spec.geo = geo;
+            // Nested fan-out: this cell is itself a runner task, so the
+            // shard batch runs inline on this worker (see
+            // ParallelRunner::run), trading cell- for shard-level
+            // parallelism only when the cell grid underfills the pool.
+            spec.shards = config.shards;
+            spec.shardRunner = &runner;
             if (p >= 1 && p <= policies.size()) {
                 spec.policy = policies[p - 1];
             } else if (p > policies.size()) {

@@ -18,6 +18,8 @@
 #include "mem/hierarchy.hh"
 #include "mem/repl/factory.hh"
 #include "mem/repl/opt.hh"
+#include "sim/parallel.hh"
+#include "sim/sharded_sim.hh"
 #include "sim/stream_sim.hh"
 #include "wgen/registry.hh"
 
@@ -170,6 +172,28 @@ BM_StreamSimPolicy(benchmark::State &state, const std::string &policy)
 }
 
 void
+BM_StreamSimSharded(benchmark::State &state)
+{
+    // The sharded engine against BM_StreamSimPolicy/lru on the same
+    // stream: arg = shard count.  The runner lives outside the timed
+    // region (a bench binary constructs its pool once); the timed work
+    // is the partition, the K shard replays and the stat merge.
+    const Trace &trace = randomTrace();
+    const CacheGeometry geo = microGeometry();
+    const auto shards = static_cast<unsigned>(state.range(0));
+    ParallelRunner runner(shards);
+    for (auto _ : state) {
+        ShardedStreamSim sim(trace, geo, shards,
+                             requirePolicyFactory("lru"));
+        sim.run(&runner);
+        benchmark::DoNotOptimize(sim.misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
 BM_StreamSimOpt(benchmark::State &state)
 {
     const Trace &trace = randomTrace();
@@ -304,6 +328,9 @@ BENCHMARK_CAPTURE(BM_StreamSimPolicy, srrip, "srrip");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, drrip, "drrip");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, ship, "ship");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, dip, "dip");
+// Wall-clock rates: the shard replays run on pool threads, whose CPU
+// time the default CPU-time rate would not see.
+BENCHMARK(BM_StreamSimSharded)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 BENCHMARK(BM_StreamSimOpt);
 BENCHMARK(BM_StreamSimOracleWrapped);
 BENCHMARK(BM_NextUseIndexBuild);

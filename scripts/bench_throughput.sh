@@ -46,7 +46,7 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== microbenchmarks (${reps} repetitions) =="
 micro_args=(
-    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimOpt|NextUseIndexBuild|LabelPlaneBuild|OracleLabel|HierarchyRun'
+    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimSharded|StreamSimOpt|NextUseIndexBuild|LabelPlaneBuild|OracleLabel|HierarchyRun'
     --benchmark_repetitions="$reps"
     --benchmark_out="$tmpdir/micro.json"
     --benchmark_out_format=json

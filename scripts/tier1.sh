@@ -23,7 +23,7 @@ cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread \
       -DCASIM_PARANOID=ON >/dev/null
 cmake --build "${prefix}-tsan" -j --target casim_tests
 "${prefix}-tsan"/tests/casim_tests \
-    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*'
+    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*:ShardedSim.*:StatMerge.*'
 
 echo "== tier-1: cold vs warm capture cache, byte-identical output =="
 capdir="$(mktemp -d)"
@@ -64,6 +64,22 @@ for fig in fig5_policy_comparison fig7_oracle; do
     python3 scripts/check_stats_json.py "${capdir}/${fig}.json" \
         --text="${capdir}/${fig}.txt"
 done
+
+echo "== tier-1: sharded replay matches serial byte for byte =="
+# fig5 at --shards=8 routes every per-set-state cell through the
+# sharded engine; its table must match the serial run produced by the
+# JSON check above exactly.
+"${prefix}/bench/fig5_policy_comparison" --scale=0.05 --jobs=2 \
+    --shards=8 --capture-dir="${capdir}/cache" \
+    > "${capdir}/fig5_sharded.txt"
+if ! cmp -s "${capdir}/fig5_policy_comparison.txt" \
+        "${capdir}/fig5_sharded.txt"; then
+    echo "FATAL: sharded fig5 output differs from serial" >&2
+    diff "${capdir}/fig5_policy_comparison.txt" \
+        "${capdir}/fig5_sharded.txt" >&2 || true
+    exit 1
+fi
+echo "sharded/serial fig5 outputs identical"
 
 echo "== tier-1: --format=json emits a valid document on stdout =="
 "${prefix}/bench/fig5_policy_comparison" --scale=0.05 --jobs=2 \

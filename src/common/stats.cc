@@ -10,10 +10,27 @@
 #include <iomanip>
 #include <numeric>
 
+#include "common/logging.hh"
+
 namespace casim {
 namespace stats {
 
 namespace {
+
+/**
+ * Downcast `other` for a merge, panicking when the kinds differ.
+ * Merging mismatched statistics means two "congruent" groups were not;
+ * that is a structural bug, never a data condition.
+ */
+template <typename Stat>
+const Stat &
+mergePeer(const StatBase &self, const StatBase &other)
+{
+    const auto *peer = dynamic_cast<const Stat *>(&other);
+    casim_assert(peer != nullptr, "stat merge kind mismatch for '",
+                 self.name(), "' vs '", other.name(), "'");
+    return *peer;
+}
 
 /** Print one aligned "name value # desc" row. */
 void
@@ -94,6 +111,12 @@ Counter::printJson(std::ostream &os) const
     os << ": {\"kind\": \"counter\", \"value\": " << value_ << "}";
 }
 
+void
+Counter::mergeFrom(const StatBase &other)
+{
+    value_ += mergePeer<Counter>(*this, other).value_;
+}
+
 std::uint64_t
 CounterVector::total() const
 {
@@ -137,6 +160,16 @@ CounterVector::printJson(std::ostream &os) const
         os << ": " << values_[i];
     }
     os << "}, \"total\": " << total() << "}";
+}
+
+void
+CounterVector::mergeFrom(const StatBase &other)
+{
+    const CounterVector &peer = mergePeer<CounterVector>(*this, other);
+    casim_assert(labels_ == peer.labels_,
+                 "vector merge label mismatch for '", name(), "'");
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        values_[i] += peer.values_[i];
 }
 
 void
@@ -204,6 +237,24 @@ Distribution::printJson(std::ostream &os) const
     os << ", \"stddev\": ";
     printJsonNumber(os, stddev());
     os << "}";
+}
+
+void
+Distribution::mergeFrom(const StatBase &other)
+{
+    const Distribution &peer = mergePeer<Distribution>(*this, other);
+    if (peer.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = peer.min_;
+        max_ = peer.max_;
+    } else {
+        min_ = std::min(min_, peer.min_);
+        max_ = std::max(max_, peer.max_);
+    }
+    count_ += peer.count_;
+    sum_ += peer.sum_;
+    sumSq_ += peer.sumSq_;
 }
 
 void
@@ -276,6 +327,16 @@ Histogram::printJson(std::ostream &os) const
 }
 
 void
+Histogram::mergeFrom(const StatBase &other)
+{
+    const Histogram &peer = mergePeer<Histogram>(*this, other);
+    casim_assert(bounds_ == peer.bounds_,
+                 "histogram merge bound mismatch for '", name(), "'");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += peer.counts_[i];
+}
+
+void
 Formula::print(std::ostream &os) const
 {
     printRow(os, name(), fn_(), desc());
@@ -294,6 +355,14 @@ Formula::printJson(std::ostream &os) const
     os << ": {\"kind\": \"formula\", \"value\": ";
     printJsonNumber(os, fn_());
     os << "}";
+}
+
+void
+Formula::mergeFrom(const StatBase &other)
+{
+    // Formulas derive from this group's live state: once the counters
+    // they read have merged, the formula already covers the union.
+    mergePeer<Formula>(*this, other);
 }
 
 std::string
@@ -384,6 +453,22 @@ StatGroup::dumpJson(std::ostream &os) const
         stats_[i]->printJson(os);
     }
     os << "}";
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    casim_assert(stats_.size() == other.stats_.size(),
+                 "stat group merge size mismatch: '", prefix_, "' has ",
+                 stats_.size(), " stats, '", other.prefix_, "' has ",
+                 other.stats_.size());
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+        casim_assert(stats_[i]->name() == other.stats_[i]->name(),
+                     "stat group merge name mismatch at slot ", i, ": '",
+                     stats_[i]->name(), "' vs '",
+                     other.stats_[i]->name(), "'");
+        stats_[i]->mergeFrom(*other.stats_[i]);
+    }
 }
 
 const StatBase *

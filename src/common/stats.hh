@@ -55,6 +55,15 @@ class StatBase
      */
     virtual void printJson(std::ostream &os) const = 0;
 
+    /**
+     * Fold `other` into this statistic.  `other` must be the same kind
+     * with the same shape (labels, bucket bounds); anything else is a
+     * simulator bug and panics.  Formulas are the one no-op: they are
+     * derived from this group's live state, so after the underlying
+     * counters merge the formula already reflects the union.
+     */
+    virtual void mergeFrom(const StatBase &other) = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -76,6 +85,7 @@ class Counter : public StatBase
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     std::uint64_t value_ = 0;
@@ -108,6 +118,7 @@ class CounterVector : public StatBase
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     std::vector<std::string> labels_;
@@ -135,6 +146,7 @@ class Distribution : public StatBase
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     std::uint64_t count_ = 0;
@@ -175,6 +187,7 @@ class Histogram : public StatBase
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     std::vector<double> bounds_;
@@ -198,6 +211,7 @@ class Formula : public StatBase
     void print(std::ostream &os) const override;
     void printCsv(std::ostream &os) const override;
     void printJson(std::ostream &os) const override;
+    void mergeFrom(const StatBase &other) override;
 
   private:
     std::function<double()> fn_;
@@ -249,6 +263,17 @@ class StatGroup
      * owned statistic keyed by its full (prefixed) name.
      */
     void dumpJson(std::ostream &os) const;
+
+    /**
+     * Fold every statistic of `other` into the matching statistic of
+     * this group, pairing by registration order.  The groups must be
+     * structurally congruent — same statistic count, and pairwise the
+     * same full names and kinds — as two instances of the same
+     * component always are (e.g. per-shard caches).  Any mismatch is a
+     * simulator bug and panics.  Formulas are left untouched: they
+     * derive from this group's live state.
+     */
+    void mergeFrom(const StatGroup &other);
 
     /** Look up a statistic by its full name; nullptr if absent. */
     const StatBase *find(const std::string &name) const;

@@ -45,8 +45,8 @@ CacheGeometry::check() const
 }
 
 Cache::Cache(std::string name, const CacheGeometry &geo,
-             std::unique_ptr<ReplPolicy> policy)
-    : name_(std::move(name)), geo_(geo),
+             std::unique_ptr<ReplPolicy> policy, CacheShard shard)
+    : name_(std::move(name)), geo_(geo), shard_(shard),
       policy_(std::move(policy)),
       stats_(name_),
       hits_(stats_.addCounter("demand_hits", "demand accesses that hit")),
@@ -68,7 +68,14 @@ Cache::Cache(std::string name, const CacheGeometry &geo,
     casim_assert(policy_->numSets() == geo_.numSets() &&
                      policy_->numWays() == geo_.ways,
                  "policy geometry mismatch for cache ", name_);
-    setShift_ = floorLog2(geo_.blockBytes);
+    casim_assert(shard_.bits < 32 &&
+                     shard_.index < (1u << shard_.bits),
+                 "bad cache shard {", shard_.bits, ", ", shard_.index,
+                 "} for cache ", name_);
+    // A shard owns every global set whose low `bits` index bits equal
+    // its index, so the local set index is the global one with those
+    // bits shifted off — fold the shift into the block offset shift.
+    setShift_ = floorLog2(geo_.blockBytes) + shard_.bits;
     setMask_ = geo_.numSets() - 1;
     const auto slots =
         static_cast<std::size_t>(geo_.numSets()) * geo_.ways;
@@ -119,6 +126,21 @@ Cache::paranoidCheckSet([[maybe_unused]] unsigned set) const
 #endif
 }
 
+void
+Cache::paranoidCheckRoute([[maybe_unused]] Addr block_addr) const
+{
+#ifdef CASIM_PARANOID
+    if (shard_.bits == 0)
+        return;
+    const unsigned low = static_cast<unsigned>(
+        (block_addr >> floorLog2(geo_.blockBytes)) &
+        ((1u << shard_.bits) - 1));
+    casim_assert(low == shard_.index, "address ", block_addr,
+                 " routed to wrong shard ", shard_.index, " of cache ",
+                 name_);
+#endif
+}
+
 CacheBlock *
 Cache::probe(Addr block_addr)
 {
@@ -138,6 +160,7 @@ Cache::probe(Addr block_addr) const
 CacheBlock *
 Cache::access(const ReplContext &ctx)
 {
+    paranoidCheckRoute(ctx.blockAddr);
     const unsigned set = setIndex(ctx.blockAddr);
     const unsigned way = findWay(set, ctx.blockAddr);
     if (way == geo_.ways) {
@@ -181,6 +204,7 @@ Cache::endResidency(unsigned set, unsigned way, bool external)
 CacheBlock &
 Cache::fill(const ReplContext &ctx, const VictimHandler &on_victim)
 {
+    paranoidCheckRoute(ctx.blockAddr);
     const unsigned set = setIndex(ctx.blockAddr);
 #ifdef CASIM_PARANOID
     // A full-set scan per fill is too expensive for release replays;

@@ -43,6 +43,27 @@ struct CacheGeometry
 };
 
 /**
+ * Identifies one set shard of a larger cache.
+ *
+ * The sharded replay engine partitions a K-way-larger cache's sets by
+ * their low log2(K) set-index bits: shard `index` owns every global set
+ * whose low bits equal `index`, and a shard-local Cache (built with
+ * 1/K of the global capacity) maps a block address to local set
+ * `globalSet >> bits`.  Selecting by the LOW bits is what makes this
+ * work with a plain shift: dropping them leaves the HIGH set bits,
+ * which are exactly the local set index.  The default {0, 0} is an
+ * unsharded cache.
+ */
+struct CacheShard
+{
+    /** log2 of the shard count (0 = unsharded). */
+    unsigned bits = 0;
+
+    /** This shard's index in [0, 2^bits). */
+    unsigned index = 0;
+};
+
+/**
  * Observer of residency lifecycle events, used by the sharing study.
  *
  * Events refer to demand activity only; writebacks and directory
@@ -95,11 +116,15 @@ class Cache
 
     /**
      * @param name   Instance name used as the stats prefix (e.g. "llc").
-     * @param geo    Cache geometry; validated here.
+     * @param geo    Cache geometry; validated here.  With a non-trivial
+     *               `shard` this is the shard-LOCAL geometry (1/2^bits
+     *               of the global capacity, same ways and block size).
      * @param policy Replacement policy sized for this geometry.
+     * @param shard  Set shard this instance implements; {0, 0} (the
+     *               default) indexes the full set range.
      */
     Cache(std::string name, const CacheGeometry &geo,
-          std::unique_ptr<ReplPolicy> policy);
+          std::unique_ptr<ReplPolicy> policy, CacheShard shard = {});
 
     /** Attach an observer for residency events (may be nullptr). */
     void setObserver(CacheObserver *observer) { observer_ = observer; }
@@ -201,8 +226,12 @@ class Cache
      */
     void paranoidCheckSet(unsigned set) const;
 
+    /** Panic if `block_addr` does not route to this shard. */
+    void paranoidCheckRoute(Addr block_addr) const;
+
     std::string name_;
     CacheGeometry geo_;
+    CacheShard shard_;
     unsigned setShift_;
     unsigned setMask_;
     std::unique_ptr<ReplPolicy> policy_;

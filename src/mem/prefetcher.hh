@@ -33,12 +33,17 @@ struct PrefetcherConfig
     unsigned threshold = 2;
 };
 
-/** PC-indexed stride prefetcher. */
-class StridePrefetcher
+/**
+ * Interface of an LLC prefetcher as StreamSim drives it: observe each
+ * demand reference, emit candidate block addresses, and learn when a
+ * prefetched block is later hit by demand.  StreamSim deduplicates the
+ * emitted burst, so implementations may emit the same target twice
+ * without double-filling the cache.
+ */
+class Prefetcher
 {
   public:
-    explicit StridePrefetcher(
-        const PrefetcherConfig &config = PrefetcherConfig{});
+    virtual ~Prefetcher() = default;
 
     /**
      * Observe one demand reference and append the block addresses to
@@ -46,12 +51,24 @@ class StridePrefetcher
      *
      * @param pc   PC of the demand reference.
      * @param addr Block-aligned demand address.
-     * @param out  Receives up to config.degree prefetch addresses.
+     * @param out  Receives the prefetch addresses.
      */
-    void observe(PC pc, Addr addr, std::vector<Addr> &out);
+    virtual void observe(PC pc, Addr addr, std::vector<Addr> &out) = 0;
 
     /** Record that an issued prefetch was used by a demand access. */
-    void recordUseful() { ++useful_; }
+    virtual void recordUseful() {}
+};
+
+/** PC-indexed stride prefetcher. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(
+        const PrefetcherConfig &config = PrefetcherConfig{});
+
+    void observe(PC pc, Addr addr, std::vector<Addr> &out) override;
+
+    void recordUseful() override { ++useful_; }
 
     /** Prefetches issued so far. */
     std::uint64_t issued() const { return issued_.value(); }

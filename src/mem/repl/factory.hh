@@ -29,6 +29,17 @@ struct PolicyDesc
      * as OPT and the sharing-aware wrapper do.
      */
     bool needsOracleContext = false;
+
+    /**
+     * True when every decision the policy makes for a set depends only
+     * on that set's own event history, so replaying any partition of
+     * the sets reproduces serial behavior exactly.  This is the
+     * eligibility bit for set-sharded replay (see ShardedStreamSim).
+     * False for policies with global state: set-dueling PSELs
+     * (drrip/dip/tadip/tadrrip), BRRIP/BIP's shared insertion RNG, and
+     * SHiP's shared signature history counter table.
+     */
+    bool perSetState = false;
 };
 
 /**

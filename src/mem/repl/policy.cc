@@ -53,25 +53,32 @@ struct PolicyEntry
 // The factory has no thread-count channel for the thread-aware
 // policies; the study's 8-core CMP is assumed.  Construct
 // TadipPolicy / TaDrripPolicy directly for other thread counts.
+// perSetState (the last desc field) marks the policies whose per-set
+// decisions never read cross-set state, i.e. the ones eligible for
+// set-sharded replay: LRU's clock only orders within a set, Random
+// draws from per-set hashed streams, and NRU/SRRIP/LIP/OPT keep pure
+// per-set metadata.  The set-dueling policies (drrip/dip/tadip/
+// tadrrip), the shared-RNG inserters (brrip/bip) and SHiP's global
+// SHCT are not shardable.
 const PolicyEntry kPolicyTable[] = {
-    {{"lru", "LRU", false}, simpleFactory<LruPolicy>},
-    {{"random", "Random", false}, simpleFactory<RandomPolicy>},
-    {{"nru", "NRU", false}, simpleFactory<NruPolicy>},
-    {{"srrip", "SRRIP", false}, simpleFactory<SrripPolicy>},
-    {{"brrip", "BRRIP", false}, simpleFactory<BrripPolicy>},
-    {{"drrip", "DRRIP", false}, simpleFactory<DrripPolicy>},
-    {{"lip", "LIP", false}, simpleFactory<LipPolicy>},
-    {{"bip", "BIP", false}, simpleFactory<BipPolicy>},
-    {{"dip", "DIP", false}, simpleFactory<DipPolicy>},
-    {{"ship", "SHiP", false}, simpleFactory<ShipPolicy>},
-    {{"tadip", "TA-DIP", false},
+    {{"lru", "LRU", false, true}, simpleFactory<LruPolicy>},
+    {{"random", "Random", false, true}, simpleFactory<RandomPolicy>},
+    {{"nru", "NRU", false, true}, simpleFactory<NruPolicy>},
+    {{"srrip", "SRRIP", false, true}, simpleFactory<SrripPolicy>},
+    {{"brrip", "BRRIP", false, false}, simpleFactory<BrripPolicy>},
+    {{"drrip", "DRRIP", false, false}, simpleFactory<DrripPolicy>},
+    {{"lip", "LIP", false, true}, simpleFactory<LipPolicy>},
+    {{"bip", "BIP", false, false}, simpleFactory<BipPolicy>},
+    {{"dip", "DIP", false, false}, simpleFactory<DipPolicy>},
+    {{"ship", "SHiP", false, false}, simpleFactory<ShipPolicy>},
+    {{"tadip", "TA-DIP", false, false},
      []() -> ReplPolicyFactory {
          return [](unsigned sets, unsigned ways) {
              return std::unique_ptr<ReplPolicy>(
                  new TadipPolicy(sets, ways, 8));
          };
      }},
-    {{"tadrrip", "TA-DRRIP", false},
+    {{"tadrrip", "TA-DRRIP", false, false},
      []() -> ReplPolicyFactory {
          return [](unsigned sets, unsigned ways) {
              return std::unique_ptr<ReplPolicy>(
@@ -81,10 +88,13 @@ const PolicyEntry kPolicyTable[] = {
 };
 
 // Context-dependent policies: no self-contained factory, but benches
-// and the result sink can still query their metadata by name.
+// and the result sink can still query their metadata by name.  OPT's
+// victim choice reads only the set's own next-use values (keyed by
+// global stream position, which sharded replay preserves), so it is
+// per-set; the sharing-aware wrapper set-duels, so it is not.
 const PolicyDesc kContextPolicies[] = {
-    {"opt", "Belady OPT", true},
-    {"sharing-aware", "Sharing-aware wrapper", true},
+    {"opt", "Belady OPT", true, true},
+    {"sharing-aware", "Sharing-aware wrapper", true, false},
 };
 
 } // namespace

@@ -11,7 +11,7 @@ namespace casim {
 
 RandomPolicy::RandomPolicy(unsigned num_sets, unsigned num_ways,
                            std::uint64_t seed)
-    : ReplPolicy(num_sets, num_ways), rng_(seed)
+    : ReplPolicy(num_sets, num_ways), seed_(seed), draws_(num_sets, 0)
 {
 }
 
@@ -19,8 +19,6 @@ unsigned
 RandomPolicy::victim(unsigned set, const ReplContext &ctx,
                      std::uint64_t exclude)
 {
-    (void)set;
-    (void)ctx;
     unsigned candidates[64];
     unsigned count = 0;
     for (unsigned way = 0; way < numWays(); ++way) {
@@ -28,7 +26,13 @@ RandomPolicy::victim(unsigned set, const ReplContext &ctx,
             candidates[count++] = way;
     }
     casim_assert(count > 0, "all ways excluded in random victim");
-    return candidates[rng_.below(count)];
+    // Stateless per-set draw: the inputs (fill address, this set's
+    // draw ordinal) are invariant under set sharding, so sharded and
+    // serial replays pick identical victims (see the class comment).
+    const std::uint64_t draw = draws_[set]++;
+    const std::uint64_t h = mix64(
+        seed_ ^ ctx.blockAddr ^ (draw * 0x9e3779b97f4a7c15ULL));
+    return candidates[h % count];
 }
 
 void

@@ -6,12 +6,24 @@
 #ifndef CASIM_MEM_REPL_RANDOM_HH
 #define CASIM_MEM_REPL_RANDOM_HH
 
+#include <vector>
+
 #include "common/rng.hh"
 #include "mem/repl/policy.hh"
 
 namespace casim {
 
-/** Uniform-random victim selection among non-excluded ways. */
+/**
+ * Uniform-random victim selection among non-excluded ways.
+ *
+ * The random stream is per-set: each victim draw hashes (seed, the
+ * filling block address, the set's own draw counter), so a set's
+ * decision sequence depends only on the fills THAT set served, never
+ * on the interleaving of other sets' evictions — and never on the set
+ * INDEX, which is renumbered under set-sharded replay.  Any partition
+ * of the sets therefore replays each set's identical draw sequence,
+ * while selection stays uniform within each set.
+ */
 class RandomPolicy : public ReplPolicy
 {
   public:
@@ -25,7 +37,8 @@ class RandomPolicy : public ReplPolicy
     std::string name() const override { return "random"; }
 
   private:
-    Rng rng_;
+    std::uint64_t seed_;
+    std::vector<std::uint64_t> draws_;
 };
 
 } // namespace casim

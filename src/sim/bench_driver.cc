@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "sim/capture_cache.hh"
+#include "sim/sharded_sim.hh"
 #include "trace/next_use.hh"
 
 namespace casim {
@@ -86,6 +87,7 @@ BenchDriver::finish()
         sink_.addGroup(runner_->stats());
     sink_.addGroup(captureCacheStats());
     sink_.addGroup(labelPlaneStats());
+    sink_.addGroup(shardedReplayStats());
 
     if (format_ == OutputFormat::Json)
         sink_.writeJson(std::cout);

@@ -7,6 +7,8 @@
 
 #include <cstdlib>
 
+#include "common/logging.hh"
+
 namespace casim {
 
 CacheGeometry
@@ -77,6 +79,19 @@ StudyConfig::fromOptions(const Options &options)
     } else if (const char *env = std::getenv("CASIM_CAPTURE_DIR")) {
         config.captureDir = env;
     }
+
+    std::uint64_t shards = config.shards;
+    if (options.has("shards")) {
+        shards = options.getUint("shards", shards);
+    } else if (const char *env = std::getenv("CASIM_SHARDS")) {
+        shards = std::strtoull(env, nullptr, 10);
+    }
+    if (shards == 0)
+        shards = 1;
+    if ((shards & (shards - 1)) != 0)
+        casim_fatal("--shards / CASIM_SHARDS must be a power of two, ",
+                    "got ", shards);
+    config.shards = static_cast<unsigned>(shards);
     return config;
 }
 

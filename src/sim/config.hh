@@ -66,6 +66,14 @@ struct StudyConfig
      */
     std::string captureDir;
 
+    /**
+     * Set-shard count for captured-stream replays (ReplaySpec::shards).
+     * A power of two; 1 keeps every replay on the serial engine.
+     * Replays the sharded engine cannot reproduce exactly (global-state
+     * policies, labelers, prefetchers) ignore this and stay serial.
+     */
+    unsigned shards = 1;
+
     /** LLC geometry for a given capacity. */
     CacheGeometry llcGeometry(std::uint64_t bytes) const;
 
@@ -86,6 +94,10 @@ struct StudyConfig
      * --capture-dir uses ".capture-cache".  When the flag is absent the
      * CASIM_CAPTURE_DIR environment variable is consulted; absent both,
      * the cache is off.
+     *
+     * --shards=K sets the replay shard count; when the flag is absent
+     * the CASIM_SHARDS environment variable is consulted.  K must be a
+     * power of two (0 means 1); anything else is fatal.
      */
     static StudyConfig fromOptions(const Options &options);
 };

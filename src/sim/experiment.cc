@@ -7,11 +7,13 @@
 
 #include <algorithm>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "core/sharing_aware.hh"
 #include "mem/repl/factory.hh"
 #include "mem/repl/opt.hh"
 #include "sim/capture_cache.hh"
+#include "sim/sharded_sim.hh"
 #include "sim/stream_sim.hh"
 
 namespace casim {
@@ -193,11 +195,65 @@ applySpec(StreamSim &sim, const ReplaySpec &spec)
     sim.setPrefetcher(spec.prefetcher);
 }
 
+/**
+ * The shard count a spec actually replays with.  Sharding engages only
+ * when the sharded engine reproduces the serial result exactly: more
+ * than one shard requested, no labeler or prefetcher attached, and a
+ * policy whose state is per-set (PolicyDesc::perSetState).  Everything
+ * else falls back to 1 — counted so a study can see how much of its
+ * grid stayed serial.  The requested count must be a power of two;
+ * counts above the set count clamp down to it.
+ */
+unsigned
+effectiveShards(const ReplaySpec &spec)
+{
+    if (spec.shards <= 1)
+        return 1;
+    casim_assert(isPowerOf2(spec.shards),
+                 "ReplaySpec: shard count ", spec.shards,
+                 " is not a power of two");
+    const auto desc = policyDesc(spec.policy);
+    const bool shardable = spec.labeler == nullptr &&
+                           spec.prefetcher == nullptr &&
+                           desc.has_value() && desc->perSetState;
+    if (!shardable) {
+        noteShardedReplayFallback();
+        return 1;
+    }
+    return std::min<unsigned>(spec.shards, spec.geo.numSets());
+}
+
+/**
+ * Per-shard policy factory for a shardable spec: the builtin factory,
+ * or an OPT closure over the spec's next-use index (safe because
+ * sharded replay preserves global stream positions).
+ */
+ReplPolicyFactory
+shardReplayFactory(const ReplaySpec &spec)
+{
+    if (spec.policy != "opt")
+        return requirePolicyFactory(spec.policy);
+    casim_assert(spec.nextUse != nullptr,
+                 "ReplaySpec: policy 'opt' needs a next-use index");
+    const NextUseIndex *index = spec.nextUse;
+    return [index](unsigned sets, unsigned ways) {
+        return std::unique_ptr<ReplPolicy>(
+            new OptPolicy(sets, ways, *index));
+    };
+}
+
 } // namespace
 
 std::uint64_t
 replayMisses(const Trace &stream, const ReplaySpec &spec)
 {
+    const unsigned shards = effectiveShards(spec);
+    if (shards > 1) {
+        ShardedStreamSim sharded(stream, spec.geo, shards,
+                                 shardReplayFactory(spec));
+        sharded.run(spec.shardRunner);
+        return sharded.misses();
+    }
     StreamSim sim(stream, spec.geo, makeReplayPolicy(spec));
     applySpec(sim, spec);
     sim.run();

@@ -142,6 +142,26 @@ struct ReplaySpec
      * with "opt" (see StreamSim::setPrefetcher).
      */
     StridePrefetcher *prefetcher = nullptr;
+
+    /**
+     * Set-shard count for the replay (--shards / CASIM_SHARDS).  A
+     * power of two; values above the set count are clamped.  Shards
+     * only engage for specs the sharded engine reproduces exactly:
+     * per-set-state policies (PolicyDesc::perSetState) with no labeler
+     * and no prefetcher.  Anything else — set-dueling/SHiP-style
+     * global-state policies, the sharing-aware wrapper, oracle or
+     * predictor labelers, prefetching — silently falls back to the
+     * serial reference engine (counted in sharded_replay.
+     * serial_fallbacks), so results never change with K.
+     */
+    unsigned shards = 1;
+
+    /**
+     * Runner to fan the shard replays out on; null replays shards
+     * serially.  May be the runner whose task is calling replayMisses:
+     * nested run() executes inline (see ParallelRunner::run).
+     */
+    ParallelRunner *shardRunner = nullptr;
 };
 
 /** Replay the stream under `spec` and return the demand misses. */

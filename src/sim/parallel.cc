@@ -11,11 +11,26 @@
 
 namespace casim {
 
+namespace {
+
+/**
+ * The runner whose batch the current thread is executing a task of,
+ * if any.  run() consults it to detect re-entry: fanning a nested
+ * batch out through the shared pending_/batchDone_ state would corrupt
+ * the outer batch's accounting (and block a worker on its own pool),
+ * so nested calls execute inline instead.
+ */
+thread_local const ParallelRunner *tls_active_runner = nullptr;
+
+} // namespace
+
 ParallelRunner::ParallelRunner(unsigned jobs)
     : jobs_(jobs == 0 ? 1 : jobs), stats_("runner"),
       tasks_(stats_.addCounter("tasks", "simulation cells executed")),
-      batches_(stats_.addCounter("batches", "run() fan-outs issued"))
-      , taskSeconds_(stats_.addDistribution(
+      batches_(stats_.addCounter("batches", "run() fan-outs issued")),
+      reentries_(stats_.addCounter(
+          "reentries", "nested run() calls executed inline")),
+      taskSeconds_(stats_.addDistribution(
             "task_seconds", "wall time of each simulation cell"))
 {
     stats_.addFormula("jobs", "worker count",
@@ -60,7 +75,9 @@ ParallelRunner::workerLoop()
             queue_.pop_front();
         }
         PhaseTimer timer;
+        tls_active_runner = this;
         job();
+        tls_active_runner = nullptr;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             taskSeconds_.sample(timer.seconds());
@@ -72,20 +89,53 @@ ParallelRunner::workerLoop()
 }
 
 void
+ParallelRunner::runInline(std::size_t n,
+                          const std::function<void(std::size_t)> &task)
+{
+    // Same semantics as the parallel path: drain every task, keep the
+    // first exception, rethrow once the batch is done.  Stats updates
+    // take the queue mutex because workers of an outer batch may be
+    // sampling concurrently when this is a re-entrant call.
+    std::exception_ptr first_error;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++batches_;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        PhaseTimer timer;
+        try {
+            task(i);
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        taskSeconds_.sample(timer.seconds());
+        ++tasks_;
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
 ParallelRunner::run(std::size_t n,
                     const std::function<void(std::size_t)> &task)
 {
     if (n == 0)
         return;
-    if (jobs_ == 1 || n == 1) {
-        // The exact serial code path: inline, in index order.
-        ++batches_;
-        for (std::size_t i = 0; i < n; ++i) {
-            PhaseTimer timer;
-            task(i);
-            taskSeconds_.sample(timer.seconds());
-            ++tasks_;
+    if (tls_active_runner == this) {
+        // Called from inside one of our own tasks: the batch state is
+        // busy with the outer fan-out, so execute on this worker.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++reentries_;
         }
+        runInline(n, task);
+        return;
+    }
+    if (jobs_ == 1 || n == 1) {
+        // The serial code path: inline on the caller, in index order.
+        runInline(n, task);
         return;
     }
 

@@ -57,8 +57,15 @@ class ParallelRunner
      * all have finished.  With jobs() == 1 the tasks run inline in
      * index order; otherwise they are fanned out to the pool and may
      * run in any order, so tasks must be independent (see the isolation
-     * rule above).  The first exception thrown by a task is rethrown
-     * here after all tasks have drained.
+     * rule above).  Every path drains the whole batch and rethrows the
+     * first task exception afterwards, so `tasks`/`task_seconds` stats
+     * are consistent across jobs values and the runner stays reusable.
+     *
+     * Nesting is safe: a task that calls run() on its own runner (e.g.
+     * a sharded replay inside an experiment cell) is detected through a
+     * thread-local marker and executed inline on the worker, because
+     * fanning out from inside a batch would corrupt the shared batch
+     * accounting (pending_/batchDone_) and deadlock.
      */
     void run(std::size_t n, const std::function<void(std::size_t)> &task);
 
@@ -88,6 +95,15 @@ class ParallelRunner
     /** Worker main loop: pop jobs until asked to stop. */
     void workerLoop();
 
+    /**
+     * Execute a whole batch inline on the calling thread with the
+     * parallel path's semantics: drain every task, collect the first
+     * exception, sample per-task stats, rethrow at the end.  Used for
+     * jobs()==1, single-task batches, and re-entrant run() calls.
+     */
+    void runInline(std::size_t n,
+                   const std::function<void(std::size_t)> &task);
+
     unsigned jobs_;
     std::vector<std::thread> workers_;
 
@@ -103,6 +119,7 @@ class ParallelRunner
     stats::StatGroup stats_;
     stats::Counter &tasks_;
     stats::Counter &batches_;
+    stats::Counter &reentries_;
     stats::Distribution &taskSeconds_;
 };
 

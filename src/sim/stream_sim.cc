@@ -10,9 +10,10 @@
 namespace casim {
 
 StreamSim::StreamSim(const Trace &stream, const CacheGeometry &geo,
-                     std::unique_ptr<ReplPolicy> policy)
+                     std::unique_ptr<ReplPolicy> policy, CacheShard shard)
     : stream_(stream),
-      cache_(std::make_unique<Cache>("llc", geo, std::move(policy)))
+      cache_(std::make_unique<Cache>("llc", geo, std::move(policy),
+                                     shard))
 {
     cache_->setObserver(this);
 }
@@ -23,11 +24,15 @@ StreamSim::run()
     casim_assert(!ran_, "StreamSim::run() called twice");
     ran_ = true;
     const std::size_t n = stream_.size();
+    casim_assert(positions_ == nullptr || positions_->size() == n,
+                 "stream position remap does not cover the stream");
     for (SeqNo i = 0; i < n; ++i) {
-        now_ = i;
+        const SeqNo position =
+            positions_ != nullptr ? (*positions_)[i] : i;
+        now_ = position;
         const MemAccess &access = stream_[i];
         ReplContext ctx{access.blockAddr(), access.pc, access.core,
-                        access.isWrite, i, false};
+                        access.isWrite, position, false};
         CacheBlock *hit = cache_->access(ctx);
         if (hit != nullptr) {
             if (hit->prefetched) {
@@ -38,10 +43,10 @@ StreamSim::run()
         } else {
             if (labeler_ != nullptr)
                 ctx.predictedShared = labeler_->predictShared(ctx);
-            cache_->fill(ctx, scoringHandler(i));
+            cache_->fill(ctx, scoringHandler(position));
         }
         if (prefetcher_ != nullptr)
-            runPrefetcher(access, i);
+            runPrefetcher(access, position);
     }
     cache_->flushResidencies();
 }
@@ -64,6 +69,21 @@ StreamSim::runPrefetcher(const MemAccess &access, SeqNo position)
     prefetchQueue_.clear();
     prefetcher_->observe(access.pc, access.blockAddr(),
                          prefetchQueue_);
+    // Deduplicate within the burst, keeping the first occurrence: a
+    // repeated target would otherwise fill twice whenever the first
+    // fill's block was evicted by a later fill of the same burst
+    // (possible in any set narrower than the burst), churning
+    // residencies that were never demanded.  Bursts are at most a
+    // handful of targets, so the quadratic scan is free.
+    std::size_t unique = 0;
+    for (std::size_t i = 0; i < prefetchQueue_.size(); ++i) {
+        bool seen = false;
+        for (std::size_t j = 0; j < unique && !seen; ++j)
+            seen = prefetchQueue_[j] == prefetchQueue_[i];
+        if (!seen)
+            prefetchQueue_[unique++] = prefetchQueue_[i];
+    }
+    prefetchQueue_.resize(unique);
     for (const Addr target : prefetchQueue_) {
         if (cache_->probe(target) != nullptr)
             continue;

@@ -26,11 +26,13 @@ class StreamSim : public CacheObserver
   public:
     /**
      * @param stream The captured LLC reference stream.
-     * @param geo    LLC geometry.
+     * @param geo    LLC geometry (shard-local when `shard` is set).
      * @param policy Replacement policy sized for `geo`.
+     * @param shard  Set shard the cache implements; defaults to the
+     *               full set range (see CacheShard).
      */
     StreamSim(const Trace &stream, const CacheGeometry &geo,
-              std::unique_ptr<ReplPolicy> policy);
+              std::unique_ptr<ReplPolicy> policy, CacheShard shard = {});
 
     /** Attach a fill-time labeler (oracle or predictor); may be null. */
     void setLabeler(FillLabeler *labeler) { labeler_ = labeler; }
@@ -46,14 +48,29 @@ class StreamSim : public CacheObserver
     }
 
     /**
-     * Attach an LLC stride prefetcher; may be null.  Prefetch fills
-     * consult the labeler like demand fills but are not counted as
-     * demand accesses.  Incompatible with OPT replacement, whose
-     * per-fill next-use lookup assumes demand fills only.
+     * Attach an LLC prefetcher; may be null.  Prefetch fills consult
+     * the labeler like demand fills but are not counted as demand
+     * accesses.  Incompatible with OPT replacement, whose per-fill
+     * next-use lookup assumes demand fills only.
      */
-    void setPrefetcher(StridePrefetcher *prefetcher)
+    void setPrefetcher(Prefetcher *prefetcher)
     {
         prefetcher_ = prefetcher;
+    }
+
+    /**
+     * Replay `stream_[i]` at sequence number `(*positions)[i]` instead
+     * of `i`.  The sharded replay engine feeds each shard a substream
+     * of the original capture, but OPT's next-use lookups, fillSeq
+     * instrumentation and oracle label planes are all keyed by GLOBAL
+     * stream position — this hook preserves those keys.  `positions`
+     * must outlive the run, hold exactly stream.size() entries, and be
+     * strictly increasing (substreams preserve stream order).
+     */
+    void
+    setStreamPositions(const std::vector<SeqNo> *positions)
+    {
+        positions_ = positions;
     }
 
     /** Replay the whole stream and flush residencies. */
@@ -95,7 +112,8 @@ class StreamSim : public CacheObserver
     FillLabeler *labeler_ = nullptr;
     CacheObserver *chained_ = nullptr;
     AwarenessScorer *scorer_ = nullptr;
-    StridePrefetcher *prefetcher_ = nullptr;
+    Prefetcher *prefetcher_ = nullptr;
+    const std::vector<SeqNo> *positions_ = nullptr;
     std::vector<Addr> prefetchQueue_;
     SeqNo now_ = 0;
     bool ran_ = false;

@@ -185,6 +185,54 @@ TEST(StreamSimPrefetch, SequentialStreamBenefits)
     EXPECT_GT(prefetcher.accuracy(), 0.45);
 }
 
+/** Emits one scripted burst on the first observe, then stays quiet. */
+class BurstPrefetcher : public Prefetcher
+{
+  public:
+    explicit BurstPrefetcher(std::vector<Addr> burst)
+        : burst_(std::move(burst))
+    {
+    }
+
+    void observe(PC, Addr, std::vector<Addr> &out) override
+    {
+        out.insert(out.end(), burst_.begin(), burst_.end());
+        burst_.clear();
+    }
+
+  private:
+    std::vector<Addr> burst_;
+};
+
+TEST(StreamSimPrefetch, DuplicateBurstTargetsFillOnce)
+{
+    // Regression: a burst repeating a target used to fill it once per
+    // occurrence whenever the first copy was evicted mid-burst.  In a
+    // 1-way set the burst [B, C, B] (B and C in the same set) filled
+    // B, evicted it for C, then filled B again — an extra fill and the
+    // wrong final resident.  Deduplication keeps the first occurrence,
+    // so the burst fills exactly {B, C}.
+    const CacheGeometry geo{2 * kBlockBytes, 1, kBlockBytes}; // 2 sets
+    const Addr a = 0;                    // set 0 (the demand access)
+    const Addr b = kBlockBytes;          // set 1
+    const Addr c = 3 * kBlockBytes;      // set 1, different tag
+
+    Trace trace("dup", 1);
+    trace.append(a, 0x400, 0, false);
+
+    BurstPrefetcher prefetcher({b, c, b});
+    StreamSim sim(trace, geo,
+                  requirePolicyFactory("lru")(geo.numSets(), geo.ways));
+    sim.setPrefetcher(&prefetcher);
+    sim.run();
+
+    // One demand fill (a) plus one per distinct target (b, c).
+    const auto *fills = dynamic_cast<const stats::Counter *>(
+        sim.cache().stats().find("llc.fills"));
+    ASSERT_NE(fills, nullptr);
+    EXPECT_EQ(fills->value(), 3u);
+}
+
 TEST(StreamSimPrefetch, PrefetchedFlagClearsOnDemandHit)
 {
     Trace trace("t", 1);

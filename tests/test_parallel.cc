@@ -90,6 +90,83 @@ TEST(ParallelRunner, PropagatesFirstTaskException)
     EXPECT_EQ(out.back(), 3);
 }
 
+TEST(ParallelRunner, SerialExceptionDrainsWholeBatch)
+{
+    // jobs == 1 must share the parallel path's semantics: the whole
+    // batch drains before the first exception is rethrown, so the
+    // task counters agree across jobs values.
+    ParallelRunner runner(1);
+    unsigned executed = 0;
+    EXPECT_THROW(
+        runner.run(32,
+                   [&](std::size_t i) {
+                       ++executed;
+                       if (i == 7)
+                           throw std::runtime_error("cell 7 failed");
+                   }),
+        std::runtime_error);
+    EXPECT_EQ(executed, 32u);
+    const auto out =
+        runner.map<int>(4, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(out.back(), 3);
+}
+
+TEST(ParallelRunner, NestedRunExecutesInline)
+{
+    // A task that fans out on its own runner (a sharded replay inside
+    // an experiment cell) must not enqueue into the batch it is part
+    // of: the nested run() executes inline on the worker.
+    ParallelRunner runner(4);
+    std::atomic<unsigned> inner{0};
+    runner.run(4, [&](std::size_t) {
+        const auto worker = std::this_thread::get_id();
+        runner.run(8, [&](std::size_t) {
+            EXPECT_EQ(std::this_thread::get_id(), worker);
+            ++inner;
+        });
+    });
+    EXPECT_EQ(inner.load(), 32u);
+    const auto *reentries = dynamic_cast<const stats::Counter *>(
+        runner.stats().find("runner.reentries"));
+    ASSERT_NE(reentries, nullptr);
+    EXPECT_EQ(reentries->value(), 4u);
+}
+
+TEST(ParallelRunner, NestedRunWorksWithSingleJob)
+{
+    ParallelRunner runner(1);
+    unsigned inner = 0;
+    std::vector<std::size_t> order;
+    runner.run(3, [&](std::size_t i) {
+        order.push_back(i);
+        runner.run(2, [&](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner, 6u);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.back(), 2u);
+}
+
+TEST(ParallelRunner, NestedRunPropagatesExceptions)
+{
+    ParallelRunner runner(4);
+    std::atomic<unsigned> inner{0};
+    EXPECT_THROW(runner.run(2,
+                            [&](std::size_t) {
+                                runner.run(4, [&](std::size_t i) {
+                                    ++inner;
+                                    if (i == 1)
+                                        throw std::runtime_error("x");
+                                });
+                            }),
+                 std::runtime_error);
+    // The nested batches drain fully before rethrowing, and the outer
+    // batch drains its remaining tasks, so the runner stays reusable.
+    EXPECT_EQ(inner.load(), 8u);
+    const auto out =
+        runner.map<int>(4, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(out.back(), 3);
+}
+
 TEST(ParallelRunner, RunnerIsReusableAcrossBatches)
 {
     ParallelRunner runner(3);
