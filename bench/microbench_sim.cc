@@ -9,10 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "core/oracle.hh"
 #include "core/sharing_aware.hh"
 #include "mem/hierarchy.hh"
@@ -74,12 +76,37 @@ makeFilledCache(const CacheGeometry &geo)
     return cache;
 }
 
+/**
+ * Probe every address in `probes` the way the replay kernel does:
+ * software-prefetching the set state `kProbeLookahead` probes ahead so
+ * the tag-row loads overlap instead of serializing on memory latency.
+ *
+ * @return Number of probes that hit.
+ */
+std::uint64_t
+probeBatched(Cache &cache, const std::vector<Addr> &probes)
+{
+    constexpr std::size_t kProbeLookahead = 8;
+    const std::size_t n = probes.size();
+    for (std::size_t i = 0; i < std::min(kProbeLookahead, n); ++i)
+        cache.prefetchSet(cache.setIndex(probes[i]));
+    std::uint64_t found = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kProbeLookahead < n)
+            cache.prefetchSet(
+                cache.setIndex(probes[i + kProbeLookahead]));
+        found += cache.probe(probes[i]) != nullptr ? 1 : 0;
+    }
+    return found;
+}
+
 void
 BM_TagLookupHit(benchmark::State &state)
 {
     // 4 MB of tag state: the probe stream walks far more sets than fit
     // in L1/L2, so the scan's memory footprint dominates, as it does in
-    // the replay hot loop.
+    // the replay hot loop.  Probes go through the same
+    // prefetch-ahead pattern the batched replay loop uses.
     const CacheGeometry geo{4ULL << 20, 16, kBlockBytes};
     const auto cache = makeFilledCache(geo);
     const unsigned sets = geo.numSets();
@@ -90,9 +117,7 @@ BM_TagLookupHit(benchmark::State &state)
                 rng.below(sets)) *
                geo.blockBytes;
     for (auto _ : state) {
-        std::uint64_t found = 0;
-        for (const Addr addr : probes)
-            found += cache->probe(addr) != nullptr ? 1 : 0;
+        std::uint64_t found = probeBatched(*cache, probes);
         benchmark::DoNotOptimize(found);
     }
     state.SetItemsProcessed(
@@ -115,9 +140,7 @@ BM_TagLookupMiss(benchmark::State &state)
                 rng.below(sets)) *
                geo.blockBytes;
     for (auto _ : state) {
-        std::uint64_t found = 0;
-        for (const Addr addr : probes)
-            found += cache->probe(addr) != nullptr ? 1 : 0;
+        std::uint64_t found = probeBatched(*cache, probes);
         benchmark::DoNotOptimize(found);
     }
     state.SetItemsProcessed(
@@ -163,6 +186,28 @@ BM_StreamSimPolicy(benchmark::State &state, const std::string &policy)
     for (auto _ : state) {
         const auto factory = requirePolicyFactory(policy);
         StreamSim sim(trace, geo, factory(geo.numSets(), geo.ways));
+        sim.run();
+        benchmark::DoNotOptimize(sim.misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_StreamSimBatched(benchmark::State &state)
+{
+    // BM_StreamSimPolicy/lru with an explicit batch window: arg = the
+    // window (0 = the legacy unbatched loop).  The 0-vs-default spread
+    // is the speedup the software-pipelined replay kernel buys; larger
+    // args show where the window stops paying.
+    const Trace &trace = randomTrace();
+    const CacheGeometry geo = microGeometry();
+    const auto window = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto factory = requirePolicyFactory("lru");
+        StreamSim sim(trace, geo, factory(geo.numSets(), geo.ways));
+        sim.setBatchWindow(window);
         sim.run();
         benchmark::DoNotOptimize(sim.misses());
     }
@@ -328,6 +373,7 @@ BENCHMARK_CAPTURE(BM_StreamSimPolicy, srrip, "srrip");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, drrip, "drrip");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, ship, "ship");
 BENCHMARK_CAPTURE(BM_StreamSimPolicy, dip, "dip");
+BENCHMARK(BM_StreamSimBatched)->Arg(0)->Arg(4)->Arg(8)->Arg(16);
 // Wall-clock rates: the shard replays run on pool threads, whose CPU
 // time the default CPU-time rate would not see.
 BENCHMARK(BM_StreamSimSharded)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
@@ -350,6 +396,9 @@ BENCHMARK(BM_HierarchyRun);
  *   --format=json        -> --benchmark_format=json
  *   --stats-out=PATH     -> --benchmark_out=PATH (JSON)
  *
+ * `--print-simd-isa` prints the tag-scan ISA the process resolved
+ * (avx2/neon/scalar, honouring CASIM_NO_SIMD) and exits; the
+ * throughput harness records it next to the numbers it publishes.
  * All other arguments pass through untouched, so the full
  * --benchmark_* surface keeps working.
  */
@@ -361,7 +410,10 @@ main(int argc, char **argv)
     translated.emplace_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--format=json") {
+        if (arg == "--print-simd-isa") {
+            std::printf("%s\n", casim::simd::tagScanIsa());
+            return 0;
+        } else if (arg == "--format=json") {
             translated.emplace_back("--benchmark_format=json");
         } else if (arg == "--format=text" || arg == "--format=csv") {
             // Console output is the default; csv maps to the console

@@ -46,7 +46,7 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== microbenchmarks (${reps} repetitions) =="
 micro_args=(
-    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimSharded|StreamSimOpt|NextUseIndexBuild|LabelPlaneBuild|OracleLabel|HierarchyRun'
+    --benchmark_filter='TagLookup|FillEvict|StreamSimPolicy/lru|StreamSimBatched|StreamSimSharded|StreamSimOpt|NextUseIndexBuild|LabelPlaneBuild|OracleLabel|HierarchyRun'
     --benchmark_repetitions="$reps"
     --benchmark_out="$tmpdir/micro.json"
     --benchmark_out_format=json
@@ -82,12 +82,20 @@ cmp -s "$tmpdir/off.txt" "$tmpdir/warm.txt" || {
     echo "FATAL: warm-cache output differs from uncached" >&2; exit 1; }
 echo "capture-cache outputs byte-identical (off/cold/warm)"
 
+# Provenance: which code, on which machine, with which kernels.
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo \
+             2>/dev/null || echo unknown)"
+simd_isa="$("$micro" --print-simd-isa)"
+echo "commit=${commit} simd=${simd_isa} cpu=${cpu_model}"
+
 python3 - "$tmpdir/micro.json" "$out" "$scale" \
-         "$off_ms" "$cold_ms" "$warm_ms" "$smoke" <<'EOF'
+         "$off_ms" "$cold_ms" "$warm_ms" "$smoke" \
+         "$commit" "$cpu_model" "$simd_isa" <<'EOF'
 import json, sys
 
-micro_path, out_path, scale, off_ms, cold_ms, warm_ms, smoke = \
-    sys.argv[1:8]
+(micro_path, out_path, scale, off_ms, cold_ms, warm_ms, smoke,
+ commit, cpu_model, simd_isa) = sys.argv[1:11]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -111,6 +119,11 @@ for run in micro["benchmarks"]:
 report = {
     "schema": "casim-bench-replay-v1",
     "smoke": smoke == "1",
+    "provenance": {
+        "git_commit": commit,
+        "cpu_model": cpu_model,
+        "simd_isa": simd_isa,
+    },
     "microbench": rates,
     "full_bench": {
         "binary": "fig5_policy_comparison",
@@ -125,4 +138,13 @@ with open(out_path, "w") as f:
     json.dump(report, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path}")
+
+# Batched-vs-legacy comparison: window 0 replays the stream through
+# the pre-batching loop, so the ratio is the speedup the software
+# pipeline buys on this machine.
+legacy = rates.get("BM_StreamSimBatched/0", {}).get("items_per_second")
+batched = rates.get("BM_StreamSimBatched/8", {}).get("items_per_second")
+if legacy and batched:
+    print(f"batched replay: {batched / 1e6:.2f}M refs/s vs "
+          f"{legacy / 1e6:.2f}M legacy ({batched / legacy:.2f}x)")
 EOF

@@ -22,8 +22,11 @@ echo "== tier-1: TSan + paranoid build, parallel/capture tests =="
 cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread \
       -DCASIM_PARANOID=ON >/dev/null
 cmake --build "${prefix}-tsan" -j --target casim_tests
+# Simd* here is what exercises the paranoid SIMD-vs-scalar cross-check
+# in Cache::findWay / LruPolicy::victim on every lookup of the batched
+# replay tests.
 "${prefix}-tsan"/tests/casim_tests \
-    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*:ShardedSim.*:StatMerge.*'
+    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*:ShardedSim.*:StatMerge.*:Simd*.*'
 
 echo "== tier-1: cold vs warm capture cache, byte-identical output =="
 capdir="$(mktemp -d)"
@@ -55,6 +58,27 @@ if ! cmp -s "${capdir}/fig7_plane.txt" "${capdir}/fig7_scan.txt"; then
     exit 1
 fi
 echo "plane/scan fig7 outputs identical"
+
+echo "== tier-1: SIMD and batching are invisible in the output =="
+# The vector tag scan and the batched replay loop are pure performance
+# changes: fig5 must be byte-identical with both forced off.
+fig5="${prefix}/bench/fig5_policy_comparison"
+"${fig5}" --scale=0.05 --jobs=2 --capture-dir="${capdir}/cache" \
+    > "${capdir}/fig5_default.txt"
+CASIM_NO_SIMD=1 "${fig5}" --scale=0.05 --jobs=2 \
+    --capture-dir="${capdir}/cache" > "${capdir}/fig5_scalar.txt"
+CASIM_BATCH_WINDOW=0 "${fig5}" --scale=0.05 --jobs=2 \
+    --capture-dir="${capdir}/cache" > "${capdir}/fig5_unbatched.txt"
+for variant in scalar unbatched; do
+    if ! cmp -s "${capdir}/fig5_default.txt" \
+            "${capdir}/fig5_${variant}.txt"; then
+        echo "FATAL: ${variant} fig5 output differs from default" >&2
+        diff "${capdir}/fig5_default.txt" \
+            "${capdir}/fig5_${variant}.txt" >&2 || true
+        exit 1
+    fi
+done
+echo "scalar/unbatched fig5 outputs identical"
 
 echo "== tier-1: JSON result documents match text tables =="
 for fig in fig5_policy_comparison fig7_oracle; do

@@ -6,6 +6,7 @@
 #include "mem/cache.hh"
 
 #include <bit>
+#include <cstring>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -77,10 +78,15 @@ Cache::Cache(std::string name, const CacheGeometry &geo,
     // bits shifted off — fold the shift into the block offset shift.
     setShift_ = floorLog2(geo_.blockBytes) + shard_.bits;
     setMask_ = geo_.numSets() - 1;
+    tagStride_ = simd::tagRowStride(geo_.ways);
+    simdActive_ = simd::vectorTagScanEnabled();
+    policyHint_ = policy_->prefetchHint();
     const auto slots =
         static_cast<std::size_t>(geo_.numSets()) * geo_.ways;
-    tags_.assign(slots, kAddrInvalid);
+    tags_.assign(static_cast<std::size_t>(geo_.numSets()) * tagStride_,
+                 kAddrInvalid);
     valid_.assign(geo_.numSets(), 0);
+    dirty_.assign(geo_.numSets(), 0);
     blocks_.resize(slots);
 }
 
@@ -93,17 +99,21 @@ Cache::setIndex(Addr block_addr) const
 unsigned
 Cache::findWay(unsigned set, Addr block_addr) const
 {
-    const Addr *tags =
-        &tags_[static_cast<std::size_t>(set) * geo_.ways];
-    std::uint64_t live = valid_[set];
-    while (live != 0) {
-        const unsigned way =
-            static_cast<unsigned>(std::countr_zero(live));
-        if (tags[way] == block_addr)
-            return way;
-        live &= live - 1;
-    }
-    return geo_.ways;
+    const Addr *row = &tags_[tagSlot(set, 0)];
+    const std::uint64_t live = valid_[set];
+    const unsigned way =
+        simdActive_
+            ? simd::findTagVector(row, tagStride_, live, block_addr)
+            : simd::findTagScalar(row, live, block_addr);
+#ifdef CASIM_PARANOID
+    // The scalar scan is the reference semantics; every vector lookup
+    // must agree with it way for way.
+    casim_assert(way == simd::findTagScalar(row, live, block_addr),
+                 "SIMD tag scan (", simd::tagScanIsa(),
+                 ") disagrees with the scalar scan in ", name_,
+                 " set ", set);
+#endif
+    return way == simd::kNoWay ? geo_.ways : way;
 }
 
 void
@@ -116,13 +126,19 @@ Cache::paranoidCheckSet([[maybe_unused]] unsigned set) const
         casim_assert(block.valid == live,
                      "tag-store valid bit desynchronized in ", name_,
                      " set ", set, " way ", way);
+        casim_assert(block.dirty ==
+                         static_cast<bool>((dirty_[set] >> way) & 1),
+                     "dirty bitmap desynchronized in ", name_,
+                     " set ", set, " way ", way);
         if (live)
-            casim_assert(
-                tags_[static_cast<std::size_t>(set) * geo_.ways + way]
-                    == block.addr,
-                "tag-store address desynchronized in ", name_,
-                " set ", set, " way ", way);
+            casim_assert(tags_[tagSlot(set, way)] == block.addr,
+                         "tag-store address desynchronized in ", name_,
+                         " set ", set, " way ", way);
     }
+    for (unsigned pad = geo_.ways; pad < tagStride_; ++pad)
+        casim_assert(tags_[tagSlot(set, pad)] == kAddrInvalid,
+                     "tag-row pad lane clobbered in ", name_, " set ",
+                     set, " lane ", pad);
 #endif
 }
 
@@ -188,17 +204,21 @@ Cache::access(const ReplContext &ctx)
 void
 Cache::endResidency(unsigned set, unsigned way, bool external)
 {
-    CacheBlock &block = blockAt(set, way);
-    if (!block.valid)
+    // The valid bitmap mirrors block.valid exactly (paranoid builds
+    // assert it), and checking it spares the hot replacement path a
+    // load from the victim's cold CacheBlock line; with no observer
+    // attached the line is then touched by stores alone.
+    if (((valid_[set] >> way) & 1) == 0)
         return;
+    CacheBlock &block = blockAt(set, way);
     if (observer_ != nullptr)
         observer_->onResidencyEnd(block);
     if (external)
         ++extInvalidations_;
     block.invalidate();
-    tags_[static_cast<std::size_t>(set) * geo_.ways + way] =
-        kAddrInvalid;
+    tags_[tagSlot(set, way)] = kAddrInvalid;
     valid_[set] &= ~(1ULL << way);
+    dirty_[set] &= ~(1ULL << way);
 }
 
 CacheBlock &
@@ -223,37 +243,75 @@ Cache::fill(const ReplContext &ctx, const VictimHandler &on_victim)
     } else {
         way = policy_->victim(set, ctx, 0);
         casim_assert(way < geo_.ways, "policy returned bad way");
-        CacheBlock &victim = blockAt(set, way);
+        // The victim's payload line is about to be overwritten and is
+        // usually cache-cold; start its ownership request now so the
+        // install stores below don't back up the store buffer waiting
+        // for it.
+        __builtin_prefetch(&blockAt(set, way), 1);
         ++evictions_;
-        if (victim.dirty)
+        if ((dirty_[set] >> way) & 1)
             ++dirtyEvictions_;
         policy_->onEvict(set, way);
-        if (on_victim)
-            on_victim(victim, set, way);
-        endResidency(set, way, false);
+        if (on_victim || observer_ != nullptr) {
+            if (on_victim)
+                on_victim(blockAt(set, way), set, way);
+            endResidency(set, way, false);
+        }
+        // Otherwise nobody can see the victim between here and the
+        // install below, which overwrites every block field and every
+        // per-set mirror — skip endResidency's dead intermediate
+        // stores to the (cold) victim line.
     }
 
+    // Compose the installed state in a stack temporary and copy it
+    // over in one memcpy instead of 13 field writes: the compiler
+    // emits a few wide vector stores, which matters because the
+    // victim line is usually cache-cold and a dozen narrow stores to
+    // it would occupy store-buffer entries for the whole ownership
+    // miss.
     CacheBlock &block = blockAt(set, way);
-    block.valid = true;
-    block.addr = ctx.blockAddr;
-    tags_[static_cast<std::size_t>(set) * geo_.ways + way] =
-        ctx.blockAddr;
+    const CacheBlock installed{
+        .addr = ctx.blockAddr,
+        .valid = true,
+        .dirty = ctx.isWrite,
+        .state = MesiState::Invalid, // protocol code sets this
+        .sharers = 0,
+        .touchedMask = 1ULL << ctx.core,
+        .writtenDuringResidency = ctx.isWrite,
+        .hitsDuringResidency = 0,
+        .fillSeq = ctx.seq,
+        .fillPC = ctx.pc,
+        .fillCore = ctx.core,
+        .predictedShared = ctx.predictedShared,
+        .prefetched = false,
+    };
+    std::memcpy(&block, &installed, sizeof(block));
+    tags_[tagSlot(set, way)] = ctx.blockAddr;
     valid_[set] |= 1ULL << way;
-    block.dirty = ctx.isWrite;
-    block.state = MesiState::Invalid; // protocol code sets this
-    block.sharers = 0;
-    block.touchedMask = 1ULL << ctx.core;
-    block.writtenDuringResidency = ctx.isWrite;
-    block.hitsDuringResidency = 0;
-    block.fillSeq = ctx.seq;
-    block.fillPC = ctx.pc;
-    block.fillCore = ctx.core;
-    block.predictedShared = ctx.predictedShared;
+    if (ctx.isWrite)
+        dirty_[set] |= 1ULL << way;
+    else
+        dirty_[set] &= ~(1ULL << way);
     ++fills_;
     policy_->onFill(set, way, ctx);
     if (observer_ != nullptr)
         observer_->onFill(block, ctx);
     return block;
+}
+
+void
+Cache::setBlockDirty(CacheBlock &block, bool dirty)
+{
+    const auto flat = static_cast<std::size_t>(&block - blocks_.data());
+    casim_assert(flat < blocks_.size() && block.valid,
+                 "setBlockDirty on a block not resident in ", name_);
+    const auto set = static_cast<unsigned>(flat / geo_.ways);
+    const auto way = static_cast<unsigned>(flat % geo_.ways);
+    block.dirty = dirty;
+    if (dirty)
+        dirty_[set] |= 1ULL << way;
+    else
+        dirty_[set] &= ~(1ULL << way);
 }
 
 bool
@@ -282,10 +340,10 @@ Cache::flushResidencies()
             if (observer_ != nullptr)
                 observer_->onResidencyEnd(block);
             block.invalidate();
-            tags_[static_cast<std::size_t>(set) * geo_.ways + way] =
-                kAddrInvalid;
+            tags_[tagSlot(set, way)] = kAddrInvalid;
         }
         valid_[set] = 0;
+        dirty_[set] = 0;
     }
 }
 

@@ -11,11 +11,13 @@
 #ifndef CASIM_MEM_CACHE_HH
 #define CASIM_MEM_CACHE_HH
 
+#include <bit>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/block.hh"
@@ -132,6 +134,30 @@ class Cache
     /** Set index for a block-aligned address. */
     unsigned setIndex(Addr block_addr) const;
 
+    /**
+     * Hint the hardware to pull the lookup-critical state of `set`
+     * into cache: the packed tag row, its valid word, and (when the
+     * policy published a prefetch hint) the set's replacement
+     * metadata.  Pure performance hint issued by the batched replay
+     * loop for upcoming accesses; never changes any state.
+     */
+    void
+    prefetchSet(unsigned set) const
+    {
+        const std::size_t row = static_cast<std::size_t>(set) * tagStride_;
+        // A tag row can span multiple cache lines (8 Addrs per line).
+        for (unsigned off = 0; off < tagStride_; off += 8)
+            __builtin_prefetch(&tags_[row + off]);
+        __builtin_prefetch(&valid_[set]);
+        // The policy's per-set state can also span lines (e.g. 16
+        // 8-byte LRU stamps = 2 lines); cover all of it.
+        for (std::size_t off = 0; off < policyHint_.bytesPerSet;
+             off += 64)
+            __builtin_prefetch(
+                static_cast<const char *>(policyHint_.base) +
+                set * policyHint_.bytesPerSet + off);
+    }
+
     /** Mutable lookup without any state change; nullptr on miss. */
     CacheBlock *probe(Addr block_addr);
 
@@ -162,6 +188,16 @@ class Cache
      * @return True iff the block was present and removed.
      */
     bool invalidate(Addr block_addr);
+
+    /**
+     * Update a resident block's dirty flag.  `block` must be a
+     * reference previously returned by this cache (probe/access/fill).
+     * Protocol code must use this instead of writing block.dirty
+     * directly so the per-set dirty bitmap stays in sync with the
+     * field (the replacement path counts dirty evictions from the
+     * bitmap alone).
+     */
+    void setBlockDirty(CacheBlock &block, bool dirty);
 
     /**
      * End all outstanding residencies, reporting each to the observer.
@@ -238,13 +274,47 @@ class Cache
 
     /**
      * Lookup-critical tag state, split out of CacheBlock so findWay
-     * scans contiguous memory: tags_[set * ways + way] mirrors
+     * scans contiguous memory: tags_[set * tagStride_ + way] mirrors
      * blocks_[...].addr, and bit `way` of valid_[set] mirrors
-     * blocks_[...].valid.  The instrumentation-heavy CacheBlock array
-     * is only touched on hits, fills and evictions.
+     * blocks_[...].valid.  Rows are padded to tagStride_ =
+     * simd::tagRowStride(ways) so the vector kernels always load full
+     * lanes; pad slots hold kAddrInvalid and are never valid.  The
+     * instrumentation-heavy CacheBlock array is only touched on hits,
+     * fills and evictions.
      */
     std::vector<Addr> tags_;
     std::vector<std::uint64_t> valid_;
+
+    /**
+     * Bit `way` of dirty_[set] mirrors blocks_[...].dirty.  Kept so
+     * the replacement path can count dirty evictions without loading
+     * the victim's (cold, cache-missing) CacheBlock line — with no
+     * observer attached, eviction then touches the victim line with
+     * stores only, which never stall the pipeline the way the load
+     * did.  All dirty-flag writers must go through fill() or
+     * setBlockDirty() to keep the mirror in sync (paranoid builds
+     * assert it).
+     */
+    std::vector<std::uint64_t> dirty_;
+
+    /** Addr slots per padded tag row (see tags_). */
+    unsigned tagStride_;
+
+    /** Flat tags_/valid_-aligned index of (set, way). */
+    std::size_t
+    tagSlot(unsigned set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set) * tagStride_ + way;
+    }
+
+    /**
+     * Whether findWay uses the vector kernel; resolved once at
+     * construction from the compiled ISA, the CPU, and CASIM_NO_SIMD.
+     */
+    bool simdActive_;
+
+    /** The policy's per-set metadata array, for prefetchSet. */
+    ReplPrefetchHint policyHint_;
 
     std::vector<CacheBlock> blocks_;
     CacheObserver *observer_ = nullptr;

@@ -78,14 +78,14 @@ Hierarchy::access(const MemAccess &access)
           case MesiState::Exclusive:
             // Silent upgrade: exclusivity implies no other copies.
             blk->state = MesiState::Modified;
-            blk->dirty = true;
+            l1.setBlockDirty(*blk, true);
             return;
           case MesiState::Shared:
             // Ownership must be acquired through the LLC directory.
             ++upgrades_;
             accessLlc(access, true);
             blk->state = MesiState::Modified;
-            blk->dirty = true;
+            l1.setBlockDirty(*blk, true);
             return;
           case MesiState::Invalid:
           default:
@@ -162,7 +162,8 @@ Hierarchy::accessLlc(const MemAccess &access, bool is_upgrade)
             handleL1Victim(core, victim);
         });
     l1b.state = fill_state;
-    l1b.dirty = (fill_state == MesiState::Modified);
+    l1s_[access.core]->setBlockDirty(l1b,
+                                     fill_state == MesiState::Modified);
 
     // The L1 fill may itself have evicted blocks, but never this one:
     // re-probe is unnecessary because the LLC block cannot have moved.
@@ -183,7 +184,8 @@ Hierarchy::invalidateOtherSharers(CacheBlock &llc_block, CoreId keep)
                      "directory lists core ", core,
                      " without an L1 copy");
         if (remote->state == MesiState::Modified)
-            llc_block.dirty = true; // dirty data flows through the LLC
+            // Dirty data flows through the LLC.
+            llc_->setBlockDirty(llc_block, true);
         l1s_[core]->invalidate(llc_block.addr);
         ++invalidationsSent_;
     }
@@ -202,8 +204,8 @@ Hierarchy::downgradeOwner(CacheBlock &llc_block, CoreId requester)
     casim_assert(remote != nullptr,
                  "directory lists core ", core, " without an L1 copy");
     if (remote->state == MesiState::Modified) {
-        llc_block.dirty = true;
-        remote->dirty = false;
+        llc_->setBlockDirty(llc_block, true);
+        l1s_[core]->setBlockDirty(*remote, false);
         remote->state = MesiState::Shared;
         ++interventions_;
     } else if (remote->state == MesiState::Exclusive) {
@@ -245,7 +247,7 @@ Hierarchy::handleL1Victim(CoreId core, const CacheBlock &victim)
     casim_assert(lb != nullptr,
                  "inclusion violated: L1 victim absent from LLC");
     if (victim.state == MesiState::Modified) {
-        lb->dirty = true;
+        llc_->setBlockDirty(*lb, true);
         ++l1Writebacks_;
     }
     lb->sharers &= ~(1ULL << core);

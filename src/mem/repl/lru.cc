@@ -8,12 +8,15 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace casim {
 
 LruPolicy::LruPolicy(unsigned num_sets, unsigned num_ways)
     : ReplPolicy(num_sets, num_ways),
-      stamp_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+      stamp_(static_cast<std::size_t>(num_sets) * num_ways, 0),
+      simdVictim_(simd::vectorTagScanEnabled() &&
+                  num_ways % simd::kTagLanes == 0 && num_ways >= 4)
 {
 }
 
@@ -22,6 +25,20 @@ LruPolicy::victim(unsigned set, const ReplContext &ctx,
                   std::uint64_t exclude)
 {
     (void)ctx;
+    // The common shape — no exclusions, vector-friendly width — is a
+    // pure argmin over the set's stamp row and takes the branchless
+    // SIMD kernel.  Either path selects the same way: strict less-than
+    // with earliest-index tie-break.
+    if (exclude == 0 && simdVictim_) {
+        const unsigned best = simd::argminU64Vector(
+            &stamp_[flat(set, 0)], numWays());
+#ifdef CASIM_PARANOID
+        casim_assert(best == simd::argminU64Scalar(
+                                 &stamp_[flat(set, 0)], numWays()),
+                     "SIMD stamp argmin disagrees with the scalar scan");
+#endif
+        return best;
+    }
     unsigned best = numWays();
     std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
     for (unsigned way = 0; way < numWays(); ++way) {

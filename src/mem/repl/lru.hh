@@ -30,6 +30,12 @@ class LruPolicy : public ReplPolicy
     void onInvalidate(unsigned set, unsigned way) override;
     std::string name() const override { return "lru"; }
 
+    ReplPrefetchHint
+    prefetchHint() const override
+    {
+        return {stamp_.data(), numWays() * sizeof(stamp_[0])};
+    }
+
     /**
      * LRU stack distance of a way within its set: 0 = MRU.  Exposed for
      * characterization (hit-position profiles).
@@ -39,6 +45,13 @@ class LruPolicy : public ReplPolicy
   private:
     std::vector<std::uint64_t> stamp_;
     std::uint64_t clock_ = 0;
+
+    /**
+     * Victim scans may take the SIMD argmin: vector kernels enabled
+     * and the way count fills whole vector lanes.  Resolved once at
+     * construction.
+     */
+    bool simdVictim_ = false;
 };
 
 } // namespace casim

@@ -1,13 +1,41 @@
 /**
  * @file
  * Implementation of the LLC stream replayer.
+ *
+ * The replay loop is batched: the stream is processed in fixed-size
+ * windows, and while the current window's accesses resolve, the next
+ * window's set state (tag rows, valid words, replacement metadata) is
+ * software-prefetched through Cache::prefetchSet.  Accesses are still
+ * resolved strictly one at a time in stream order — batching changes
+ * memory scheduling only, never callback order or sequence numbers, so
+ * every output byte matches the legacy loop (CASIM_BATCH_WINDOW=0).
  */
 
 #include "sim/stream_sim.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace casim {
+
+unsigned
+defaultReplayBatchWindow()
+{
+    static const unsigned window = [] {
+        const char *env = std::getenv("CASIM_BATCH_WINDOW");
+        if (env == nullptr || *env == '\0')
+            return kDefaultBatchWindow;
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0' || parsed > 4096)
+            casim_fatal("bad CASIM_BATCH_WINDOW '", env,
+                        "' (want an integer in [0, 4096])");
+        return static_cast<unsigned>(parsed);
+    }();
+    return window;
+}
 
 StreamSim::StreamSim(const Trace &stream, const CacheGeometry &geo,
                      std::unique_ptr<ReplPolicy> policy, CacheShard shard)
@@ -26,41 +54,72 @@ StreamSim::run()
     const std::size_t n = stream_.size();
     casim_assert(positions_ == nullptr || positions_->size() == n,
                  "stream position remap does not cover the stream");
-    for (SeqNo i = 0; i < n; ++i) {
-        const SeqNo position =
-            positions_ != nullptr ? (*positions_)[i] : i;
-        now_ = position;
-        const MemAccess &access = stream_[i];
-        ReplContext ctx{access.blockAddr(), access.pc, access.core,
-                        access.isWrite, position, false};
-        CacheBlock *hit = cache_->access(ctx);
-        if (hit != nullptr) {
-            if (hit->prefetched) {
-                hit->prefetched = false;
-                if (prefetcher_ != nullptr)
-                    prefetcher_->recordUseful();
-            }
-        } else {
-            if (labeler_ != nullptr)
-                ctx.predictedShared = labeler_->predictShared(ctx);
-            cache_->fill(ctx, scoringHandler(position));
+    // Every observer callback this class implements is a pure forward
+    // to the labeler/chained observer; with neither attached, detach
+    // so the cache skips the virtual dispatch per access entirely.
+    cache_->setObserver(labeler_ != nullptr || chained_ != nullptr
+                            ? static_cast<CacheObserver *>(this)
+                            : nullptr);
+    // One handler for the whole run (it reads the position from now_)
+    // instead of a std::function construction per fill.
+    if (scorer_ != nullptr)
+        onEvict_ = [this](const CacheBlock &, unsigned set,
+                          unsigned way) {
+            scorer_->onEviction(*cache_, set, way, now_);
+        };
+
+    const unsigned window = batchWindow_;
+    if (window < 2) {
+        for (std::size_t i = 0; i < n; ++i)
+            step(i);
+    } else {
+        prefetchWindow(0, std::min<std::size_t>(window, n));
+        for (std::size_t base = 0; base < n; base += window) {
+            const std::size_t end =
+                std::min<std::size_t>(base + window, n);
+            prefetchWindow(end, std::min<std::size_t>(end + window, n));
+            for (std::size_t i = base; i < end; ++i)
+                step(i);
         }
-        if (prefetcher_ != nullptr)
-            runPrefetcher(access, position);
     }
     cache_->flushResidencies();
 }
 
-Cache::VictimHandler
-StreamSim::scoringHandler(SeqNo now)
+void
+StreamSim::step(std::size_t i)
 {
-    if (scorer_ == nullptr)
-        return nullptr;
-    // The handler runs before the fill overwrites the victim, so the
-    // scorer sees the intact set.
-    return [this, now](const CacheBlock &, unsigned set, unsigned way) {
-        scorer_->onEviction(*cache_, set, way, now);
-    };
+    const SeqNo position =
+        positions_ != nullptr ? (*positions_)[i] : static_cast<SeqNo>(i);
+    now_ = position;
+    const MemAccess &access = stream_[i];
+    ReplContext ctx{access.blockAddr(), access.pc, access.core,
+                    access.isWrite, position, false};
+    CacheBlock *hit = cache_->access(ctx);
+    if (hit != nullptr) {
+        if (hit->prefetched) {
+            hit->prefetched = false;
+            if (prefetcher_ != nullptr)
+                prefetcher_->recordUseful();
+        }
+    } else {
+        if (labeler_ != nullptr)
+            ctx.predictedShared = labeler_->predictShared(ctx);
+        cache_->fill(ctx, onEvict_);
+    }
+    if (prefetcher_ != nullptr)
+        runPrefetcher(access, position);
+}
+
+void
+StreamSim::prefetchWindow(std::size_t from, std::size_t to)
+{
+    for (std::size_t i = from; i < to; ++i) {
+        const MemAccess &access = stream_[i];
+        const Addr block = access.blockAddr();
+        cache_->prefetchSet(cache_->setIndex(block));
+        if (labeler_ != nullptr)
+            labeler_->prefetchFor(block, access.pc);
+    }
 }
 
 void
@@ -96,7 +155,7 @@ StreamSim::runPrefetcher(const MemAccess &access, SeqNo position)
                         position, false};
         if (labeler_ != nullptr)
             ctx.predictedShared = labeler_->predictShared(ctx);
-        CacheBlock &block = cache_->fill(ctx, scoringHandler(position));
+        CacheBlock &block = cache_->fill(ctx, onEvict_);
         block.prefetched = true;
     }
 }

@@ -20,6 +20,18 @@
 
 namespace casim {
 
+/**
+ * Replay batch window this process defaults to: the value of the
+ * CASIM_BATCH_WINDOW environment variable, or kDefaultBatchWindow when
+ * unset/empty.  Values 0 and 1 select the legacy one-access-at-a-time
+ * loop; tier1.sh uses CASIM_BATCH_WINDOW=0 to cross-check that
+ * batching never changes output.  Cached per process.
+ */
+unsigned defaultReplayBatchWindow();
+
+/** Built-in replay batch window (accesses per prefetch window). */
+constexpr unsigned kDefaultBatchWindow = 8;
+
 /** Replays an LLC reference stream through one cache. */
 class StreamSim : public CacheObserver
 {
@@ -73,6 +85,22 @@ class StreamSim : public CacheObserver
         positions_ = positions;
     }
 
+    /**
+     * Batch window for the replay loop: the stream is processed in
+     * windows of this many accesses, and while one window resolves the
+     * next window's set state (tag rows, valid words, replacement
+     * metadata) is software-prefetched.  Batching is a pure memory
+     * scheduling change — accesses are still resolved one at a time in
+     * stream order, so observer callbacks, sequence numbers, and every
+     * output byte are identical for any window size.  0 and 1 select
+     * the legacy unbatched loop.  Defaults to
+     * defaultReplayBatchWindow(); call before run().
+     */
+    void setBatchWindow(unsigned window) { batchWindow_ = window; }
+
+    /** The batch window run() will use. */
+    unsigned batchWindow() const { return batchWindow_; }
+
     /** Replay the whole stream and flush residencies. */
     void run();
 
@@ -96,16 +124,14 @@ class StreamSim : public CacheObserver
     void onResidencyEnd(const CacheBlock &block) override;
 
   private:
-    /**
-     * Victim handler reporting evictions at stream position `now` to
-     * the attached awareness scorer; null when no scorer is attached.
-     * Shared by the demand and prefetch fill paths so the scorer sees
-     * every replacement decision.
-     */
-    Cache::VictimHandler scoringHandler(SeqNo now);
-
     /** Issue the prefetches triggered by one demand reference. */
     void runPrefetcher(const MemAccess &access, SeqNo position);
+
+    /** Resolve stream_[i] — the per-access body of the replay loop. */
+    void step(std::size_t i);
+
+    /** Software-prefetch the set state of stream_[from, to). */
+    void prefetchWindow(std::size_t from, std::size_t to);
 
     const Trace &stream_;
     std::unique_ptr<Cache> cache_;
@@ -115,7 +141,17 @@ class StreamSim : public CacheObserver
     Prefetcher *prefetcher_ = nullptr;
     const std::vector<SeqNo> *positions_ = nullptr;
     std::vector<Addr> prefetchQueue_;
+
+    /**
+     * Victim handler reporting evictions (at stream position now_) to
+     * the attached awareness scorer; null when no scorer is attached.
+     * Built once per run and shared by the demand and prefetch fill
+     * paths so the scorer sees every replacement decision.
+     */
+    Cache::VictimHandler onEvict_;
+
     SeqNo now_ = 0;
+    unsigned batchWindow_ = defaultReplayBatchWindow();
     bool ran_ = false;
 };
 
