@@ -6,28 +6,14 @@
  * caches reward sharing-awareness more) extended across the range.
  *
  * Usage: ablation_capacity [--scale=1] [--threads=8] [--jobs=N]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-/** Metrics of one (capacity, workload) simulation cell. */
-struct Cell
-{
-    bool skip = true;
-    double missRatio = 0.0;
-    double sharedPct = 0.0;
-    double oracleGain = 0.0;
-    double optGain = 0.0;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -37,63 +23,54 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> capacities{
         1ULL << 20, 2ULL << 20, 4ULL << 20, 8ULL << 20, 16ULL << 20};
 
-    ParallelRunner &runner = driver.runner();
-    const auto captured = captureAllWorkloads(config, runner);
-
     TablePrinter table("A2: capacity sweep, means across all workloads",
                        {"llc", "lru_miss_ratio", "shared_hit%",
                         "oracle_gain%", "opt_gain%"});
 
-    // One cell per (capacity, workload); each owns its replays and
-    // next-use index, sharing only the read-only captured stream.
-    const auto cells = runner.map<Cell>(
-        capacities.size() * captured.size(), [&](std::size_t c) {
-            const std::uint64_t bytes = capacities[c / captured.size()];
-            const CapturedWorkload &wl = captured[c % captured.size()];
-
-            Cell cell;
-            const NextUseIndex &index = wl.nextUse();
-            ReplaySpec lru_spec;
-            lru_spec.geo = config.llcGeometry(bytes);
-            const auto lru = replayMisses(wl.stream, lru_spec);
-            if (lru == 0 || wl.stream.empty())
-                return cell;
-            cell.skip = false;
-            cell.missRatio = static_cast<double>(lru) /
-                             static_cast<double>(wl.stream.size());
-            const SharingSummary sharing = replaySharing(
-                wl.stream, lru_spec, config.workload.threads);
-            cell.sharedPct = 100.0 * sharing.sharedHitFraction;
-
-            OracleLabeler oracle = makeOracle(index, config, bytes);
-            ReplaySpec aware_spec = lru_spec;
-            aware_spec.labeler = &oracle;
-            aware_spec.config = &config;
-            const auto aware = replayMisses(wl.stream, aware_spec);
-            cell.oracleGain =
-                100.0 * (1.0 - static_cast<double>(aware) /
-                                   static_cast<double>(lru));
-            ReplaySpec opt_spec = lru_spec;
-            opt_spec.policy = "opt";
-            opt_spec.nextUse = &index;
-            const auto opt = replayMisses(wl.stream, opt_spec);
-            cell.optGain =
-                100.0 * (1.0 - static_cast<double>(opt) /
-                                   static_cast<double>(lru));
-            return cell;
-        });
+    // Four requests per (capacity, workload): LRU replay, sharing
+    // characterization, oracle-wrapped replay, OPT replay.
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const std::uint64_t bytes : capacities) {
+        for (const auto &info : infos) {
+            ExperimentRequest lru;
+            lru.workload = info.name;
+            lru.llcBytes = bytes;
+            lru.config = config;
+            ExperimentRequest sharing = lru;
+            sharing.kind = "sharing";
+            ExperimentRequest aware = lru;
+            aware.labeler = "oracle";
+            ExperimentRequest opt = lru;
+            opt.policy = "opt";
+            requests.push_back(lru);
+            requests.push_back(sharing);
+            requests.push_back(aware);
+            requests.push_back(opt);
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
 
     for (std::size_t k = 0; k < capacities.size(); ++k) {
         std::vector<double> miss_ratios, shared_fracs, oracle_gains,
             opt_gains;
-        for (std::size_t w = 0; w < captured.size(); ++w) {
-            const Cell &cell = cells[k * captured.size() + w];
-            if (cell.skip)
+        for (std::size_t w = 0; w < infos.size(); ++w) {
+            const ExperimentResult *cells =
+                &results[(k * infos.size() + w) * 4];
+            const std::uint64_t lru = cells[0].misses;
+            if (lru == 0 || cells[0].streamRefs == 0)
                 continue;
-            miss_ratios.push_back(cell.missRatio);
-            shared_fracs.push_back(cell.sharedPct);
-            oracle_gains.push_back(cell.oracleGain);
-            opt_gains.push_back(cell.optGain);
+            const double base = static_cast<double>(lru);
+            miss_ratios.push_back(
+                base / static_cast<double>(cells[0].streamRefs));
+            shared_fracs.push_back(
+                100.0 * cells[1].sharing.sharedHitFraction);
+            oracle_gains.push_back(
+                100.0 *
+                (1.0 - static_cast<double>(cells[2].misses) / base));
+            opt_gains.push_back(
+                100.0 *
+                (1.0 - static_cast<double>(cells[3].misses) / base));
         }
         table.addRow(std::to_string(capacities[k] >> 20) + "MB",
                      {mean(miss_ratios), mean(shared_fracs),

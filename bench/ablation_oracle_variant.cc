@@ -12,43 +12,14 @@
  *    run).
  *
  * Usage: ablation_oracle_variant [--scale=1] [--threads=8]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
-#include "core/sharing_tracker.hh"
-#include "mem/repl/factory.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
-#include "sim/stream_sim.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-/**
- * Record per-block residency outcomes of a plain-LRU run to feed the
- * residency-replay labeler.
- */
-class OutcomeRecorder : public CacheObserver
-{
-  public:
-    explicit OutcomeRecorder(ResidencyReplayLabeler &labeler)
-        : labeler_(labeler)
-    {
-    }
-
-    void
-    onResidencyEnd(const CacheBlock &block) override
-    {
-        labeler_.recordOutcome(block.addr, block.sharedThisResidency());
-    }
-
-  private:
-    ResidencyReplayLabeler &labeler_;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -61,62 +32,50 @@ main(int argc, char **argv)
         {"app", "future_4mb", "tight_4mb", "replay_4mb", "future_8mb",
          "tight_8mb", "replay_8mb"});
 
-    std::vector<double> cols[6];
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex &index = wl.nextUse();
-
-        std::vector<double> row;
-        int col = 0;
+    // Per (workload, capacity): the LRU baseline and the three label
+    // variants.  The tight qualifier is the near-window factor at 1.0
+    // LLC capacities — expressed as a config point, not a bespoke
+    // labeler construction.
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
         for (const std::uint64_t bytes :
              {config.llcSmallBytes, config.llcLargeBytes}) {
-            const CacheGeometry geo = config.llcGeometry(bytes);
-            const SeqNo window = config.oracleWindow(bytes);
-            ReplaySpec lru_spec;
-            lru_spec.geo = geo;
-            const auto lru = replayMisses(wl.stream, lru_spec);
+            ExperimentRequest lru;
+            lru.workload = info.name;
+            lru.llcBytes = bytes;
+            lru.config = config;
+            ExperimentRequest future = lru;
+            future.labeler = "oracle";
+            ExperimentRequest tight = future;
+            tight.config.nearWindowFactor = 1.0;
+            ExperimentRequest replay = lru;
+            replay.labeler = "residency";
+            requests.push_back(lru);
+            requests.push_back(future);
+            requests.push_back(tight);
+            requests.push_back(replay);
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
+
+    std::vector<double> cols[6];
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        std::vector<double> row;
+        int col = 0;
+        for (int k = 0; k < 2; ++k) {
+            const ExperimentResult *cells =
+                &results[(w * 2 + k) * 4];
+            const std::uint64_t lru = cells[0].misses;
             const double base =
                 lru == 0 ? 1.0 : static_cast<double>(lru);
-
-            ReplaySpec aware_spec = lru_spec;
-            aware_spec.config = &config;
-
-            // Primary: future window with the near-reuse qualifier.
-            OracleLabeler future = makeOracle(index, config, bytes);
-            aware_spec.labeler = &future;
-            const double f =
-                replayMisses(wl.stream, aware_spec) / base;
-
-            // Variant: tight near-reuse qualifier (one capacity).
-            OracleLabeler tight(index, window, bytes / kBlockBytes);
-            aware_spec.labeler = &tight;
-            const double u =
-                replayMisses(wl.stream, aware_spec) / base;
-
-            // Variant: residency outcomes replayed from a baseline
-            // LRU run at this geometry.
-            ResidencyReplayLabeler replay;
-            {
-                OutcomeRecorder recorder(replay);
-                StreamSim recording(
-                    wl.stream, geo,
-                    requirePolicyFactory("lru")(geo.numSets(),
-                                                geo.ways));
-                recording.setObserver(&recorder);
-                recording.run();
+            for (int v = 1; v <= 3; ++v) {
+                const double ratio = cells[v].misses / base;
+                row.push_back(ratio);
+                cols[col++].push_back(ratio);
             }
-            aware_spec.labeler = &replay;
-            const double r =
-                replayMisses(wl.stream, aware_spec) / base;
-
-            row.push_back(f);
-            row.push_back(u);
-            row.push_back(r);
-            cols[col++].push_back(f);
-            cols[col++].push_back(u);
-            cols[col++].push_back(r);
         }
-        table.addRow(info.name, row, 3);
+        table.addRow(infos[w].name, row, 3);
     }
     table.addSeparator();
     table.addRow("mean",

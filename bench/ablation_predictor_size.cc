@@ -8,34 +8,14 @@
  *
  * Usage: ablation_predictor_size [--scale=1] [--threads=8]
  *        [--llc-mb=4] [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--daemon=PATH]
  */
 
 #include "common/table.hh"
-#include "core/predictor.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-double
-evaluate(const CapturedWorkload &wl, const NextUseIndex &index,
-         const StudyConfig &config, const CacheGeometry &geo,
-         FillLabeler &predictor, double *recall_out)
-{
-    OracleLabeler truth = makeOracle(index, config, geo.sizeBytes);
-    LabelerEvaluator evaluated(predictor, &truth);
-    ReplaySpec spec;
-    spec.geo = geo;
-    spec.labeler = &evaluated;
-    spec.config = &config;
-    replayMisses(wl.stream, spec);
-    *recall_out = evaluated.recall();
-    return evaluated.accuracy();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,35 +23,45 @@ main(int argc, char **argv)
     BenchDriver driver("ablation_predictor_size", argc, argv);
     const StudyConfig &config = driver.config();
     const std::uint64_t llc_bytes = driver.llcBytes();
-    const CacheGeometry geo = config.llcGeometry(llc_bytes);
     const std::vector<unsigned> index_bits{10, 12, 14, 16, 18};
-
-    ParallelRunner &runner = driver.runner();
-    const auto captured = captureAllWorkloads(config, runner);
 
     TablePrinter table(
         "A3: predictor accuracy vs table size (mean across workloads), "
         + std::to_string(llc_bytes >> 20) + "MB LLC",
         {"entries", "addr_acc", "addr_rec", "pc_acc", "pc_rec"});
 
+    // Two evaluated-predictor requests per (table size, workload);
+    // the table size is a config point.
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
     for (const unsigned bits : index_bits) {
-        PredictorConfig pc_config = config.predictor;
-        pc_config.indexBits = bits;
-
-        std::vector<double> a_acc, a_rec, p_acc, p_rec;
-        for (const auto &wl : captured) {
-            const NextUseIndex &index = wl.nextUse();
-            AddressSharingPredictor addr(pc_config);
-            PcSharingPredictor pc(pc_config);
-            double recall = 0.0;
-            a_acc.push_back(evaluate(wl, index, config, geo, addr,
-                                     &recall));
-            a_rec.push_back(recall);
-            p_acc.push_back(evaluate(wl, index, config, geo, pc,
-                                     &recall));
-            p_rec.push_back(recall);
+        for (const auto &info : infos) {
+            ExperimentRequest addr;
+            addr.workload = info.name;
+            addr.llcBytes = llc_bytes;
+            addr.labeler = "addr-pred";
+            addr.evaluate = true;
+            addr.config = config;
+            addr.config.predictor.indexBits = bits;
+            ExperimentRequest pc = addr;
+            pc.labeler = "pc-pred";
+            requests.push_back(addr);
+            requests.push_back(pc);
         }
-        table.addRow(std::to_string(1u << bits),
+    }
+    const auto results = driver.service().runBatch(requests);
+
+    for (std::size_t b = 0; b < index_bits.size(); ++b) {
+        std::vector<double> a_acc, a_rec, p_acc, p_rec;
+        for (std::size_t w = 0; w < infos.size(); ++w) {
+            const ExperimentResult *cells =
+                &results[(b * infos.size() + w) * 2];
+            a_acc.push_back(cells[0].accuracy);
+            a_rec.push_back(cells[0].recall);
+            p_acc.push_back(cells[1].accuracy);
+            p_rec.push_back(cells[1].recall);
+        }
+        table.addRow(std::to_string(1u << index_bits[b]),
                      {mean(a_acc), mean(a_rec), mean(p_acc),
                       mean(p_rec)},
                      3);

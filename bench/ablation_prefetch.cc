@@ -7,36 +7,15 @@
  *
  * Usage: ablation_prefetch [--scale=1] [--threads=8] [--llc-mb=4]
  *        [--degree=2] [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "mem/prefetcher.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-std::uint64_t
-runWithPrefetch(const Trace &stream, const CacheGeometry &geo,
-                const StudyConfig &config, FillLabeler *labeler,
-                const PrefetcherConfig &pf_config, double *accuracy)
-{
-    StridePrefetcher prefetcher(pf_config);
-    ReplaySpec spec;
-    spec.geo = geo;
-    spec.labeler = labeler;
-    if (labeler != nullptr)
-        spec.config = &config;
-    spec.prefetcher = &prefetcher;
-    const auto misses = replayMisses(stream, spec);
-    if (accuracy != nullptr)
-        *accuracy = prefetcher.accuracy();
-    return misses;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,10 +23,8 @@ main(int argc, char **argv)
     BenchDriver driver("ablation_prefetch", argc, argv);
     const StudyConfig &config = driver.config();
     const std::uint64_t llc_bytes = driver.llcBytes();
-    const CacheGeometry geo = config.llcGeometry(llc_bytes);
-    PrefetcherConfig pf_config;
-    pf_config.degree = static_cast<unsigned>(
-        driver.options().getUint("degree", pf_config.degree));
+    const unsigned degree = static_cast<unsigned>(
+        driver.options().getUint("degree", PrefetcherConfig().degree));
 
     TablePrinter table(
         "A6: sharing-aware oracle under stride prefetching, " +
@@ -55,39 +32,46 @@ main(int argc, char **argv)
             "plain LRU without prefetch)",
         {"app", "lru", "lru+pf", "sa", "sa+pf", "pf_acc"});
 
+    // Four requests per workload: plain LRU, LRU with the prefetcher,
+    // the oracle-wrapped replay, and both together.
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        ExperimentRequest lru;
+        lru.workload = info.name;
+        lru.llcBytes = llc_bytes;
+        lru.config = config;
+        ExperimentRequest lru_pf = lru;
+        lru_pf.prefetch = true;
+        lru_pf.prefetchDegree = degree;
+        ExperimentRequest sa = lru;
+        sa.labeler = "oracle";
+        ExperimentRequest sa_pf = sa;
+        sa_pf.prefetch = true;
+        sa_pf.prefetchDegree = degree;
+        requests.push_back(lru);
+        requests.push_back(lru_pf);
+        requests.push_back(sa);
+        requests.push_back(sa_pf);
+    }
+    const auto results = driver.service().runBatch(requests);
+
     std::vector<double> pf_ratio, sa_ratio, sapf_ratio;
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex &index = wl.nextUse();
-        ReplaySpec lru_spec;
-        lru_spec.geo = geo;
-        const auto lru = replayMisses(wl.stream, lru_spec);
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        const ExperimentResult *cells = &results[w * 4];
+        const std::uint64_t lru = cells[0].misses;
         if (lru == 0)
             continue;
         const double base = static_cast<double>(lru);
 
-        double accuracy = 0.0;
-        const auto lru_pf = runWithPrefetch(wl.stream, geo, config,
-                                            nullptr, pf_config,
-                                            &accuracy);
-        OracleLabeler sa_oracle = makeOracle(index, config, llc_bytes);
-        ReplaySpec sa_spec = lru_spec;
-        sa_spec.labeler = &sa_oracle;
-        sa_spec.config = &config;
-        const auto sa = replayMisses(wl.stream, sa_spec);
-        OracleLabeler sapf_oracle =
-            makeOracle(index, config, llc_bytes);
-        const auto sa_pf = runWithPrefetch(wl.stream, geo, config,
-                                           &sapf_oracle, pf_config,
-                                           nullptr);
-
-        table.addRow(info.name,
-                     {1.0, lru_pf / base, sa / base, sa_pf / base,
-                      accuracy},
+        table.addRow(infos[w].name,
+                     {1.0, cells[1].misses / base,
+                      cells[2].misses / base, cells[3].misses / base,
+                      cells[1].prefetchAccuracy},
                      3);
-        pf_ratio.push_back(lru_pf / base);
-        sa_ratio.push_back(sa / base);
-        sapf_ratio.push_back(sa_pf / base);
+        pf_ratio.push_back(cells[1].misses / base);
+        sa_ratio.push_back(cells[2].misses / base);
+        sapf_ratio.push_back(cells[3].misses / base);
     }
     table.addSeparator();
     table.addRow("mean",

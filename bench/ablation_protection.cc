@@ -9,7 +9,7 @@
  *
  * Usage: ablation_protection [--scale=1] [--threads=8]
  *        [--pre=128,256] [--post=32,64,128] [--window-factor=4]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include <algorithm>
@@ -17,7 +17,7 @@
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -45,13 +45,36 @@ main(int argc, char **argv)
         parseList(driver.options().getString("pre", "128,256"));
     const auto posts =
         parseList(driver.options().getString("post", "32,64,128"));
+    const std::vector<std::uint64_t> capacities{config.llcSmallBytes,
+                                                config.llcLargeBytes};
 
-    ParallelRunner &runner = driver.runner();
-    const auto captured = captureAllWorkloads(config, runner);
+    // Per (capacity, workload): the LRU baseline plus one oracle cell
+    // per (pre, post) budget point, expressed as config points.
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const std::uint64_t bytes : capacities) {
+        for (const auto &info : infos) {
+            ExperimentRequest lru;
+            lru.workload = info.name;
+            lru.llcBytes = bytes;
+            lru.config = config;
+            requests.push_back(lru);
+            for (const unsigned pre : pres) {
+                for (const unsigned post : posts) {
+                    ExperimentRequest sa = lru;
+                    sa.labeler = "oracle";
+                    sa.config.protectionRounds = pre;
+                    sa.config.postShareRounds = post;
+                    requests.push_back(sa);
+                }
+            }
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
+    const std::size_t per_cell = 1 + pres.size() * posts.size();
 
-    for (const std::uint64_t bytes :
-         {config.llcSmallBytes, config.llcLargeBytes}) {
-        const CacheGeometry geo = config.llcGeometry(bytes);
+    for (std::size_t k = 0; k < capacities.size(); ++k) {
+        const std::uint64_t bytes = capacities[k];
 
         std::vector<std::string> headers{"pre_rounds"};
         for (const unsigned post : posts)
@@ -61,24 +84,16 @@ main(int argc, char **argv)
         std::vector<std::vector<std::vector<double>>> ratios(
             pres.size(),
             std::vector<std::vector<double>>(posts.size()));
-        for (const auto &wl : captured) {
-            const NextUseIndex &index = wl.nextUse();
-            ReplaySpec lru_spec;
-            lru_spec.geo = geo;
-            const auto lru = replayMisses(wl.stream, lru_spec);
+        for (std::size_t w = 0; w < infos.size(); ++w) {
+            const ExperimentResult *cells =
+                &results[(k * infos.size() + w) * per_cell];
+            const std::uint64_t lru = cells[0].misses;
             if (lru == 0)
                 continue;
             for (std::size_t i = 0; i < pres.size(); ++i) {
                 for (std::size_t j = 0; j < posts.size(); ++j) {
-                    OracleLabeler oracle =
-                        makeOracle(index, config, bytes);
-                    StudyConfig point = config;
-                    point.protectionRounds = pres[i];
-                    point.postShareRounds = posts[j];
-                    ReplaySpec sa_spec = lru_spec;
-                    sa_spec.labeler = &oracle;
-                    sa_spec.config = &point;
-                    const auto sa = replayMisses(wl.stream, sa_spec);
+                    const std::uint64_t sa =
+                        cells[1 + i * posts.size() + j].misses;
                     ratios[i][j].push_back(static_cast<double>(sa) /
                                            static_cast<double>(lru));
                 }

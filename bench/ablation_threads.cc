@@ -6,27 +6,14 @@
  * artifact of that choice).
  *
  * Usage: ablation_threads [--scale=1] [--jobs=N]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-/** Metrics of one (thread count, workload) simulation cell. */
-struct Cell
-{
-    bool skip = true;
-    double missRatio = 0.0;
-    double sharedPct = 0.0;
-    double gain = 0.0;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -39,58 +26,51 @@ main(int argc, char **argv)
         "A5: thread-count sweep, means across all workloads, 4MB LLC",
         {"threads", "llc_miss_ratio", "shared_hit%", "oracle_gain%"});
 
+    // The capture itself depends on the thread count, so each sweep
+    // point carries its own config (the queue groups cells by capture
+    // identity and captures each point once).  Three requests per
+    // (thread count, workload): the capture-time sharing numbers, the
+    // LRU baseline, and the oracle-wrapped replay.
     const auto infos = allWorkloads();
-    ParallelRunner &runner = driver.runner();
-
-    // One cell per (thread count, workload): the capture itself depends
-    // on the thread count, so each cell runs its own capture + replays.
-    const auto cells = runner.map<Cell>(
-        thread_counts.size() * infos.size(), [&](std::size_t c) {
-            const unsigned threads = thread_counts[c / infos.size()];
-            const auto &info = infos[c % infos.size()];
-
-            StudyConfig config = StudyConfig::fromOptions(options);
-            config.workload.threads = threads;
-            config.hierarchy.numCores = threads;
-            const CacheGeometry geo =
-                config.llcGeometry(config.llcSmallBytes);
-
-            Cell cell;
-            const CapturedWorkload wl =
-                captureWorkload(info.name, config);
-            if (wl.stream.empty())
-                return cell;
-            const NextUseIndex &index = wl.nextUse();
-            ReplaySpec lru_spec;
-            lru_spec.geo = geo;
-            const auto lru = replayMisses(wl.stream, lru_spec);
-            if (lru == 0)
-                return cell;
-            cell.skip = false;
-            cell.missRatio = static_cast<double>(lru) /
-                             static_cast<double>(wl.stream.size());
-            cell.sharedPct =
-                100.0 * wl.hierarchy.sharing.sharedHitFraction;
-            OracleLabeler oracle =
-                makeOracle(index, config, config.llcSmallBytes);
-            ReplaySpec aware_spec = lru_spec;
-            aware_spec.labeler = &oracle;
-            aware_spec.config = &config;
-            const auto aware = replayMisses(wl.stream, aware_spec);
-            cell.gain = 100.0 * (1.0 - static_cast<double>(aware) /
-                                           static_cast<double>(lru));
-            return cell;
-        });
+    std::vector<ExperimentRequest> requests;
+    for (const unsigned threads : thread_counts) {
+        StudyConfig config = StudyConfig::fromOptions(options);
+        config.workload.threads = threads;
+        config.hierarchy.numCores = threads;
+        for (const auto &info : infos) {
+            ExperimentRequest capture;
+            capture.kind = "capture";
+            capture.workload = info.name;
+            capture.config = config;
+            ExperimentRequest lru;
+            lru.workload = info.name;
+            lru.llcBytes = config.llcSmallBytes;
+            lru.config = config;
+            ExperimentRequest aware = lru;
+            aware.labeler = "oracle";
+            requests.push_back(capture);
+            requests.push_back(lru);
+            requests.push_back(aware);
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
 
     for (std::size_t t = 0; t < thread_counts.size(); ++t) {
         std::vector<double> miss_ratios, shared_fracs, gains;
         for (std::size_t w = 0; w < infos.size(); ++w) {
-            const Cell &cell = cells[t * infos.size() + w];
-            if (cell.skip)
+            const ExperimentResult *cells =
+                &results[(t * infos.size() + w) * 3];
+            const std::uint64_t lru = cells[1].misses;
+            if (cells[1].streamRefs == 0 || lru == 0)
                 continue;
-            miss_ratios.push_back(cell.missRatio);
-            shared_fracs.push_back(cell.sharedPct);
-            gains.push_back(cell.gain);
+            miss_ratios.push_back(
+                static_cast<double>(lru) /
+                static_cast<double>(cells[1].streamRefs));
+            shared_fracs.push_back(
+                100.0 * cells[0].hierarchy.sharing.sharedHitFraction);
+            gains.push_back(
+                100.0 * (1.0 - static_cast<double>(cells[2].misses) /
+                                   static_cast<double>(lru)));
         }
         table.addRow(std::to_string(thread_counts[t]),
                      {mean(miss_ratios), mean(shared_fracs),

@@ -11,14 +11,14 @@
  *
  * Usage: ablation_window [--scale=1] [--threads=8]
  *        [--windows=1,2,4,8] [--rounds=32,128,512]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include <sstream>
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -46,59 +46,74 @@ main(int argc, char **argv)
         parseList(driver.options().getString("windows", "1,2,4,8"));
     const auto rounds_list =
         parseList(driver.options().getString("rounds", "32,128,512"));
+    const std::vector<std::uint64_t> capacities{config.llcSmallBytes,
+                                                config.llcLargeBytes};
 
-    // Capture every workload once; replays sweep the parameters.
-    ParallelRunner &runner = driver.runner();
-    const auto captured = captureAllWorkloads(config, runner);
+    // Per (capacity, workload): the LRU baseline plus one oracle cell
+    // per (window, rounds) point.  Each sweep point is a config point:
+    // the window factor replaces the study default and the near-reuse
+    // qualifier is pinned off (the sweep studies the bare window).
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const std::uint64_t bytes : capacities) {
+        for (const auto &info : infos) {
+            ExperimentRequest lru;
+            lru.workload = info.name;
+            lru.llcBytes = bytes;
+            lru.config = config;
+            requests.push_back(lru);
+            for (const double window : windows) {
+                for (const double rounds : rounds_list) {
+                    ExperimentRequest sa = lru;
+                    sa.labeler = "oracle";
+                    sa.config.oracleWindowFactor = window;
+                    sa.config.nearWindowFactor = 0.0;
+                    sa.config.protectionRounds =
+                        static_cast<unsigned>(rounds);
+                    requests.push_back(sa);
+                }
+            }
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
+    const std::size_t per_cell = 1 + windows.size() * rounds_list.size();
 
     std::vector<std::string> headers{"window_x_capacity"};
     for (const double r : rounds_list)
         headers.push_back("rounds=" +
                           std::to_string(static_cast<int>(r)));
 
-    for (const std::uint64_t bytes :
-         {config.llcSmallBytes, config.llcLargeBytes}) {
-        const CacheGeometry geo = config.llcGeometry(bytes);
-
-        // ratios[wf][rounds] accumulated across workloads; the next-use
-        // index is built once per workload and reused for every point.
+    for (std::size_t k = 0; k < capacities.size(); ++k) {
+        // ratios[wf][rounds] accumulated across workloads.
         std::vector<std::vector<std::vector<double>>> ratios(
             windows.size(),
             std::vector<std::vector<double>>(rounds_list.size()));
-        for (const auto &wl : captured) {
-            const NextUseIndex &index = wl.nextUse();
-            ReplaySpec lru_spec;
-            lru_spec.geo = geo;
-            const auto lru = replayMisses(wl.stream, lru_spec);
+        for (std::size_t w = 0; w < infos.size(); ++w) {
+            const ExperimentResult *cells =
+                &results[(k * infos.size() + w) * per_cell];
+            const std::uint64_t lru = cells[0].misses;
             if (lru == 0)
                 continue;
-            for (std::size_t w = 0; w < windows.size(); ++w) {
-                const SeqNo window = static_cast<SeqNo>(
-                    windows[w] *
-                    static_cast<double>(bytes / kBlockBytes));
+            for (std::size_t i = 0; i < windows.size(); ++i) {
                 for (std::size_t r = 0; r < rounds_list.size(); ++r) {
-                    OracleLabeler oracle(index, window);
-                    StudyConfig point = config;
-                    point.protectionRounds =
-                        static_cast<unsigned>(rounds_list[r]);
-                    ReplaySpec sa_spec = lru_spec;
-                    sa_spec.labeler = &oracle;
-                    sa_spec.config = &point;
-                    const auto sa = replayMisses(wl.stream, sa_spec);
-                    ratios[w][r].push_back(static_cast<double>(sa) /
+                    const std::uint64_t sa =
+                        cells[1 + i * rounds_list.size() + r].misses;
+                    ratios[i][r].push_back(static_cast<double>(sa) /
                                            static_cast<double>(lru));
                 }
             }
         }
 
         TablePrinter table("A1: mean sa-oracle+LRU misses / LRU misses, "
-                           "LLC " + std::to_string(bytes >> 20) + "MB",
+                           "LLC " +
+                               std::to_string(capacities[k] >> 20) +
+                               "MB",
                            headers);
-        for (std::size_t w = 0; w < windows.size(); ++w) {
+        for (std::size_t i = 0; i < windows.size(); ++i) {
             std::vector<double> row;
             for (std::size_t r = 0; r < rounds_list.size(); ++r)
-                row.push_back(mean(ratios[w][r]));
-            table.addRow("w=" + TablePrinter::fmt(windows[w], 2) + "x",
+                row.push_back(mean(ratios[i][r]));
+            table.addRow("w=" + TablePrinter::fmt(windows[i], 2) + "x",
                          row, 4);
         }
         driver.report(table);

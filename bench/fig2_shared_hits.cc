@@ -6,12 +6,12 @@
  * blocks matter more than private blocks.
  *
  * Usage: fig2_shared_hits [--scale=1] [--threads=8]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -27,24 +27,34 @@ main(int argc, char **argv)
         {"app", "shared_4mb%", "private_4mb%", "shared_8mb%",
          "private_8mb%"});
 
-    std::vector<double> shared4, shared8;
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        std::vector<double> row;
-        int k = 0;
+    // One sharing-characterization request per (workload, capacity).
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
         for (const std::uint64_t bytes :
              {config.llcSmallBytes, config.llcLargeBytes}) {
-            ReplaySpec spec;
-            spec.geo = config.llcGeometry(bytes);
-            const SharingSummary sharing = replaySharing(
-                wl.stream, spec, config.workload.threads);
+            ExperimentRequest request;
+            request.kind = "sharing";
+            request.workload = info.name;
+            request.llcBytes = bytes;
+            request.config = config;
+            requests.push_back(request);
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
+
+    std::vector<double> shared4, shared8;
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        std::vector<double> row;
+        for (int k = 0; k < 2; ++k) {
+            const SharingSummary &sharing =
+                results[w * 2 + k].sharing;
             row.push_back(100.0 * sharing.sharedHitFraction);
             row.push_back(100.0 * (1.0 - sharing.sharedHitFraction));
             (k == 0 ? shared4 : shared8)
                 .push_back(100.0 * sharing.sharedHitFraction);
-            ++k;
         }
-        table.addRow(info.name, row, 1);
+        table.addRow(infos[w].name, row, 1);
     }
     table.addSeparator();
     table.addRow("mean",

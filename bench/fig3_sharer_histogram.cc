@@ -6,12 +6,12 @@
  *
  * Usage: fig3_sharer_histogram [--scale=1] [--threads=8]
  *        [--llc-small-mb=4] [--format={text,csv,json}]
- *        [--stats-out=PATH]
+ *        [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -27,13 +27,20 @@ main(int argc, char **argv)
             std::to_string(config.llcSmallBytes >> 20) + "MB LLC (LRU)",
         {"app", "1_core%", "2_cores%", "3-4_cores%", "5-8_cores%"});
 
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        ExperimentRequest request;
+        request.kind = "sharing";
+        request.workload = info.name;
+        request.config = config;
+        requests.push_back(request);
+    }
+    const auto results = driver.service().runBatch(requests);
+
     std::vector<double> col[4];
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        ReplaySpec spec;
-        spec.geo = config.llcGeometry(config.llcSmallBytes);
-        const SharingSummary sharing =
-            replaySharing(wl.stream, spec, threads);
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        const SharingSummary &sharing = results[w].sharing;
 
         double buckets[4] = {0, 0, 0, 0};
         double total = 0;
@@ -57,7 +64,7 @@ main(int argc, char **argv)
             row.push_back(pct);
             col[b].push_back(pct);
         }
-        table.addRow(info.name, row, 1);
+        table.addRow(infos[w].name, row, 1);
     }
     table.addSeparator();
     table.addRow("mean",

@@ -7,12 +7,12 @@
  * retention, read-write sharing also carries coherence cost.
  *
  * Usage: fig4_rw_sharing [--scale=1] [--threads=8]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -28,13 +28,20 @@ main(int argc, char **argv)
         {"app", "private_ro%", "private_rw%", "shared_ro%",
          "shared_rw%"});
 
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        ExperimentRequest request;
+        request.kind = "sharing";
+        request.workload = info.name;
+        request.config = config;
+        requests.push_back(request);
+    }
+    const auto results = driver.service().runBatch(requests);
+
     std::vector<double> col[4];
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        ReplaySpec spec;
-        spec.geo = config.llcGeometry(config.llcSmallBytes);
-        const SharingSummary sharing =
-            replaySharing(wl.stream, spec, config.workload.threads);
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        const SharingSummary &sharing = results[w].sharing;
 
         double total = 0;
         for (int c = 0; c < 4; ++c)
@@ -50,7 +57,7 @@ main(int argc, char **argv)
             row.push_back(pct);
             col[c].push_back(pct);
         }
-        table.addRow(info.name, row, 1);
+        table.addRow(infos[w].name, row, 1);
     }
     table.addSeparator();
     table.addRow("mean",

@@ -8,7 +8,7 @@
  *
  * Usage: fig5_policy_comparison [--scale=1] [--threads=8]
  *        [--llc-mb=4] [--jobs=N] [--shards=K]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  *
  * --shards=K replays each eligible (per-set-state) cell as K
  * concurrent set shards; the table is byte-identical for any K.
@@ -16,7 +16,7 @@
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -26,7 +26,6 @@ main(int argc, char **argv)
     BenchDriver driver("fig5_policy_comparison", argc, argv);
     const StudyConfig &config = driver.config();
     const std::uint64_t llc_bytes = driver.llcBytes();
-    const CacheGeometry geo = config.llcGeometry(llc_bytes);
 
     const std::vector<std::string> policies{
         "nru", "srrip", "brrip", "drrip", "dip",
@@ -41,50 +40,42 @@ main(int argc, char **argv)
                            std::to_string(llc_bytes >> 20) + "MB LLC",
                        headers);
 
-    ParallelRunner &runner = driver.runner();
-    const auto captured = captureAllWorkloads(config, runner);
-
-    // Fan out one cell per (workload, policy): slot layout is
+    // One request per (workload, policy): slot layout is
     // [workload][lru, policies..., opt], so assembly below reads the
-    // same numbers the serial loop produced.
+    // same numbers the serial loop produced.  Capture, next-use
+    // warming and the cell fan-out all happen behind the service.
+    const auto infos = allWorkloads();
     const std::size_t num_cells = policies.size() + 2;
-    const auto misses = runner.map<std::uint64_t>(
-        captured.size() * num_cells, [&](std::size_t cell) {
-            const CapturedWorkload &wl = captured[cell / num_cells];
-            const std::size_t p = cell % num_cells;
-            ReplaySpec spec;
-            spec.geo = geo;
-            // Nested fan-out: this cell is itself a runner task, so the
-            // shard batch runs inline on this worker (see
-            // ParallelRunner::run), trading cell- for shard-level
-            // parallelism only when the cell grid underfills the pool.
-            spec.shards = config.shards;
-            spec.shardRunner = &runner;
-            if (p >= 1 && p <= policies.size()) {
-                spec.policy = policies[p - 1];
-            } else if (p > policies.size()) {
-                // The memoized per-workload index: built by the first
-                // OPT cell that needs it, shared by all others.
-                spec.policy = "opt";
-                spec.nextUse = &wl.nextUse();
-            }
-            return replayMisses(wl.stream, spec);
-        });
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        for (std::size_t p = 0; p < num_cells; ++p) {
+            ExperimentRequest request;
+            request.workload = info.name;
+            request.llcBytes = llc_bytes;
+            request.config = config;
+            if (p >= 1 && p <= policies.size())
+                request.policy = policies[p - 1];
+            else if (p > policies.size())
+                request.policy = "opt";
+            requests.push_back(request);
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
 
     std::vector<std::vector<double>> columns(policies.size() + 1);
-    for (std::size_t w = 0; w < captured.size(); ++w) {
-        const std::uint64_t *cells = &misses[w * num_cells];
-        const std::uint64_t lru = cells[0];
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        const ExperimentResult *cells = &results[w * num_cells];
+        const std::uint64_t lru = cells[0].misses;
         if (lru == 0)
             continue;
         const double base = static_cast<double>(lru);
 
         std::vector<double> row{1.0};
         for (std::size_t p = 0; p < policies.size() + 1; ++p) {
-            row.push_back(cells[p + 1] / base);
-            columns[p].push_back(cells[p + 1] / base);
+            row.push_back(cells[p + 1].misses / base);
+            columns[p].push_back(cells[p + 1].misses / base);
         }
-        table.addRow(captured[w].info.name, row, 3);
+        table.addRow(infos[w].name, row, 3);
     }
     table.addSeparator();
     std::vector<double> means{1.0};

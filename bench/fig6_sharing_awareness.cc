@@ -9,39 +9,14 @@
  *
  * Usage: fig6_sharing_awareness [--scale=1] [--threads=8]
  *        [--llc-mb=4] [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--daemon=PATH]
  */
 
 #include "common/table.hh"
-#include "core/awareness.hh"
-#include "mem/repl/factory.hh"
-#include "mem/repl/opt.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
-#include "sim/stream_sim.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-struct Rates
-{
-    double mistake = 0.0;
-    double shared_victim = 0.0;
-};
-
-Rates
-scorePolicy(const Trace &stream, const NextUseIndex &index,
-            const CacheGeometry &geo, SeqNo window,
-            std::unique_ptr<ReplPolicy> policy)
-{
-    StreamSim sim(stream, geo, std::move(policy));
-    AwarenessScorer scorer(index, window);
-    sim.setAwarenessScorer(&scorer);
-    sim.run();
-    return Rates{scorer.mistakeRate(), scorer.sharedVictimRate()};
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -49,8 +24,6 @@ main(int argc, char **argv)
     BenchDriver driver("fig6_sharing_awareness", argc, argv);
     const StudyConfig &config = driver.config();
     const std::uint64_t llc_bytes = driver.llcBytes();
-    const CacheGeometry geo = config.llcGeometry(llc_bytes);
-    const SeqNo window = config.oracleWindow(llc_bytes);
 
     const std::vector<std::string> policies{"lru",  "nru",  "srrip",
                                             "drrip", "ship", "tadrrip"};
@@ -65,27 +38,34 @@ main(int argc, char **argv)
             std::to_string(llc_bytes >> 20) + "MB LLC",
         headers);
 
-    std::vector<std::vector<double>> columns(policies.size() + 1);
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex &index = wl.nextUse();
-
-        std::vector<double> row;
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const auto factory = requirePolicyFactory(policies[p]);
-            const Rates rates =
-                scorePolicy(wl.stream, index, geo, window,
-                            factory(geo.numSets(), geo.ways));
-            row.push_back(100.0 * rates.mistake);
-            columns[p].push_back(100.0 * rates.mistake);
+    // One awareness-scored replay per (workload, policy), OPT last.
+    const auto infos = allWorkloads();
+    const std::size_t num_cells = policies.size() + 1;
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        for (std::size_t p = 0; p < num_cells; ++p) {
+            ExperimentRequest request;
+            request.kind = "awareness";
+            request.workload = info.name;
+            request.llcBytes = llc_bytes;
+            request.policy =
+                p < policies.size() ? policies[p] : "opt";
+            request.config = config;
+            requests.push_back(request);
         }
-        const Rates opt_rates = scorePolicy(
-            wl.stream, index, geo, window,
-            std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
-                                        index));
-        row.push_back(100.0 * opt_rates.mistake);
-        columns[policies.size()].push_back(100.0 * opt_rates.mistake);
-        table.addRow(info.name, row, 2);
+    }
+    const auto results = driver.service().runBatch(requests);
+
+    std::vector<std::vector<double>> columns(num_cells);
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        std::vector<double> row;
+        for (std::size_t p = 0; p < num_cells; ++p) {
+            const double pct =
+                100.0 * results[w * num_cells + p].mistakeRate;
+            row.push_back(pct);
+            columns[p].push_back(pct);
+        }
+        table.addRow(infos[w].name, row, 2);
     }
     table.addSeparator();
     std::vector<double> means;

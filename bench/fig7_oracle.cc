@@ -10,12 +10,12 @@
  *
  * Usage: fig7_oracle [--scale=1] [--threads=8] [--window-factor=4]
  *        [--protection-rounds=128] [--post-rounds=0] [--jobs=N]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -36,60 +36,54 @@ main(int argc, char **argv)
         "base policy",
         headers);
 
-    ParallelRunner &runner = driver.runner();
-    const auto captured = captureAllWorkloads(config, runner);
-
-    // The next-use index and label planes of a workload are shared
-    // read-only by all of its cells; warm them in parallel so no
-    // replay cell stalls on a build or a label sweep.
-    warmSharingOracle(captured, config, runner);
-
-    // One cell per (workload, base policy, LLC capacity); each cell
-    // owns its oracle, wrapper and both replays.  Slot layout is
-    // [workload][base][capacity].
+    // Two requests per (workload, base policy, LLC capacity): the
+    // plain replay and the oracle-wrapped one.  The service warms each
+    // workload's next-use index and label planes before the cells run,
+    // so no replay stalls on a build (the old warmSharingOracle
+    // discipline, now behind the API).
+    const auto infos = allWorkloads();
     const std::vector<std::uint64_t> capacities{config.llcSmallBytes,
                                                 config.llcLargeBytes};
     const std::size_t cells_per_wl = bases.size() * capacities.size();
-    const auto ratios = runner.map<double>(
-        captured.size() * cells_per_wl, [&](std::size_t cell) {
-            const std::size_t w = cell / cells_per_wl;
-            const std::size_t b =
-                (cell % cells_per_wl) / capacities.size();
-            const std::uint64_t bytes =
-                capacities[cell % capacities.size()];
-            const CapturedWorkload &wl = captured[w];
-            const NextUseIndex &index = wl.nextUse();
-
-            OracleLabeler oracle = makeOracle(index, config, bytes);
-            ReplaySpec plain_spec;
-            plain_spec.policy = bases[b];
-            plain_spec.geo = config.llcGeometry(bytes);
-            const auto plain = replayMisses(wl.stream, plain_spec);
-
-            ReplaySpec aware_spec = plain_spec;
-            aware_spec.labeler = &oracle;
-            aware_spec.config = &config;
-            const auto aware = replayMisses(wl.stream, aware_spec);
-            return plain == 0 ? 1.0
-                              : static_cast<double>(aware) /
-                                    static_cast<double>(plain);
-        });
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        for (const auto &base : bases) {
+            for (const std::uint64_t bytes : capacities) {
+                ExperimentRequest plain;
+                plain.workload = info.name;
+                plain.policy = base;
+                plain.llcBytes = bytes;
+                plain.config = config;
+                ExperimentRequest aware = plain;
+                aware.labeler = "oracle";
+                requests.push_back(plain);
+                requests.push_back(aware);
+            }
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
+    const auto ratio_of = [&](std::size_t cell) {
+        const std::uint64_t plain = results[cell * 2].misses;
+        const std::uint64_t aware = results[cell * 2 + 1].misses;
+        return plain == 0 ? 1.0
+                          : static_cast<double>(aware) /
+                                static_cast<double>(plain);
+    };
 
     // columns[base][size] -> per-app ratios.
     std::vector<std::vector<std::vector<double>>> columns(
         bases.size(), std::vector<std::vector<double>>(2));
-    for (std::size_t w = 0; w < captured.size(); ++w) {
+    for (std::size_t w = 0; w < infos.size(); ++w) {
         std::vector<double> row;
         for (std::size_t b = 0; b < bases.size(); ++b) {
             for (std::size_t k = 0; k < capacities.size(); ++k) {
-                const double ratio =
-                    ratios[w * cells_per_wl + b * capacities.size() +
-                           k];
+                const double ratio = ratio_of(
+                    w * cells_per_wl + b * capacities.size() + k);
                 row.push_back(ratio);
                 columns[b][k].push_back(ratio);
             }
         }
-        table.addRow(captured[w].info.name, row, 3);
+        table.addRow(infos[w].name, row, 3);
     }
     table.addSeparator();
     std::vector<double> means;

@@ -9,51 +9,14 @@
  *
  * Usage: fig8_predictors [--scale=1] [--threads=8] [--llc-mb=4]
  *        [--pred-index-bits=14] [--format={text,csv,json}]
- *        [--stats-out=PATH]
+ *        [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include "common/table.hh"
-#include "core/predictor.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-struct PredictorRun
-{
-    double accuracy = 0.0;
-    double precision = 0.0;
-    double recall = 0.0;
-    double ratio = 1.0; // misses vs plain LRU
-};
-
-PredictorRun
-runPredictor(const CapturedWorkload &wl, const NextUseIndex &index,
-             const StudyConfig &config, const CacheGeometry &geo,
-             FillLabeler &predictor, std::uint64_t lru)
-{
-    OracleLabeler truth = makeOracle(index, config, geo.sizeBytes);
-    LabelerEvaluator evaluated(predictor, &truth);
-
-    ReplaySpec spec;
-    spec.geo = geo;
-    spec.labeler = &evaluated;
-    spec.config = &config;
-    const auto misses = replayMisses(wl.stream, spec);
-
-    PredictorRun run;
-    run.accuracy = evaluated.accuracy();
-    run.precision = evaluated.precision();
-    run.recall = evaluated.recall();
-    run.ratio = lru == 0 ? 1.0
-                         : static_cast<double>(misses) /
-                               static_cast<double>(lru);
-    return run;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -61,7 +24,6 @@ main(int argc, char **argv)
     BenchDriver driver("fig8_predictors", argc, argv);
     const StudyConfig &config = driver.config();
     const std::uint64_t llc_bytes = driver.llcBytes();
-    const CacheGeometry geo = config.llcGeometry(llc_bytes);
 
     TablePrinter table(
         "Figure 8: fill-time sharing predictors vs the oracle, " +
@@ -70,42 +32,55 @@ main(int argc, char **argv)
         {"app", "addr_acc", "addr_prec", "addr_rec", "addr_ratio",
          "pc_acc", "pc_prec", "pc_rec", "pc_ratio", "oracle_ratio"});
 
+    // Four requests per workload: the LRU baseline, each evaluated
+    // predictor inside the sharing-aware filter, and the oracle.
+    const auto infos = allWorkloads();
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        ExperimentRequest base;
+        base.workload = info.name;
+        base.llcBytes = llc_bytes;
+        base.config = config;
+
+        ExperimentRequest addr = base;
+        addr.labeler = "addr-pred";
+        addr.evaluate = true;
+        ExperimentRequest pc = base;
+        pc.labeler = "pc-pred";
+        pc.evaluate = true;
+        ExperimentRequest oracle = base;
+        oracle.labeler = "oracle";
+
+        requests.push_back(base);
+        requests.push_back(addr);
+        requests.push_back(pc);
+        requests.push_back(oracle);
+    }
+    const auto results = driver.service().runBatch(requests);
+
     std::vector<double> addr_acc, pc_acc, addr_ratio, pc_ratio,
         oracle_ratio;
-    for (const auto &info : allWorkloads()) {
-        const CapturedWorkload wl = captureWorkload(info.name, config);
-        const NextUseIndex &index = wl.nextUse();
-        ReplaySpec lru_spec;
-        lru_spec.geo = geo;
-        const auto lru = replayMisses(wl.stream, lru_spec);
+    for (std::size_t w = 0; w < infos.size(); ++w) {
+        const ExperimentResult *cells = &results[w * 4];
+        const std::uint64_t lru = cells[0].misses;
+        const auto ratio = [lru](std::uint64_t misses) {
+            return lru == 0 ? 1.0
+                            : static_cast<double>(misses) /
+                                  static_cast<double>(lru);
+        };
+        const ExperimentResult &a = cells[1];
+        const ExperimentResult &p = cells[2];
+        const double o_ratio = ratio(cells[3].misses);
 
-        AddressSharingPredictor addr(config.predictor);
-        PcSharingPredictor pc(config.predictor);
-        const PredictorRun a =
-            runPredictor(wl, index, config, geo, addr, lru);
-        const PredictorRun p =
-            runPredictor(wl, index, config, geo, pc, lru);
-
-        OracleLabeler oracle = makeOracle(index, config, llc_bytes);
-        ReplaySpec aware_spec;
-        aware_spec.geo = geo;
-        aware_spec.labeler = &oracle;
-        aware_spec.config = &config;
-        const auto aware = replayMisses(wl.stream, aware_spec);
-        const double o_ratio = lru == 0
-                                   ? 1.0
-                                   : static_cast<double>(aware) /
-                                         static_cast<double>(lru);
-
-        table.addRow(info.name,
-                     {a.accuracy, a.precision, a.recall, a.ratio,
-                      p.accuracy, p.precision, p.recall, p.ratio,
-                      o_ratio},
+        table.addRow(infos[w].name,
+                     {a.accuracy, a.precision, a.recall,
+                      ratio(a.misses), p.accuracy, p.precision,
+                      p.recall, ratio(p.misses), o_ratio},
                      3);
         addr_acc.push_back(a.accuracy);
         pc_acc.push_back(p.accuracy);
-        addr_ratio.push_back(a.ratio);
-        pc_ratio.push_back(p.ratio);
+        addr_ratio.push_back(ratio(a.misses));
+        pc_ratio.push_back(ratio(p.misses));
         oracle_ratio.push_back(o_ratio);
     }
     table.addSeparator();

@@ -6,32 +6,16 @@
  * studied LLC capacities.
  *
  * Usage: table1_workloads [--scale=1] [--threads=8] [--jobs=N]
- *        [--format={text,csv,json}] [--stats-out=PATH]
+ *        [--format={text,csv,json}] [--stats-out=PATH] [--daemon=PATH]
  */
 
 #include <algorithm>
 
 #include "common/table.hh"
 #include "sim/bench_driver.hh"
-#include "sim/experiment.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
-
-namespace {
-
-/** One workload's fully computed table row. */
-struct Row
-{
-    double refsK = 0.0;
-    double footprintMb = 0.0;
-    double sharedFp = 0.0;
-    double writePct = 0.0;
-    double llcRefsK = 0.0;
-    double mpkrSmall = 0.0;
-    double mpkrLarge = 0.0;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -45,50 +29,50 @@ main(int argc, char **argv)
         {"app", "suite", "refs(K)", "fp(MB)", "shared_fp%", "wr%",
          "llc_refs(K)", "mpkr_4mb", "mpkr_8mb"});
 
+    // Three requests per workload: the capture-time numbers (with the
+    // trace-level properties regenerated) and the LRU replay at each
+    // studied capacity.
     const auto infos = allWorkloads();
-    ParallelRunner &runner = driver.runner();
-
-    // Each cell captures one workload and computes its whole row; no
-    // state is shared between cells, and results land in suite order.
-    const auto rows = runner.map<Row>(infos.size(), [&](std::size_t i) {
-        const CapturedWorkload wl =
-            captureWorkload(infos[i].name, config);
-
-        // Trace-level properties need the original trace; regenerate
-        // cheaply (generation is a small fraction of simulation).
-        const Trace trace = makeWorkloadTrace(infos[i].name,
-                                              config.workload);
-        Row row;
-        row.refsK = wl.demandAccesses / 1000.0;
-        row.footprintMb = wl.footprintBlocks * kBlockBytes / 1048576.0;
-        row.sharedFp =
-            100.0 * static_cast<double>(trace.sharedFootprintBlocks()) /
-            static_cast<double>(std::max<std::size_t>(
-                1, trace.footprintBlocks()));
-        row.writePct = 100.0 * trace.writeFraction();
-        row.llcRefsK = wl.stream.size() / 1000.0;
-        const auto mpkr = [&](std::uint64_t llc_bytes) {
-            ReplaySpec spec;
-            spec.geo = config.llcGeometry(llc_bytes);
-            const auto misses = replayMisses(wl.stream, spec);
-            return 1000.0 * static_cast<double>(misses) /
-                   static_cast<double>(wl.demandAccesses);
-        };
-        row.mpkrSmall = mpkr(config.llcSmallBytes);
-        row.mpkrLarge = mpkr(config.llcLargeBytes);
-        return row;
-    });
+    std::vector<ExperimentRequest> requests;
+    for (const auto &info : infos) {
+        ExperimentRequest capture;
+        capture.kind = "capture";
+        capture.workload = info.name;
+        capture.traceProps = true;
+        capture.config = config;
+        requests.push_back(capture);
+        for (const std::uint64_t bytes :
+             {config.llcSmallBytes, config.llcLargeBytes}) {
+            ExperimentRequest replay;
+            replay.workload = info.name;
+            replay.llcBytes = bytes;
+            replay.config = config;
+            requests.push_back(replay);
+        }
+    }
+    const auto results = driver.service().runBatch(requests);
 
     for (std::size_t i = 0; i < infos.size(); ++i) {
-        const Row &row = rows[i];
-        table.addRow({infos[i].name, infos[i].suite,
-                      TablePrinter::fmt(row.refsK, 0),
-                      TablePrinter::fmt(row.footprintMb, 1),
-                      TablePrinter::fmt(row.sharedFp, 1),
-                      TablePrinter::fmt(row.writePct, 1),
-                      TablePrinter::fmt(row.llcRefsK, 0),
-                      TablePrinter::fmt(row.mpkrSmall, 2),
-                      TablePrinter::fmt(row.mpkrLarge, 2)});
+        const ExperimentResult &cap = results[i * 3];
+        const double shared_fp =
+            100.0 *
+            static_cast<double>(cap.traceSharedFootprintBlocks) /
+            static_cast<double>(
+                std::max<std::uint64_t>(1, cap.traceFootprintBlocks));
+        const auto mpkr = [&](const ExperimentResult &replay) {
+            return 1000.0 * static_cast<double>(replay.misses) /
+                   static_cast<double>(cap.demandAccesses);
+        };
+        table.addRow(
+            {infos[i].name, infos[i].suite,
+             TablePrinter::fmt(cap.demandAccesses / 1000.0, 0),
+             TablePrinter::fmt(
+                 cap.footprintBlocks * kBlockBytes / 1048576.0, 1),
+             TablePrinter::fmt(shared_fp, 1),
+             TablePrinter::fmt(100.0 * cap.writeFraction, 1),
+             TablePrinter::fmt(cap.streamRefs / 1000.0, 0),
+             TablePrinter::fmt(mpkr(results[i * 3 + 1]), 2),
+             TablePrinter::fmt(mpkr(results[i * 3 + 2]), 2)});
     }
 
     driver.report(table);

@@ -2,7 +2,8 @@
  * @file
  * Policy explorer: compare every built-in replacement policy (plus OPT
  * and the sharing-aware oracle composed with each base) on a chosen
- * workload and LLC capacity.
+ * workload and LLC capacity.  Each cell is an ExperimentRequest; the
+ * queue captures the workload once and fans the cells out.
  *
  * Usage: example_policy_explorer [--workload=streamcluster]
  *        [--llc-mb=4] [--scale=0.5] [--threads=8]
@@ -13,7 +14,8 @@
 #include "common/options.hh"
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
-#include "sim/experiment.hh"
+#include "sim/capture_cache.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -34,44 +36,56 @@ main(int argc, char **argv)
               << (llc_bytes >> 20) << "MB " << geo.ways
               << "-way LLC...\n\n";
 
-    const CapturedWorkload wl = captureWorkload(name, config);
-    const NextUseIndex index(wl.stream);
+    CaptureCache cache;
+    ParallelRunner runner(options.jobs());
+    ExperimentQueue queue(cache, runner);
 
-    TablePrinter table(
-        "'" + name + "' LLC misses by policy (stream of " +
-            std::to_string(wl.stream.size()) + " refs)",
-        {"policy", "misses", "miss_ratio", "vs_lru", "sa_misses",
-         "sa_vs_plain"});
+    // Per base policy a plain and an oracle-wrapped replay, plus the
+    // offline OPT bound.  The duplicate lru cell dedupes in the queue.
+    const auto policies = builtinPolicyNames();
+    std::vector<ExperimentRequest> requests;
+    ExperimentRequest lru;
+    lru.workload = name;
+    lru.llcBytes = llc_bytes;
+    lru.config = config;
+    requests.push_back(lru);
+    for (const auto &policy : policies) {
+        ExperimentRequest plain = lru;
+        plain.policy = policy;
+        ExperimentRequest sa = plain;
+        sa.labeler = "oracle";
+        requests.push_back(plain);
+        requests.push_back(sa);
+    }
+    ExperimentRequest opt = lru;
+    opt.policy = "opt";
+    requests.push_back(opt);
+    const auto results = queue.runBatch(requests);
 
-    ReplaySpec lru_spec;
-    lru_spec.geo = geo;
-    const auto lru_misses = replayMisses(wl.stream, lru_spec);
-    for (const auto &policy : builtinPolicyNames()) {
-        ReplaySpec spec = lru_spec;
-        spec.policy = policy;
-        const auto misses = replayMisses(wl.stream, spec);
-        OracleLabeler fresh = makeOracle(index, config, llc_bytes);
-        ReplaySpec sa_spec = spec;
-        sa_spec.labeler = &fresh;
-        sa_spec.config = &config;
-        const auto sa = replayMisses(wl.stream, sa_spec);
+    const std::uint64_t stream_refs = results[0].streamRefs;
+    const std::uint64_t lru_misses = results[0].misses;
+
+    TablePrinter table("'" + name + "' LLC misses by policy (stream of " +
+                           std::to_string(stream_refs) + " refs)",
+                       {"policy", "misses", "miss_ratio", "vs_lru",
+                        "sa_misses", "sa_vs_plain"});
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const std::uint64_t misses = results[1 + p * 2].misses;
+        const std::uint64_t sa = results[2 + p * 2].misses;
         table.addRow(
-            {policy, std::to_string(misses),
-             TablePrinter::fmt(double(misses) / wl.stream.size(), 4),
+            {policies[p], std::to_string(misses),
+             TablePrinter::fmt(double(misses) / stream_refs, 4),
              TablePrinter::fmt(double(misses) / lru_misses, 3),
              std::to_string(sa),
              TablePrinter::fmt(misses == 0 ? 1.0 : double(sa) / misses,
                                3)});
     }
-    ReplaySpec opt_spec = lru_spec;
-    opt_spec.policy = "opt";
-    opt_spec.nextUse = &index;
-    const auto opt = replayMisses(wl.stream, opt_spec);
+    const std::uint64_t opt_misses = results.back().misses;
     table.addSeparator();
-    table.addRow({"opt (offline)", std::to_string(opt),
-                  TablePrinter::fmt(double(opt) / wl.stream.size(), 4),
-                  TablePrinter::fmt(double(opt) / lru_misses, 3), "-",
-                  "-"});
+    table.addRow({"opt (offline)", std::to_string(opt_misses),
+                  TablePrinter::fmt(double(opt_misses) / stream_refs, 4),
+                  TablePrinter::fmt(double(opt_misses) / lru_misses, 3),
+                  "-", "-"});
     table.print(std::cout);
 
     std::cout << "sa_misses: the same base policy wrapped by the "

@@ -5,6 +5,12 @@
  * with the oracle, residency-outcome confusion, coverage, and the miss
  * impact of driving the sharing-aware filter with each of them.
  *
+ * Unlike the other examples this one stays on the direct ReplaySpec
+ * API: it composes labeler variants (hybrid, tagged, always/never
+ * baselines) and residency-outcome scoring that the ExperimentRequest
+ * vocabulary deliberately does not name — it is the example of
+ * dropping below the request layer when an experiment outgrows it.
+ *
  * Usage: example_predictor_lab [--workload=ferret] [--llc-mb=4]
  *        [--scale=0.5] [--threads=8] [--pred-index-bits=14]
  */

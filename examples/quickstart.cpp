@@ -2,18 +2,21 @@
  * @file
  * Quickstart: generate one multi-threaded workload, run it through the
  * coherent CMP hierarchy, characterize LLC sharing, and compare plain
- * LRU against the sharing-aware oracle on the captured LLC stream.
+ * LRU against the sharing-aware oracle on the captured LLC stream —
+ * all expressed as ExperimentRequests submitted to a local
+ * ExperimentQueue (the same cells a casimd daemon would run).
  *
  * Usage: example_quickstart [--workload=canneal] [--scale=0.25]
  *                           [--threads=8] [--llc-small-mb=4]
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
-#include "sim/experiment.hh"
+#include "sim/capture_cache.hh"
+#include "sim/queue.hh"
 
 using namespace casim;
 
@@ -30,15 +33,43 @@ main(int argc, char **argv)
               << config.workload.threads << " threads, scale "
               << config.workload.scale << "\n\n";
 
-    // 1. Generate the workload and run the full coherent hierarchy,
-    //    capturing the LLC reference stream.
-    const CapturedWorkload captured = captureWorkload(name, config);
-    const auto &hier = captured.hierarchy;
+    // The experiment service: a capture cache (so the workload is
+    // captured once, shared by every cell) and a queue scheduling the
+    // cells on a worker pool.
+    CaptureCache cache;
+    ParallelRunner runner(options.jobs());
+    ExperimentQueue queue(cache, runner);
 
-    std::cout << "demand references : " << captured.demandAccesses
-              << "\n";
+    // One capture-numbers cell, then {lru, opt, sa-oracle} replays at
+    // both LLC sizes.
+    std::vector<ExperimentRequest> requests;
+    ExperimentRequest capture;
+    capture.kind = "capture";
+    capture.workload = name;
+    capture.config = config;
+    requests.push_back(capture);
+    for (const std::uint64_t bytes :
+         {config.llcSmallBytes, config.llcLargeBytes}) {
+        ExperimentRequest lru;
+        lru.workload = name;
+        lru.llcBytes = bytes;
+        lru.config = config;
+        ExperimentRequest opt = lru;
+        opt.policy = "opt";
+        ExperimentRequest aware = lru;
+        aware.labeler = "oracle";
+        requests.push_back(lru);
+        requests.push_back(opt);
+        requests.push_back(aware);
+    }
+    const auto results = queue.runBatch(requests);
+
+    // 1. Capture-time numbers: the full coherent hierarchy run.
+    const ExperimentResult &cap = results[0];
+    const auto &hier = cap.hierarchy;
+    std::cout << "demand references : " << cap.demandAccesses << "\n";
     std::cout << "footprint         : "
-              << captured.footprintBlocks * kBlockBytes / 1024 / 1024.0
+              << cap.footprintBlocks * kBlockBytes / 1024 / 1024.0
               << " MB\n";
     std::cout << "LLC accesses      : " << hier.llcAccesses << "\n";
     std::cout << "LLC miss ratio    : "
@@ -53,30 +84,18 @@ main(int argc, char **argv)
     std::cout << "upgrades          : " << hier.upgrades << "\n";
     std::cout << "interventions     : " << hier.interventions << "\n\n";
 
-    // 2. Replay the captured stream under LRU, OPT, and the
-    //    sharing-aware oracle wrapped around LRU at both LLC sizes.
+    // 2. The replay cells, normalised client-side.
     TablePrinter table(
         "LLC misses on the captured stream (normalised to LRU)",
         {"llc", "lru", "opt", "sa-oracle+lru", "oracle_gain%"});
-    for (const std::uint64_t bytes :
-         {config.llcSmallBytes, config.llcLargeBytes}) {
-        const NextUseIndex index(captured.stream);
-        OracleLabeler oracle = makeOracle(index, config, bytes);
-
-        ReplaySpec lru_spec;
-        lru_spec.geo = config.llcGeometry(bytes);
-        const auto lru = replayMisses(captured.stream, lru_spec);
-        ReplaySpec opt_spec = lru_spec;
-        opt_spec.policy = "opt";
-        opt_spec.nextUse = &index;
-        const auto opt = replayMisses(captured.stream, opt_spec);
-        ReplaySpec aware_spec = lru_spec;
-        aware_spec.labeler = &oracle;
-        aware_spec.config = &config;
-        const auto wrapped = replayMisses(captured.stream, aware_spec);
-
-        const double base = static_cast<double>(lru);
-        table.addRow(std::to_string(bytes >> 20) + "MB",
+    const std::uint64_t sizes[2] = {config.llcSmallBytes,
+                                    config.llcLargeBytes};
+    for (int k = 0; k < 2; ++k) {
+        const ExperimentResult *cells = &results[1 + k * 3];
+        const double base = static_cast<double>(cells[0].misses);
+        const double opt = static_cast<double>(cells[1].misses);
+        const double wrapped = static_cast<double>(cells[2].misses);
+        table.addRow(std::to_string(sizes[k] >> 20) + "MB",
                      {1.0, opt / base, wrapped / base,
                       100.0 * (1.0 - wrapped / base)});
     }

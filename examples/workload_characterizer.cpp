@@ -2,18 +2,21 @@
  * @file
  * Workload characterizer: per-application LLC sharing profile plus the
  * oracle's headroom, across every registered workload (or one chosen
- * with --workload=<name>).
+ * with --workload=<name>).  One ExperimentRequest batch covers every
+ * (workload, capacity, policy) cell.
  *
  * Usage: example_workload_characterizer [--workload=all] [--scale=1]
  *        [--threads=8]
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/options.hh"
 #include "common/table.hh"
-#include "mem/repl/factory.hh"
-#include "sim/experiment.hh"
+#include "sim/capture_cache.hh"
+#include "sim/queue.hh"
+#include "wgen/registry.hh"
 
 using namespace casim;
 
@@ -25,12 +28,46 @@ main(int argc, char **argv)
     const std::string which = options.getString("workload", "all");
 
     std::vector<std::string> names;
+    std::vector<std::string> suites;
     if (which == "all") {
-        for (const auto &info : allWorkloads())
+        for (const auto &info : allWorkloads()) {
             names.push_back(info.name);
+            suites.push_back(info.suite);
+        }
     } else {
         names.push_back(which);
+        suites.push_back(workloadInfo(which).suite);
     }
+
+    CaptureCache cache;
+    ParallelRunner runner(options.jobs());
+    ExperimentQueue queue(cache, runner);
+
+    // Per workload: the capture-time profile and {lru, opt, sa-oracle}
+    // replays at both studied capacities.
+    std::vector<ExperimentRequest> requests;
+    for (const auto &name : names) {
+        ExperimentRequest capture;
+        capture.kind = "capture";
+        capture.workload = name;
+        capture.config = config;
+        requests.push_back(capture);
+        for (const std::uint64_t bytes :
+             {config.llcSmallBytes, config.llcLargeBytes}) {
+            ExperimentRequest lru;
+            lru.workload = name;
+            lru.llcBytes = bytes;
+            lru.config = config;
+            ExperimentRequest opt = lru;
+            opt.policy = "opt";
+            ExperimentRequest aware = lru;
+            aware.labeler = "oracle";
+            requests.push_back(lru);
+            requests.push_back(opt);
+            requests.push_back(aware);
+        }
+    }
+    const auto results = queue.runBatch(requests);
 
     TablePrinter table(
         "Workload sharing profile (hierarchy capture at " +
@@ -39,39 +76,25 @@ main(int argc, char **argv)
          "opt4", "opt8", "sa4", "sa8"});
 
     std::vector<double> gains4, gains8;
-    for (const auto &name : names) {
-        const CapturedWorkload captured = captureWorkload(name, config);
-        const auto &hier = captured.hierarchy;
-        const NextUseIndex index(captured.stream);
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const ExperimentResult *cells = &results[n * 7];
+        const ExperimentResult &cap = cells[0];
+        const auto &hier = cap.hierarchy;
 
         double opt_ratio[2], sa_ratio[2];
-        int k = 0;
-        for (const std::uint64_t bytes :
-             {config.llcSmallBytes, config.llcLargeBytes}) {
-            OracleLabeler oracle = makeOracle(index, config, bytes);
-            ReplaySpec lru_spec;
-            lru_spec.geo = config.llcGeometry(bytes);
-            const auto lru = replayMisses(captured.stream, lru_spec);
-            ReplaySpec opt_spec = lru_spec;
-            opt_spec.policy = "opt";
-            opt_spec.nextUse = &index;
-            const auto opt = replayMisses(captured.stream, opt_spec);
-            ReplaySpec sa_spec = lru_spec;
-            sa_spec.labeler = &oracle;
-            sa_spec.config = &config;
-            const auto sa = replayMisses(captured.stream, sa_spec);
-            opt_ratio[k] = opt / double(lru);
-            sa_ratio[k] = sa / double(lru);
-            ++k;
+        for (int k = 0; k < 2; ++k) {
+            const double lru = static_cast<double>(cells[1 + k * 3].misses);
+            opt_ratio[k] = cells[2 + k * 3].misses / lru;
+            sa_ratio[k] = cells[3 + k * 3].misses / lru;
         }
         gains4.push_back(sa_ratio[0]);
         gains8.push_back(sa_ratio[1]);
 
         table.addRow(
-            {captured.info.name, captured.info.suite,
-             TablePrinter::fmt(captured.demandAccesses / 1000.0, 0),
+            {names[n], suites[n],
+             TablePrinter::fmt(cap.demandAccesses / 1000.0, 0),
              TablePrinter::fmt(
-                 captured.footprintBlocks * kBlockBytes / 1048576.0, 1),
+                 cap.footprintBlocks * kBlockBytes / 1048576.0, 1),
              TablePrinter::fmt(100.0 * hier.llcMisses /
                                    std::max<std::uint64_t>(
                                        1, hier.llcAccesses),

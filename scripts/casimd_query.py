@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""One-shot client for a casimd daemon on a Unix socket.
+
+Sends a single request line and prints the response document(s):
+
+  casimd_query.py SOCKET ping                 # liveness probe
+  casimd_query.py SOCKET stats                # full stats document
+  casimd_query.py SOCKET shutdown             # graceful stop
+  casimd_query.py SOCKET raw '<json-line>'    # any protocol line
+  casimd_query.py SOCKET counter NAME         # one stats counter value
+
+`counter` extracts a single numeric value (e.g.
+`capture_cache.memo_hits`) from the stats document — what tier1.sh
+uses to assert that warm requests skip capture deserialization.
+"""
+
+import json
+import socket
+import sys
+
+
+def read_line(sock):
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = sock.recv(65536)
+        if not chunk:
+            sys.exit("casimd_query: connection closed mid-response")
+        buf += chunk
+    return buf.decode()
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__.strip())
+    path, mode = sys.argv[1], sys.argv[2]
+
+    if mode in ("ping", "stats", "shutdown"):
+        line = json.dumps({"op": mode})
+    elif mode == "raw":
+        line = sys.argv[3]
+    elif mode == "counter":
+        line = json.dumps({"op": "stats"})
+    else:
+        sys.exit(f"casimd_query: unknown mode '{mode}'")
+
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(path)
+    sock.sendall(line.encode() + b"\n")
+    response = read_line(sock)
+    sock.close()
+
+    if mode != "counter":
+        sys.stdout.write(response)
+        return
+
+    name = sys.argv[3]
+    document = json.loads(response)
+    group = name.split(".", 1)[0]
+    try:
+        print(document["stats"][group][name]["value"])
+    except KeyError:
+        sys.exit(f"casimd_query: no counter '{name}' in stats document")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,9 +24,12 @@ cmake -B "${prefix}-tsan" -S . -DCASIM_SANITIZE=thread \
 cmake --build "${prefix}-tsan" -j --target casim_tests
 # Simd* here is what exercises the paranoid SIMD-vs-scalar cross-check
 # in Cache::findWay / LruPolicy::victim on every lookup of the batched
-# replay tests.
+# replay tests.  Request/Queue/Daemon cover the experiment-service
+# paths (queue batching, daemon connection threads over socketpairs);
+# the death tests are excluded because fork-style death tests are
+# unreliable under TSan.
 "${prefix}-tsan"/tests/casim_tests \
-    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*:ShardedSim.*:StatMerge.*:Simd*.*'
+    --gtest_filter='ParallelRunner.*:CaptureCache.*:CaptureBundle.*:LabelPlane*.*:ShardedSim.*:StatMerge.*:Simd*.*:Request.*:Queue.*:Daemon.*-Request.RequireValidIsFatalWithTheValidateMessage:Queue.InvalidRequestIsFatalWithTheFieldName:Daemon.DecodeResponseDocumentIsFatalOnErrorReply'
 
 echo "== tier-1: cold vs warm capture cache, byte-identical output =="
 capdir="$(mktemp -d)"
@@ -110,6 +113,89 @@ echo "== tier-1: --format=json emits a valid document on stdout =="
     --capture-dir="${capdir}/cache" --format=json \
     > "${capdir}/fig5_stdout.json"
 python3 scripts/check_stats_json.py "${capdir}/fig5_stdout.json"
+
+echo "== tier-1: casimd daemon matches direct execution byte for byte =="
+# A resident casimd serves the same figure benches through --daemon:
+# the text output must match the direct runs above exactly, and a warm
+# repeat request must be served entirely from the resident capture
+# store — zero capture-bundle deserialization, asserted through the
+# capture_cache / label_plane counters in the stats op.
+sock="${capdir}/casimd.sock"
+"${prefix}/src/casimd" --socket="${sock}" \
+    --capture-dir="${capdir}/daemon-cache" --jobs=2 \
+    --stats-out="${capdir}/casimd_stats.json" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "${sock}" ] && break
+    sleep 0.1
+done
+[ -S "${sock}" ] || { echo "FATAL: casimd did not listen" >&2; exit 1; }
+python3 scripts/casimd_query.py "${sock}" ping >/dev/null
+
+"${prefix}/bench/fig5_policy_comparison" --scale=0.05 --jobs=2 \
+    --daemon="${sock}" > "${capdir}/fig5_daemon.txt"
+if ! cmp -s "${capdir}/fig5_policy_comparison.txt" \
+        "${capdir}/fig5_daemon.txt"; then
+    echo "FATAL: fig5 through casimd differs from direct run" >&2
+    diff "${capdir}/fig5_policy_comparison.txt" \
+        "${capdir}/fig5_daemon.txt" >&2 || true
+    exit 1
+fi
+"${prefix}/bench/fig7_oracle" --scale=0.05 --daemon="${sock}" \
+    > "${capdir}/fig7_daemon.txt"
+if ! cmp -s "${capdir}/fig7_plane.txt" "${capdir}/fig7_daemon.txt"; then
+    echo "FATAL: fig7 through casimd differs from direct run" >&2
+    diff "${capdir}/fig7_plane.txt" "${capdir}/fig7_daemon.txt" >&2 \
+        || true
+    exit 1
+fi
+echo "fig5/fig7 through casimd identical to direct runs"
+
+counter() { python3 scripts/casimd_query.py "${sock}" counter "$1"; }
+deser_before=$(( $(counter capture_cache.hits) \
+    + $(counter capture_cache.cold_misses) \
+    + $(counter capture_cache.stale_misses) \
+    + $(counter capture_cache.corrupt_misses) ))
+memo_before=$(counter capture_cache.memo_hits)
+plane_builds_before=$(counter label_plane.builds)
+plane_memo_before=$(counter label_plane.memo_hits)
+
+"${prefix}/bench/fig7_oracle" --scale=0.05 --daemon="${sock}" \
+    > "${capdir}/fig7_daemon_warm.txt"
+cmp "${capdir}/fig7_daemon.txt" "${capdir}/fig7_daemon_warm.txt"
+
+deser_after=$(( $(counter capture_cache.hits) \
+    + $(counter capture_cache.cold_misses) \
+    + $(counter capture_cache.stale_misses) \
+    + $(counter capture_cache.corrupt_misses) ))
+memo_after=$(counter capture_cache.memo_hits)
+plane_builds_after=$(counter label_plane.builds)
+plane_memo_after=$(counter label_plane.memo_hits)
+if [ "${deser_after}" -ne "${deser_before}" ]; then
+    echo "FATAL: warm casimd request deserialized capture bundles" \
+        "(${deser_before} -> ${deser_after})" >&2
+    exit 1
+fi
+if [ "${memo_after}" -le "${memo_before}" ]; then
+    echo "FATAL: warm casimd request missed the resident captures" >&2
+    exit 1
+fi
+if [ "${plane_builds_after}" -ne "${plane_builds_before}" ] ||
+   [ "${plane_memo_after}" -le "${plane_memo_before}" ]; then
+    echo "FATAL: warm casimd request rebuilt oracle label planes" \
+        "(builds ${plane_builds_before} -> ${plane_builds_after})" >&2
+    exit 1
+fi
+echo "warm casimd request: zero capture deserialization," \
+    "memoized label planes"
+
+kill -TERM "${daemon_pid}"
+if ! wait "${daemon_pid}"; then
+    echo "FATAL: casimd did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+python3 scripts/check_stats_json.py "${capdir}/casimd_stats.json"
+echo "casimd drained and flushed stats on SIGTERM"
 
 echo "== tier-1: throughput-bench smoke run =="
 # Keeps the microbench binaries and the bench_throughput harness from

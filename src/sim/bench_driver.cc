@@ -9,6 +9,8 @@
 
 #include "common/logging.hh"
 #include "sim/capture_cache.hh"
+#include "sim/daemon.hh"
+#include "sim/queue.hh"
 #include "sim/sharded_sim.hh"
 #include "trace/next_use.hh"
 
@@ -47,6 +49,8 @@ BenchDriver::BenchDriver(std::string bench, int argc,
                            });
 }
 
+BenchDriver::~BenchDriver() = default;
+
 std::uint64_t
 BenchDriver::llcBytes() const
 {
@@ -59,6 +63,31 @@ BenchDriver::runner()
     if (!runner_)
         runner_ = std::make_unique<ParallelRunner>(options_.jobs());
     return *runner_;
+}
+
+CaptureCache &
+BenchDriver::captureCache()
+{
+    if (!captureCache_)
+        captureCache_ = std::make_unique<CaptureCache>();
+    return *captureCache_;
+}
+
+ExperimentService &
+BenchDriver::service()
+{
+    if (client_)
+        return *client_;
+    if (queue_)
+        return *queue_;
+    const std::string daemon_path = options_.getString("daemon", "");
+    if (!daemon_path.empty()) {
+        client_ = std::make_unique<DaemonClient>(daemon_path);
+        return *client_;
+    }
+    queue_ = std::make_unique<ExperimentQueue>(captureCache(),
+                                               runner());
+    return *queue_;
 }
 
 void
@@ -85,7 +114,15 @@ BenchDriver::finish()
     sink_.addGroup(benchStats_);
     if (runner_)
         sink_.addGroup(runner_->stats());
-    sink_.addGroup(captureCacheStats());
+    if (queue_)
+        sink_.addGroup(queue_->stats());
+    if (client_)
+        sink_.addGroup(client_->stats());
+    // The driver's injected cache when it was used, else the default
+    // instance the deprecated shims funnel through (its shim_uses
+    // counter tracks not-yet-converted callers).
+    sink_.addGroup(captureCache_ ? captureCache_->stats()
+                                 : captureCacheStats());
     sink_.addGroup(labelPlaneStats());
     sink_.addGroup(shardedReplayStats());
 

@@ -15,6 +15,9 @@
  *   --stats-out=PATH          additionally write the JSON document to
  *                             PATH, regardless of --format
  *   --jobs=N                  parallel worker count (see Options::jobs)
+ *   --daemon=PATH             resolve experiment requests through the
+ *                             casimd instance listening on the Unix
+ *                             socket PATH instead of executing locally
  *   plus every StudyConfig::fromOptions override (--scale, --threads,
  *   --capture-dir, ...).
  *
@@ -36,6 +39,11 @@
 
 namespace casim {
 
+class CaptureCache;
+class DaemonClient;
+class ExperimentQueue;
+class ExperimentService;
+
 /** Output format selected by --format / --csv. */
 enum class OutputFormat
 {
@@ -54,6 +62,10 @@ class BenchDriver
      * @param bench Bench name stamped into the JSON document.
      */
     BenchDriver(std::string bench, int argc, const char *const *argv);
+
+    /** Out-of-line so the unique_ptr members' types can stay forward
+     * declarations in this header. */
+    ~BenchDriver();
 
     /** The parsed command line (for bench-specific flags). */
     const Options &options() const { return options_; }
@@ -78,6 +90,24 @@ class BenchDriver
 
     /** The JSON sink (to register bench-specific stat groups). */
     ResultSink &sink() { return sink_; }
+
+    /**
+     * The process capture cache, created on first use.  This is the
+     * injected handle the queue captures workloads through; benches
+     * that still capture directly should take it too (the old
+     * singleton shims keep working for one release, counted in
+     * `capture_cache.shim_uses`).
+     */
+    CaptureCache &captureCache();
+
+    /**
+     * The experiment service this bench submits requests to: a local
+     * ExperimentQueue on the driver's cache and runner, or — under
+     * --daemon=PATH — a DaemonClient forwarding to the casimd at PATH.
+     * Created on first use; either way the bench's output is
+     * byte-identical.
+     */
+    ExperimentService &service();
 
     /**
      * Report a finished figure table: records it in the sink and
@@ -107,6 +137,9 @@ class BenchDriver
     std::string statsOutPath_;
     ResultSink sink_;
     std::unique_ptr<ParallelRunner> runner_;
+    std::unique_ptr<CaptureCache> captureCache_;
+    std::unique_ptr<ExperimentQueue> queue_;
+    std::unique_ptr<DaemonClient> client_;
     PhaseTimer wallTimer_;
     stats::StatGroup benchStats_;
 };

@@ -8,7 +8,6 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 #include <unistd.h>
@@ -20,41 +19,6 @@
 namespace casim {
 
 namespace {
-
-/** The capture-cache counters plus the mutex serializing increments. */
-struct CacheStats
-{
-    std::mutex mutex;
-    stats::StatGroup group{"capture_cache"};
-    stats::Counter &hits =
-        group.addCounter("hits", "captures loaded from a cached bundle");
-    stats::Counter &coldMisses = group.addCounter(
-        "cold_misses", "lookups that found no cache file");
-    stats::Counter &staleMisses = group.addCounter(
-        "stale_misses",
-        "bundles rejected for a stale config hash or format version");
-    stats::Counter &corruptMisses = group.addCounter(
-        "corrupt_misses",
-        "bundles rejected as truncated, checksum-bad or inconsistent");
-    stats::Counter &saves =
-        group.addCounter("saves", "bundles written to the cache");
-    stats::Counter &saveFailures = group.addCounter(
-        "save_failures", "bundle writes that failed (best-effort)");
-};
-
-CacheStats &
-cacheStats()
-{
-    static CacheStats stats;
-    return stats;
-}
-
-void
-bump(stats::Counter &counter)
-{
-    std::lock_guard<std::mutex> lock(cacheStats().mutex);
-    ++counter;
-}
 
 /**
  * A stale bundle is a well-formed file written by an incompatible
@@ -172,112 +136,6 @@ unpackMeta(const std::vector<std::uint64_t> &meta,
     return true;
 }
 
-} // namespace
-
-stats::StatGroup &
-captureCacheStats()
-{
-    return cacheStats().group;
-}
-
-std::uint64_t
-captureCacheCounter(const std::string &name)
-{
-    const auto *stat =
-        cacheStats().group.find("capture_cache." + name);
-    const auto *counter = dynamic_cast<const stats::Counter *>(stat);
-    casim_assert(counter != nullptr, "unknown capture-cache counter '",
-                 name, "'");
-    return counter->value();
-}
-
-std::uint64_t
-captureConfigHash(const std::string &workload,
-                  const WorkloadParams &params,
-                  const HierarchyConfig &hierarchy)
-{
-    Fnv1a64 hasher;
-    hasher.update(kCaptureMetaVersion);
-    hasher.update(std::string_view(workload));
-
-    hasher.update(std::uint64_t{params.threads});
-    hasher.update(params.scale);
-    hasher.update(params.seed);
-
-    hasher.update(std::uint64_t{hierarchy.numCores});
-    hasher.update(hierarchy.l1.sizeBytes);
-    hasher.update(std::uint64_t{hierarchy.l1.ways});
-    hasher.update(std::uint64_t{hierarchy.l1.blockBytes});
-    hasher.update(hierarchy.llc.sizeBytes);
-    hasher.update(std::uint64_t{hierarchy.llc.ways});
-    hasher.update(std::uint64_t{hierarchy.llc.blockBytes});
-    hasher.update(hierarchy.l1Latency);
-    hasher.update(hierarchy.llcLatency);
-    hasher.update(hierarchy.memLatency);
-    hasher.update(std::uint64_t{hierarchy.useDramModel ? 1u : 0u});
-    hasher.update(std::uint64_t{hierarchy.dram.banks});
-    hasher.update(std::uint64_t{hierarchy.dram.rowBytes});
-    hasher.update(hierarchy.dram.rowHitLatency);
-    hasher.update(hierarchy.dram.rowMissLatency);
-    return hasher.digest();
-}
-
-std::string
-captureCachePath(const std::string &dir, const std::string &workload,
-                 std::uint64_t config_hash)
-{
-    std::ostringstream name;
-    name << workload << '-' << std::hex << config_hash << ".ccap";
-    return (std::filesystem::path(dir) / name.str()).string();
-}
-
-bool
-loadCapturedWorkload(const std::string &path,
-                     std::uint64_t config_hash, CapturedWorkload &out,
-                     std::string *why)
-{
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        // The normal cold path: nothing cached yet, nothing to warn
-        // about.
-        bump(cacheStats().coldMisses);
-        if (why != nullptr)
-            *why = "cannot open";
-        return false;
-    }
-    std::vector<std::uint64_t> meta;
-    Trace stream{"", 1};
-    CaptureAux aux;
-    std::string error;
-    bool ok = readCaptureBundle(is, config_hash, meta, stream, &error,
-                                &aux);
-    if (ok && !unpackMeta(meta, out)) {
-        ok = false;
-        error = "inconsistent bundle meta";
-    }
-    if (!ok) {
-        const bool stale = isStaleBundleError(error);
-        bump(stale ? cacheStats().staleMisses
-                   : cacheStats().corruptMisses);
-        casim_warn("capture cache: ignoring ",
-                   stale ? "stale" : "corrupt", " bundle ", path, " (",
-                   error, "); regenerating capture");
-        if (why != nullptr)
-            *why = error;
-        return false;
-    }
-    out.stream = std::move(stream);
-    if (!aux.empty())
-        out.nextUseAux =
-            std::make_shared<const CaptureAux>(std::move(aux));
-    bump(cacheStats().hits);
-    if (why != nullptr)
-        why->clear();
-    return true;
-}
-
-namespace {
-
 bool
 saveCapturedWorkloadImpl(const std::string &path,
                          std::uint64_t config_hash,
@@ -320,16 +178,212 @@ saveCapturedWorkloadImpl(const std::string &path,
 
 } // namespace
 
+CaptureCache::CaptureCache()
+    : group_("capture_cache"),
+      hits_(group_.addCounter("hits",
+                              "captures loaded from a cached bundle")),
+      coldMisses_(group_.addCounter(
+          "cold_misses", "lookups that found no cache file")),
+      staleMisses_(group_.addCounter(
+          "stale_misses",
+          "bundles rejected for a stale config hash or format version")),
+      corruptMisses_(group_.addCounter(
+          "corrupt_misses",
+          "bundles rejected as truncated, checksum-bad or inconsistent")),
+      saves_(group_.addCounter("saves", "bundles written to the cache")),
+      saveFailures_(group_.addCounter(
+          "save_failures", "bundle writes that failed (best-effort)")),
+      memoHits_(group_.addCounter(
+          "memo_hits",
+          "captures served from the in-memory resident store")),
+      shimUses_(group_.addCounter(
+          "shim_uses",
+          "calls through the deprecated singleton shims"))
+{
+}
+
+void
+CaptureCache::bump(stats::Counter &counter)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counter;
+}
+
+std::uint64_t
+CaptureCache::counter(const std::string &name) const
+{
+    const auto *stat = group_.find("capture_cache." + name);
+    const auto *counter = dynamic_cast<const stats::Counter *>(stat);
+    casim_assert(counter != nullptr, "unknown capture-cache counter '",
+                 name, "'");
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counter->value();
+}
+
+std::shared_ptr<const CapturedWorkload>
+CaptureCache::capture(const std::string &name, const StudyConfig &config)
+{
+    const std::uint64_t hash = captureConfigHash(
+        name, config.workload, captureHierarchyConfig(config));
+
+    std::shared_ptr<ResidentEntry> entry;
+    bool memo_hit = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::shared_ptr<ResidentEntry> &slot = resident_[hash];
+        if (slot == nullptr)
+            slot = std::make_shared<ResidentEntry>();
+        else
+            memo_hit = true;
+        entry = slot;
+    }
+    if (memo_hit)
+        bump(memoHits_);
+    std::call_once(entry->once, [&] {
+        entry->captured = std::make_shared<const CapturedWorkload>(
+            captureWorkload(name, config, *this));
+    });
+    return entry->captured;
+}
+
+bool
+CaptureCache::load(const std::string &path, std::uint64_t config_hash,
+                   CapturedWorkload &out, std::string *why)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        // The normal cold path: nothing cached yet, nothing to warn
+        // about.
+        bump(coldMisses_);
+        if (why != nullptr)
+            *why = "cannot open";
+        return false;
+    }
+    std::vector<std::uint64_t> meta;
+    Trace stream{"", 1};
+    CaptureAux aux;
+    std::string error;
+    bool ok = readCaptureBundle(is, config_hash, meta, stream, &error,
+                                &aux);
+    if (ok && !unpackMeta(meta, out)) {
+        ok = false;
+        error = "inconsistent bundle meta";
+    }
+    if (!ok) {
+        const bool stale = isStaleBundleError(error);
+        bump(stale ? staleMisses_ : corruptMisses_);
+        casim_warn("capture cache: ignoring ",
+                   stale ? "stale" : "corrupt", " bundle ", path, " (",
+                   error, "); regenerating capture");
+        if (why != nullptr)
+            *why = error;
+        return false;
+    }
+    out.stream = std::move(stream);
+    if (!aux.empty())
+        out.nextUseAux =
+            std::make_shared<const CaptureAux>(std::move(aux));
+    bump(hits_);
+    if (why != nullptr)
+        why->clear();
+    return true;
+}
+
+bool
+CaptureCache::save(const std::string &path, std::uint64_t config_hash,
+                   const CapturedWorkload &captured,
+                   const CaptureAux *aux)
+{
+    const bool ok =
+        saveCapturedWorkloadImpl(path, config_hash, captured, aux);
+    bump(ok ? saves_ : saveFailures_);
+    return ok;
+}
+
+void
+CaptureCache::noteShimUse()
+{
+    bump(shimUses_);
+}
+
+CaptureCache &
+defaultCaptureCache()
+{
+    static CaptureCache cache;
+    return cache;
+}
+
+std::uint64_t
+captureConfigHash(const std::string &workload,
+                  const WorkloadParams &params,
+                  const HierarchyConfig &hierarchy)
+{
+    Fnv1a64 hasher;
+    hasher.update(kCaptureMetaVersion);
+    hasher.update(std::string_view(workload));
+
+    hasher.update(std::uint64_t{params.threads});
+    hasher.update(params.scale);
+    hasher.update(params.seed);
+
+    hasher.update(std::uint64_t{hierarchy.numCores});
+    hasher.update(hierarchy.l1.sizeBytes);
+    hasher.update(std::uint64_t{hierarchy.l1.ways});
+    hasher.update(std::uint64_t{hierarchy.l1.blockBytes});
+    hasher.update(hierarchy.llc.sizeBytes);
+    hasher.update(std::uint64_t{hierarchy.llc.ways});
+    hasher.update(std::uint64_t{hierarchy.llc.blockBytes});
+    hasher.update(hierarchy.l1Latency);
+    hasher.update(hierarchy.llcLatency);
+    hasher.update(hierarchy.memLatency);
+    hasher.update(std::uint64_t{hierarchy.useDramModel ? 1u : 0u});
+    hasher.update(std::uint64_t{hierarchy.dram.banks});
+    hasher.update(std::uint64_t{hierarchy.dram.rowBytes});
+    hasher.update(hierarchy.dram.rowHitLatency);
+    hasher.update(hierarchy.dram.rowMissLatency);
+    return hasher.digest();
+}
+
+std::string
+captureCachePath(const std::string &dir, const std::string &workload,
+                 std::uint64_t config_hash)
+{
+    std::ostringstream name;
+    name << workload << '-' << std::hex << config_hash << ".ccap";
+    return (std::filesystem::path(dir) / name.str()).string();
+}
+
+stats::StatGroup &
+captureCacheStats()
+{
+    return defaultCaptureCache().stats();
+}
+
+std::uint64_t
+captureCacheCounter(const std::string &name)
+{
+    return defaultCaptureCache().counter(name);
+}
+
+bool
+loadCapturedWorkload(const std::string &path,
+                     std::uint64_t config_hash, CapturedWorkload &out,
+                     std::string *why)
+{
+    CaptureCache &cache = defaultCaptureCache();
+    cache.noteShimUse();
+    return cache.load(path, config_hash, out, why);
+}
+
 bool
 saveCapturedWorkload(const std::string &path,
                      std::uint64_t config_hash,
                      const CapturedWorkload &captured,
                      const CaptureAux *aux)
 {
-    const bool ok =
-        saveCapturedWorkloadImpl(path, config_hash, captured, aux);
-    bump(ok ? cacheStats().saves : cacheStats().saveFailures);
-    return ok;
+    CaptureCache &cache = defaultCaptureCache();
+    cache.noteShimUse();
+    return cache.save(path, config_hash, captured, aux);
 }
 
 } // namespace casim

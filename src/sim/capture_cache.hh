@@ -1,6 +1,7 @@
 /**
  * @file
- * Persistent capture cache: on-disk memoization of captureWorkload().
+ * Persistent capture cache: on-disk + in-memory memoization of
+ * workload captures.
  *
  * A capture is a pure function of (workload name, workload parameters,
  * hierarchy configuration, capture LLC geometry) — the whole pipeline
@@ -12,11 +13,23 @@
  * fingerprint, structure or checksum does not match, falling back to
  * regeneration.  Output is therefore byte-identical with the cache
  * cold, warm, or disabled.
+ *
+ * Since the casimd redesign the cache is an injected handle, not a
+ * process singleton: a CaptureCache instance owns its own counters and
+ * an in-memory resident store of captured workloads (capture()), so a
+ * long-running daemon keeps streams, next-use chains and label planes
+ * warm across requests.  BenchDriver owns one per process and hands it
+ * to the ExperimentQueue.  The old free functions remain as deprecated
+ * shims over a process-wide default instance for one release; every
+ * shim call is counted in the default instance's `shim_uses` stat.
  */
 
 #ifndef CASIM_SIM_CAPTURE_CACHE_HH
 #define CASIM_SIM_CAPTURE_CACHE_HH
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/stats.hh"
@@ -25,16 +38,109 @@
 namespace casim {
 
 /**
- * Process-wide counters for the persistent capture cache: hits,
- * cold/stale/corrupt misses, saves and save failures.  Increments are
- * internally serialized, so the counters are accurate even when the
- * parallel runner captures workloads concurrently; read them only
- * after the runs of interest have completed.
+ * One capture cache: disk-bundle load/save counters plus an in-memory
+ * resident store of captured workloads keyed by configuration hash.
+ * All methods are thread-safe; concurrent capture() calls for the same
+ * workload serialize on one capture.
  */
-stats::StatGroup &captureCacheStats();
+class CaptureCache
+{
+  public:
+    CaptureCache();
 
-/** Value of one capture-cache counter by short name, e.g. "hits". */
-std::uint64_t captureCacheCounter(const std::string &name);
+    CaptureCache(const CaptureCache &) = delete;
+    CaptureCache &operator=(const CaptureCache &) = delete;
+
+    /**
+     * Counters: disk hits, cold/stale/corrupt misses, saves and save
+     * failures, resident-store memo hits, and deprecated-shim uses.
+     * Increments are internally serialized; read them only after the
+     * runs of interest have completed.
+     */
+    stats::StatGroup &stats() { return group_; }
+
+    /** Value of one counter by short name, e.g. "hits". */
+    std::uint64_t counter(const std::string &name) const;
+
+    /**
+     * The captured workload for (name, config), resident in memory.
+     *
+     * The first call for a configuration captures the workload (via
+     * the disk bundle when config.captureDir is set, regenerating
+     * otherwise) and keeps the result — stream, memoized next-use
+     * index, label planes — alive in the store; later calls return the
+     * same object with zero deserialization, counted in `memo_hits`.
+     * This is what lets casimd answer warm repeat requests with no
+     * setup cost.
+     */
+    std::shared_ptr<const CapturedWorkload>
+    capture(const std::string &name, const StudyConfig &config);
+
+    /**
+     * Try to load a cached capture bundle from disk.
+     *
+     * @param path        Cache-file path.
+     * @param config_hash Expected configuration fingerprint.
+     * @param out         Receives the capture on success.
+     * @param why         Receives a diagnostic on failure (missing
+     *                    file, stale hash, corruption, ...).
+     * @return True iff `out` now holds a byte-exact replica of what
+     *         capturing from scratch would produce.
+     */
+    bool load(const std::string &path, std::uint64_t config_hash,
+              CapturedWorkload &out, std::string *why);
+
+    /**
+     * Persist a capture, creating the directory as needed.  Writes to
+     * a temporary file and renames it into place so concurrent
+     * processes never observe a partial file.  Best-effort: failures
+     * are reported via the return value, never fatal — the cache is an
+     * accelerator, not a dependency.
+     *
+     * @param aux Optional precomputed next-use chain + label planes to
+     *            embed so warm loads skip the index build and the
+     *            oracle's label sweeps.
+     */
+    bool save(const std::string &path, std::uint64_t config_hash,
+              const CapturedWorkload &captured,
+              const CaptureAux *aux = nullptr);
+
+    /** Count one call through a deprecated singleton shim. */
+    void noteShimUse();
+
+  private:
+    /**
+     * One resident capture; the once_flag serializes concurrent
+     * capture() calls for the same configuration on a single capture
+     * without holding the store mutex across it.
+     */
+    struct ResidentEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const CapturedWorkload> captured;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_ptr<ResidentEntry>> resident_;
+
+    stats::StatGroup group_;
+    stats::Counter &hits_;
+    stats::Counter &coldMisses_;
+    stats::Counter &staleMisses_;
+    stats::Counter &corruptMisses_;
+    stats::Counter &saves_;
+    stats::Counter &saveFailures_;
+    stats::Counter &memoHits_;
+    stats::Counter &shimUses_;
+
+    void bump(stats::Counter &counter);
+};
+
+/**
+ * The process-wide default instance backing the deprecated shims below
+ * and any code not yet converted to an injected handle.
+ */
+CaptureCache &defaultCaptureCache();
 
 /**
  * Fingerprint of everything that determines one workload's capture:
@@ -51,31 +157,24 @@ std::string captureCachePath(const std::string &dir,
                              const std::string &workload,
                              std::uint64_t config_hash);
 
-/**
- * Try to load a cached capture.
- *
- * @param path        Cache-file path.
- * @param config_hash Expected configuration fingerprint.
- * @param out         Receives the capture on success.
- * @param why         Receives a diagnostic on failure (missing file,
- *                    stale hash, corruption, ...).
- * @return True iff `out` now holds a byte-exact replica of what
- *         capturing from scratch would produce.
- */
+// ---------------------------------------------------------------------
+// Deprecated singleton shims, kept for one release.  Each call
+// delegates to defaultCaptureCache() and bumps its `shim_uses`
+// counter; new code should take a CaptureCache handle (benches get one
+// from BenchDriver, the daemon owns its own).
+
+/** @deprecated Stats of the default instance (read-only accessor). */
+stats::StatGroup &captureCacheStats();
+
+/** @deprecated Counter of the default instance (read-only accessor). */
+std::uint64_t captureCacheCounter(const std::string &name);
+
+/** @deprecated Shim over defaultCaptureCache().load(). */
 bool loadCapturedWorkload(const std::string &path,
                           std::uint64_t config_hash,
                           CapturedWorkload &out, std::string *why);
 
-/**
- * Persist a capture, creating `dir` as needed.  Writes to a temporary
- * file and renames it into place so concurrent processes never observe
- * a partial file.  Best-effort: failures are reported via the return
- * value, never fatal — the cache is an accelerator, not a dependency.
- *
- * @param aux Optional precomputed next-use chain + label planes to
- *            embed so warm loads skip the index build and the oracle's
- *            label sweeps.
- */
+/** @deprecated Shim over defaultCaptureCache().save(). */
 bool saveCapturedWorkload(const std::string &path,
                           std::uint64_t config_hash,
                           const CapturedWorkload &captured,

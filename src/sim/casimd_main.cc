@@ -1,0 +1,60 @@
+/**
+ * @file
+ * casimd entry point: the persistent experiment service.
+ *
+ * Usage:
+ *   casimd --socket=PATH [--jobs=N] [--stats-out=FILE] [config flags]
+ *   casimd --stdio      [--jobs=N] [--stats-out=FILE] [config flags]
+ *
+ * The config flags are the StudyConfig::fromOptions set; of these only
+ * --capture-dir affects execution (requests carry their own study
+ * configuration; the daemon substitutes its capture store).  See
+ * docs/casimd_protocol.md for the wire protocol.
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "sim/config.hh"
+#include "sim/daemon.hh"
+
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: casimd --socket=PATH | --stdio\n"
+          "             [--jobs=N] [--stats-out=FILE]\n"
+          "             [--capture-dir=DIR] [study config flags]\n"
+          "\n"
+          "Serves newline-delimited JSON experiment requests; one\n"
+          "casim-stats-1 document per request.  On SIGTERM/SIGINT the\n"
+          "daemon drains in-flight requests, then flushes its stats\n"
+          "document to --stats-out.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace casim;
+
+    const Options options(argc, argv);
+    if (options.has("help")) {
+        printUsage(std::cout);
+        return 0;
+    }
+    const StudyConfig config = StudyConfig::fromOptions(options);
+
+    ExperimentDaemon daemon(config, options.jobs());
+    daemon.setStatsOutPath(options.getString("stats-out", ""));
+
+    const std::string socket_path = options.getString("socket", "");
+    if (!socket_path.empty())
+        return daemon.serveSocket(socket_path);
+    if (options.has("stdio"))
+        return daemon.serveStdio();
+    printUsage(std::cerr);
+    return 2;
+}

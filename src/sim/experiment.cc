@@ -41,9 +41,6 @@ CapturedWorkload::nextUse(const IndexFanout &fanout) const
     return *lazyIndex_->index;
 }
 
-namespace {
-
-/** The hierarchy configuration a capture actually runs with. */
 HierarchyConfig
 captureHierarchyConfig(const StudyConfig &config)
 {
@@ -52,6 +49,8 @@ captureHierarchyConfig(const StudyConfig &config)
     hier.llc = config.llcGeometry(config.llcSmallBytes);
     return hier;
 }
+
+namespace {
 
 /** The always-correct slow path: generate, simulate, capture. */
 CapturedWorkload
@@ -112,7 +111,8 @@ studyOracleWindows(const StudyConfig &config)
 }
 
 CapturedWorkload
-captureWorkload(const std::string &name, const StudyConfig &config)
+captureWorkload(const std::string &name, const StudyConfig &config,
+                CaptureCache &cache)
 {
     const HierarchyConfig hier = captureHierarchyConfig(config);
     if (config.captureDir.empty())
@@ -126,15 +126,23 @@ captureWorkload(const std::string &name, const StudyConfig &config)
     CapturedWorkload captured;
     captured.info = workloadInfo(name);
     std::string why;
-    if (loadCapturedWorkload(path, hash, captured, &why))
+    if (cache.load(path, hash, captured, &why))
         return captured;
 
     captured = captureWorkloadFresh(name, config, hier);
     const CaptureAux aux = buildCaptureAux(captured, config);
-    if (!saveCapturedWorkload(path, hash, captured, &aux))
+    if (!cache.save(path, hash, captured, &aux))
         casim_warn("capture cache: cannot save '", path,
                    "', continuing uncached");
     return captured;
+}
+
+CapturedWorkload
+captureWorkload(const std::string &name, const StudyConfig &config)
+{
+    CaptureCache &cache = defaultCaptureCache();
+    cache.noteShimUse();
+    return captureWorkload(name, config, cache);
 }
 
 std::vector<CapturedWorkload>

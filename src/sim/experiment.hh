@@ -22,6 +22,7 @@
 
 namespace casim {
 
+class CaptureCache;
 class StridePrefetcher;
 
 /** A workload generated, simulated and captured once for replay. */
@@ -78,6 +79,14 @@ struct CapturedWorkload
 };
 
 /**
+ * The hierarchy configuration a capture actually runs with: the study
+ * hierarchy with the core count bound to the workload's thread count
+ * and the LLC at the capture geometry (config.llcSmallBytes).  This is
+ * the hierarchy captureConfigHash fingerprints.
+ */
+HierarchyConfig captureHierarchyConfig(const StudyConfig &config);
+
+/**
  * Generate the named workload and run it through the full hierarchy
  * (LRU LLC at config.llcSmallBytes), capturing the LLC stream.
  *
@@ -85,6 +94,19 @@ struct CapturedWorkload
  * the private-cache filter is replacement- and capacity-independent to
  * first order (back-invalidation feedback is the only coupling), which
  * puts every policy and capacity on an identical reference stream.
+ *
+ * When config.captureDir is set, `cache` mediates the load-or-
+ * regenerate-and-save flow against the on-disk bundle store (and
+ * counts the outcome); this always performs the disk round-trip — use
+ * CaptureCache::capture() for the memoized resident store.
+ */
+CapturedWorkload captureWorkload(const std::string &name,
+                                 const StudyConfig &config,
+                                 CaptureCache &cache);
+
+/**
+ * @deprecated Shim over the default CaptureCache instance; counted in
+ * its `shim_uses` stat.  New code should take an injected handle.
  */
 CapturedWorkload captureWorkload(const std::string &name,
                                  const StudyConfig &config);

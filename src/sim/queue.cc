@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Implementation of the experiment queue and the cell executor.
+ */
+
+#include "sim/queue.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/awareness.hh"
+#include "core/oracle.hh"
+#include "core/predictor.hh"
+#include "core/sharing_tracker.hh"
+#include "mem/prefetcher.hh"
+#include "mem/repl/factory.hh"
+#include "mem/repl/opt.hh"
+#include "sim/experiment.hh"
+#include "sim/stream_sim.hh"
+#include "wgen/registry.hh"
+
+namespace casim {
+
+ExperimentResult
+ExperimentService::run(const ExperimentRequest &request)
+{
+    return runBatch({request}).front();
+}
+
+namespace {
+
+/**
+ * Feed per-block residency outcomes of a recorded baseline run to the
+ * residency-replay labeler.
+ */
+class OutcomeRecorder : public CacheObserver
+{
+  public:
+    explicit OutcomeRecorder(ResidencyReplayLabeler &labeler)
+        : labeler_(labeler)
+    {
+    }
+
+    void
+    onResidencyEnd(const CacheBlock &block) override
+    {
+        labeler_.recordOutcome(block.addr, block.sharedThisResidency());
+    }
+
+  private:
+    ResidencyReplayLabeler &labeler_;
+};
+
+/** The normalized (window, near) label-plane pair a request's oracle
+ * will query, following the OracleLabeler "0 means full window"
+ * convention studyOracleWindows also applies. */
+std::pair<SeqNo, SeqNo>
+oraclePlanePair(const ExperimentRequest &request)
+{
+    const std::uint64_t bytes = request.effectiveLlcBytes();
+    const SeqNo window = request.config.oracleWindow(bytes);
+    const SeqNo raw_near = request.config.oracleNearWindow(bytes);
+    return {window, raw_near == 0 ? window : raw_near};
+}
+
+/** Whether the cell queries the oracle (as labeler or as truth). */
+bool
+needsOracle(const ExperimentRequest &request)
+{
+    return request.labeler == "oracle" || request.evaluate;
+}
+
+/** Whether the cell touches the next-use index at all. */
+bool
+needsIndex(const ExperimentRequest &request)
+{
+    return request.policy == "opt" || request.kind == "awareness" ||
+           needsOracle(request);
+}
+
+/** Replay-kind execution: build the spec, compose labelers, run. */
+void
+executeReplay(const ExperimentRequest &request,
+              const CapturedWorkload &workload,
+              ParallelRunner *shard_runner, ExperimentResult &result)
+{
+    const StudyConfig &config = request.config;
+    const std::uint64_t bytes = request.effectiveLlcBytes();
+
+    ReplaySpec spec;
+    spec.policy = request.policy;
+    spec.geo = config.llcGeometry(bytes);
+    spec.shards = request.effectiveShards();
+    spec.shardRunner = shard_runner;
+    if (request.policy == "opt")
+        spec.nextUse = &workload.nextUse();
+
+    // Labeler composition mirrors what the benches used to hand-roll:
+    // the concrete labeler, optionally wrapped by the evaluator scored
+    // against the oracle truth.  All instances live on this frame for
+    // the duration of the replay.
+    std::unique_ptr<OracleLabeler> oracle;
+    std::unique_ptr<ResidencyReplayLabeler> residency;
+    std::unique_ptr<TableSharingPredictor> predictor;
+    FillLabeler *labeler = nullptr;
+    if (request.labeler == "oracle") {
+        oracle = std::make_unique<OracleLabeler>(
+            makeOracle(workload.nextUse(), config, bytes));
+        labeler = oracle.get();
+    } else if (request.labeler == "residency") {
+        residency = std::make_unique<ResidencyReplayLabeler>();
+        OutcomeRecorder recorder(*residency);
+        StreamSim recording(workload.stream, spec.geo,
+                            requirePolicyFactory("lru")(
+                                spec.geo.numSets(), spec.geo.ways));
+        recording.setObserver(&recorder);
+        recording.run();
+        labeler = residency.get();
+    } else if (request.labeler == "addr-pred") {
+        predictor =
+            std::make_unique<AddressSharingPredictor>(config.predictor);
+        labeler = predictor.get();
+    } else if (request.labeler == "pc-pred") {
+        predictor =
+            std::make_unique<PcSharingPredictor>(config.predictor);
+        labeler = predictor.get();
+    }
+
+    std::unique_ptr<OracleLabeler> truth;
+    std::unique_ptr<LabelerEvaluator> evaluated;
+    if (request.evaluate) {
+        truth = std::make_unique<OracleLabeler>(
+            makeOracle(workload.nextUse(), config, bytes));
+        evaluated =
+            std::make_unique<LabelerEvaluator>(*labeler, truth.get());
+        labeler = evaluated.get();
+    }
+    spec.labeler = labeler;
+    if (labeler != nullptr)
+        spec.config = &config;
+
+    std::unique_ptr<StridePrefetcher> prefetcher;
+    if (request.prefetch) {
+        PrefetcherConfig pf_config;
+        if (request.prefetchDegree != 0)
+            pf_config.degree = request.prefetchDegree;
+        prefetcher = std::make_unique<StridePrefetcher>(pf_config);
+        spec.prefetcher = prefetcher.get();
+    }
+
+    if (request.kind == "sharing") {
+        result.sharing = replaySharing(workload.stream, spec,
+                                       config.workload.threads);
+    } else {
+        result.misses = replayMisses(workload.stream, spec);
+    }
+
+    if (evaluated != nullptr) {
+        result.accuracy = evaluated->accuracy();
+        result.precision = evaluated->precision();
+        result.recall = evaluated->recall();
+    }
+    if (prefetcher != nullptr)
+        result.prefetchAccuracy = prefetcher->accuracy();
+}
+
+/** Awareness-kind execution: replay scored by the oracle scorer. */
+void
+executeAwareness(const ExperimentRequest &request,
+                 const CapturedWorkload &workload,
+                 ExperimentResult &result)
+{
+    const StudyConfig &config = request.config;
+    const std::uint64_t bytes = request.effectiveLlcBytes();
+    const CacheGeometry geo = config.llcGeometry(bytes);
+    const NextUseIndex &index = workload.nextUse();
+
+    std::unique_ptr<ReplPolicy> policy;
+    if (request.policy == "opt")
+        policy = std::make_unique<OptPolicy>(geo.numSets(), geo.ways,
+                                             index);
+    else
+        policy = requirePolicyFactory(request.policy)(geo.numSets(),
+                                                      geo.ways);
+    StreamSim sim(workload.stream, geo, std::move(policy));
+    AwarenessScorer scorer(index, config.oracleWindow(bytes));
+    sim.setAwarenessScorer(&scorer);
+    sim.run();
+    result.misses = sim.misses();
+    result.mistakeRate = scorer.mistakeRate();
+    result.sharedVictimRate = scorer.sharedVictimRate();
+}
+
+/** Capture-kind execution: capture-time numbers, no replay. */
+void
+executeCapture(const ExperimentRequest &request,
+               const CapturedWorkload &workload,
+               ExperimentResult &result)
+{
+    result.demandAccesses = workload.demandAccesses;
+    result.footprintBlocks = workload.footprintBlocks;
+    result.hierarchy = workload.hierarchy;
+    if (request.traceProps) {
+        // Trace-level properties need the original trace; regenerate
+        // cheaply (generation is a small fraction of simulation).
+        const Trace trace = makeWorkloadTrace(request.workload,
+                                              request.config.workload);
+        result.traceFootprintBlocks = trace.footprintBlocks();
+        result.traceSharedFootprintBlocks =
+            trace.sharedFootprintBlocks();
+        result.writeFraction = trace.writeFraction();
+    }
+}
+
+} // namespace
+
+ExperimentResult
+executeCell(const ExperimentRequest &request,
+            const CapturedWorkload &workload,
+            ParallelRunner *shard_runner)
+{
+    ExperimentResult result;
+    result.streamRefs = workload.stream.size();
+    if (request.kind == "capture")
+        executeCapture(request, workload, result);
+    else if (request.kind == "awareness")
+        executeAwareness(request, workload, result);
+    else
+        executeReplay(request, workload, shard_runner, result);
+    return result;
+}
+
+ExperimentQueue::ExperimentQueue(CaptureCache &cache,
+                                 ParallelRunner &runner)
+    : cache_(cache), runner_(runner), group_("queue"),
+      submitted_(group_.addCounter("submitted",
+                                   "experiment requests submitted")),
+      executed_(group_.addCounter("executed",
+                                  "unique cells executed")),
+      dedupHits_(group_.addCounter(
+          "dedup_hits", "requests resolved by an identical cell in "
+                        "the same batch")),
+      batches_(group_.addCounter("batches", "batches run"))
+{
+}
+
+std::vector<ExperimentResult>
+ExperimentQueue::runBatch(const std::vector<ExperimentRequest> &requests)
+{
+    std::lock_guard<std::mutex> exec(execMutex_);
+    ++batches_;
+    submitted_ += requests.size();
+
+    // Validate up front: a bad request from a bench is a programming
+    // error and gets requirePolicyFactory's fatal treatment (the
+    // daemon validates before submitting and replies with the same
+    // message instead).
+    for (const ExperimentRequest &request : requests)
+        request.requireValid();
+
+    // Dedupe on the canonical JSON: identical cells execute once.
+    std::vector<std::size_t> slot_of;          // request -> unique cell
+    std::vector<const ExperimentRequest *> unique;
+    std::map<std::string, std::size_t> by_key;
+    slot_of.reserve(requests.size());
+    for (const ExperimentRequest &request : requests) {
+        const auto [it, inserted] =
+            by_key.emplace(request.toJson(), unique.size());
+        if (inserted)
+            unique.push_back(&request);
+        else
+            ++dedupHits_;
+        slot_of.push_back(it->second);
+    }
+    executed_ += unique.size();
+
+    // Warm phase: group the unique cells by capture identity and fan
+    // one task per captured workload out, capturing it and pre-building
+    // the next-use index and oracle label planes its cells will query —
+    // the warmSharingOracle discipline, now per batch, so no replay
+    // cell stalls on a build.
+    struct WarmItem
+    {
+        const ExperimentRequest *request; // capture identity donor
+        bool index = false;
+        std::vector<std::pair<SeqNo, SeqNo>> planes;
+    };
+    std::vector<WarmItem> warm;
+    std::vector<std::size_t> warm_of(unique.size());
+    std::map<std::uint64_t, std::size_t> warm_by_hash;
+    for (std::size_t u = 0; u < unique.size(); ++u) {
+        const ExperimentRequest &request = *unique[u];
+        const std::uint64_t hash = captureConfigHash(
+            request.workload, request.config.workload,
+            captureHierarchyConfig(request.config));
+        const auto [it, inserted] =
+            warm_by_hash.emplace(hash, warm.size());
+        if (inserted)
+            warm.push_back({&request, false, {}});
+        WarmItem &item = warm[it->second];
+        warm_of[u] = it->second;
+        item.index = item.index || needsIndex(request);
+        if (needsOracle(request)) {
+            const auto pair = oraclePlanePair(request);
+            if (std::find(item.planes.begin(), item.planes.end(),
+                          pair) == item.planes.end())
+                item.planes.push_back(pair);
+        }
+    }
+    std::vector<std::shared_ptr<const CapturedWorkload>> captured(
+        warm.size());
+    runner_.run(warm.size(), [&](std::size_t i) {
+        const WarmItem &item = warm[i];
+        captured[i] = cache_.capture(item.request->workload,
+                                     item.request->config);
+        if (!item.index && item.planes.empty())
+            return;
+        const NextUseIndex &index = captured[i]->nextUse();
+        for (const auto &[window, near] : item.planes)
+            index.labelPlane(window, near);
+    });
+
+    // Execution phase: one runner task per unique cell; shard fan-out
+    // nests inline on the same pool.
+    const auto unique_results = runner_.map<ExperimentResult>(
+        unique.size(), [&](std::size_t u) {
+            return executeCell(*unique[u], *captured[warm_of[u]],
+                               &runner_);
+        });
+
+    std::vector<ExperimentResult> results;
+    results.reserve(requests.size());
+    for (const std::size_t u : slot_of)
+        results.push_back(unique_results[u]);
+    return results;
+}
+
+} // namespace casim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The experiment queue: validated, deduped, batched execution of
+ * ExperimentRequests on the shared worker pool.
+ *
+ * ExperimentService is the one boundary benches talk to.  Submitting a
+ * batch replaces the hand-rolled cell loops the bench binaries used to
+ * carry: the queue validates every request (fatal with a clean message,
+ * like requirePolicyFactory), dedupes identical cells (two requests
+ * with equal canonical JSON run once and share the result), warms the
+ * per-workload shared state (capture, next-use index, oracle label
+ * planes) in parallel, then fans the unique cells out on the
+ * ParallelRunner.  ReplaySpec construction and capture-cache lookup
+ * live behind this boundary; benches only see requests and results.
+ *
+ * The queue's CaptureCache handle is injected (BenchDriver passes the
+ * process instance, casimd owns a resident one), so repeated batches
+ * against the same queue reuse captured workloads from memory.
+ *
+ * runBatch() is safe to call from multiple threads (casimd's
+ * connection handlers): batches serialize on an internal mutex because
+ * ParallelRunner::run must not be entered concurrently from different
+ * top-level threads.
+ */
+
+#ifndef CASIM_SIM_QUEUE_HH
+#define CASIM_SIM_QUEUE_HH
+
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/capture_cache.hh"
+#include "sim/parallel.hh"
+#include "sim/request.hh"
+
+namespace casim {
+
+/** Anything that can resolve experiment requests to results. */
+class ExperimentService
+{
+  public:
+    virtual ~ExperimentService() = default;
+
+    /**
+     * Execute a batch; slot i of the returned vector is the result of
+     * requests[i].  Invalid requests are fatal with the request's
+     * validate() message (the daemon validates before submitting and
+     * turns the same message into an error reply instead).
+     */
+    virtual std::vector<ExperimentResult>
+    runBatch(const std::vector<ExperimentRequest> &requests) = 0;
+
+    /** Convenience wrapper for a single request. */
+    ExperimentResult run(const ExperimentRequest &request);
+};
+
+/** The local service: validate, dedupe, warm, fan out, collect. */
+class ExperimentQueue : public ExperimentService
+{
+  public:
+    /**
+     * @param cache  Capture store the cells load workloads through.
+     * @param runner Worker pool the warm-up and the cells fan out on.
+     */
+    ExperimentQueue(CaptureCache &cache, ParallelRunner &runner);
+
+    std::vector<ExperimentResult>
+    runBatch(const std::vector<ExperimentRequest> &requests) override;
+
+    /**
+     * Queue counters: requests submitted / unique cells executed /
+     * dedupe hits / batches run.  Read between runBatch() calls, or
+     * while holding quiesce().
+     */
+    const stats::StatGroup &stats() const { return group_; }
+
+    /**
+     * Block until no batch is executing and keep new batches out while
+     * the returned lock is held.  casimd renders its stats document
+     * under this so the queue/capture-cache/label-plane counters are
+     * not read mid-batch from another connection thread.
+     */
+    std::unique_lock<std::mutex> quiesce()
+    {
+        return std::unique_lock<std::mutex>(execMutex_);
+    }
+
+  private:
+    CaptureCache &cache_;
+    ParallelRunner &runner_;
+
+    /** Serializes batches: the runner cannot be entered concurrently. */
+    std::mutex execMutex_;
+
+    stats::StatGroup group_;
+    stats::Counter &submitted_;
+    stats::Counter &executed_;
+    stats::Counter &dedupHits_;
+    stats::Counter &batches_;
+};
+
+/**
+ * Execute one validated request against an already captured workload.
+ * This is the single place a request becomes a ReplaySpec (or a
+ * recording/scoring run); `shard_runner` is forwarded to sharded
+ * replays and may be the runner whose task is executing the cell
+ * (nested run() executes inline).
+ */
+ExperimentResult executeCell(const ExperimentRequest &request,
+                             const CapturedWorkload &workload,
+                             ParallelRunner *shard_runner);
+
+} // namespace casim
+
+#endif // CASIM_SIM_QUEUE_HH

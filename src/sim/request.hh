@@ -1,0 +1,201 @@
+/**
+ * @file
+ * First-class experiment requests: the unit of work of the redesigned
+ * experiment API and of the casimd wire protocol.
+ *
+ * An ExperimentRequest names one simulation cell — a workload replayed
+ * (or characterized) under one policy/labeler/geometry combination with
+ * the full study configuration embedded — and an ExperimentResult holds
+ * every number that cell can produce.  Benches build requests and
+ * submit them to an ExperimentService (a local ExperimentQueue or a
+ * casimd DaemonClient, see queue.hh/daemon.hh) instead of hand-rolling
+ * ReplaySpec cell loops; ratios and table formatting stay client-side,
+ * computed from the exact integers/doubles in the result, so output is
+ * byte-identical whichever service executes the cell.
+ *
+ * Both types round-trip through JSON (one-line canonical form; see
+ * docs/casimd_protocol.md).  Unknown fields and invalid combinations
+ * are rejected with the same clean-error discipline as
+ * requirePolicyFactory: validate() returns a message naming the field
+ * and the known values, requireValid() turns it fatal for local misuse,
+ * and the daemon turns it into an error reply.
+ */
+
+#ifndef CASIM_SIM_REQUEST_HH
+#define CASIM_SIM_REQUEST_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/config.hh"
+#include "sim/hierarchy_sim.hh"
+
+namespace casim {
+
+/** One experiment cell: what to simulate, with every knob named. */
+struct ExperimentRequest
+{
+    /**
+     * What the cell computes:
+     *  - "replay":    captured-stream replay; result.misses.
+     *  - "sharing":   replay with the sharing tracker attached;
+     *                 result.sharing.
+     *  - "awareness": replay scored by the AwarenessScorer;
+     *                 result.mistakeRate / sharedVictimRate.
+     *  - "capture":   capture-time numbers only (hierarchy run at the
+     *                 capture geometry, optional trace properties); no
+     *                 replay.
+     */
+    std::string kind = "replay";
+
+    /** Workload name (see allWorkloads()). */
+    std::string workload;
+
+    /** Base policy: any builtinPolicyNames() entry, or "opt". */
+    std::string policy = "lru";
+
+    /** Replay LLC capacity in bytes; 0 uses config.llcSmallBytes. */
+    std::uint64_t llcBytes = 0;
+
+    /**
+     * Fill-time labeler composed around the base policy via the
+     * sharing-aware victim filter:
+     *  - "":          none (plain policy).
+     *  - "oracle":    future-window oracle (config.oracleWindowFactor /
+     *                 nearWindowFactor at the replay capacity).
+     *  - "residency": residency-replay oracle trained by a recorded
+     *                 plain-LRU run at the same geometry.
+     *  - "addr-pred": address-indexed history predictor
+     *                 (config.predictor).
+     *  - "pc-pred":   PC-indexed history predictor (config.predictor).
+     */
+    std::string labeler;
+
+    /**
+     * Wrap the labeler in a LabelerEvaluator scored against the oracle
+     * truth label; fills result.accuracy / precision / recall.
+     */
+    bool evaluate = false;
+
+    /**
+     * Attach an LLC stride prefetcher to the replay; fills
+     * result.prefetchAccuracy.
+     */
+    bool prefetch = false;
+
+    /** Prefetch degree; 0 uses the PrefetcherConfig default. */
+    unsigned prefetchDegree = 0;
+
+    /** Replay set-shard count; 0 uses config.shards. */
+    unsigned shards = 0;
+
+    /**
+     * With kind "capture": regenerate the raw trace and fill
+     * result.traceFootprintBlocks / traceSharedFootprintBlocks /
+     * writeFraction.
+     */
+    bool traceProps = false;
+
+    /**
+     * Full study configuration the cell runs under.  Embedding the
+     * whole configuration (rather than per-field overrides) is what
+     * guarantees a daemon-side execution is byte-identical to a local
+     * one.  config.captureDir is NOT part of the wire format: the
+     * executing service substitutes its own capture store.
+     */
+    StudyConfig config;
+
+    /** The replay capacity with the 0-default resolved. */
+    std::uint64_t effectiveLlcBytes() const;
+
+    /** The shard count with the 0-default resolved. */
+    unsigned effectiveShards() const;
+
+    /**
+     * Canonical one-line JSON form (fixed key order, captureDir
+     * omitted).  Also the queue's dedupe key: two requests with equal
+     * toJson() describe the same cell.
+     */
+    std::string toJson() const;
+
+    /**
+     * Check every field and combination; returns an empty string when
+     * valid, else a one-line diagnostic naming the offending field and
+     * the known values (the requirePolicyFactory error style).
+     */
+    std::string validate() const;
+
+    /** casim_fatal with validate()'s message when invalid. */
+    void requireValid() const;
+
+    /**
+     * Parse a request from a parsed JSON object.  Rejects non-object
+     * values, unknown fields (naming the known ones) and wrongly typed
+     * fields; does NOT run validate() — callers decide whether a
+     * semantic error is fatal (local) or an error reply (daemon).
+     */
+    static bool fromJson(const json::Value &value,
+                         ExperimentRequest &out, std::string *error);
+
+    /** As fromJson(), from unparsed text. */
+    static bool fromJsonText(const std::string &text,
+                             ExperimentRequest &out, std::string *error);
+};
+
+/** Every number one experiment cell can produce. */
+struct ExperimentResult
+{
+    // -- all kinds ----------------------------------------------------
+    /** LLC references in the captured stream. */
+    std::uint64_t streamRefs = 0;
+
+    // -- kind "replay" ------------------------------------------------
+    /** Demand misses of the replay. */
+    std::uint64_t misses = 0;
+
+    // -- kind "capture" -----------------------------------------------
+    /** Demand references / distinct blocks in the generated trace. */
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t footprintBlocks = 0;
+
+    /** Full-hierarchy results at the capture geometry (LRU). */
+    HierarchyRunResult hierarchy;
+
+    /** Trace properties (traceProps only). */
+    std::uint64_t traceFootprintBlocks = 0;
+    std::uint64_t traceSharedFootprintBlocks = 0;
+    double writeFraction = 0.0;
+
+    // -- kind "sharing" -----------------------------------------------
+    /** Replay-time sharing characterization. */
+    SharingSummary sharing;
+
+    // -- kind "awareness" ---------------------------------------------
+    double mistakeRate = 0.0;
+    double sharedVictimRate = 0.0;
+
+    // -- evaluate -----------------------------------------------------
+    double accuracy = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+
+    // -- prefetch -----------------------------------------------------
+    double prefetchAccuracy = 0.0;
+
+    /**
+     * Flatten to ["field", "value"] rows for the response document's
+     * "result" table.  Integers print as decimal, doubles with %.17g
+     * (exact strtod round-trip), so fromRows() reconstructs the result
+     * bit-for-bit.
+     */
+    std::vector<std::vector<std::string>> toRows() const;
+
+    /** Inverse of toRows(); false (with *error) on a malformed row. */
+    static bool fromRows(const std::vector<std::vector<std::string>> &rows,
+                         ExperimentResult &out, std::string *error);
+};
+
+} // namespace casim
+
+#endif // CASIM_SIM_REQUEST_HH

@@ -54,6 +54,13 @@ ResultSink::addNote(const std::string &note)
 }
 
 void
+ResultSink::setError(const std::string &message)
+{
+    error_ = message;
+    hasError_ = true;
+}
+
+void
 ResultSink::addGroup(const stats::StatGroup &group)
 {
     groups_.push_back(&group);
@@ -62,13 +69,35 @@ ResultSink::addGroup(const stats::StatGroup &group)
 void
 ResultSink::writeJson(std::ostream &os) const
 {
-    os << "{\n";
-    os << "  \"schema\": ";
-    printJsonString(os, kStatsSchemaId);
-    os << ",\n  \"bench\": ";
-    printJsonString(os, bench_);
+    writeJsonImpl(os, false);
+}
 
-    os << ",\n  \"config\": {";
+void
+ResultSink::writeJsonLine(std::ostream &os) const
+{
+    writeJsonImpl(os, true);
+}
+
+void
+ResultSink::writeJsonImpl(std::ostream &os, bool compact) const
+{
+    // The two modes emit the same token stream; `compact` only drops
+    // the interior newlines + indentation so one document is one line.
+    const char *c2 = compact ? "," : ",\n  ";
+    const char *c4 = compact ? "," : ",\n    ";
+    const char *c5 = compact ? "," : ",\n     ";
+    const char *c14 = compact ? "," : ",\n              ";
+
+    os << (compact ? "{" : "{\n  ") << "\"schema\": ";
+    printJsonString(os, kStatsSchemaId);
+    os << c2 << "\"bench\": ";
+    printJsonString(os, bench_);
+    if (hasError_) {
+        os << c2 << "\"error\": ";
+        printJsonString(os, error_);
+    }
+
+    os << c2 << "\"config\": {";
     os << "\"threads\": " << config_.workload.threads;
     os << ", \"scale\": ";
     printJsonNumber(os, config_.workload.scale);
@@ -80,21 +109,21 @@ ResultSink::writeJson(std::ostream &os) const
     printJsonString(os, config_.captureDir);
     os << "}";
 
-    os << ",\n  \"tables\": [";
+    os << c2 << "\"tables\": [";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
         const TableCopy &table = tables_[t];
-        os << (t ? ",\n    {" : "\n    {");
+        os << (t ? c4 : (compact ? "" : "\n    ")) << "{";
         os << "\"title\": ";
         printJsonString(os, table.title);
-        os << ",\n     \"headers\": ";
+        os << c5 << "\"headers\": ";
         printStringArray(os, table.headers);
-        os << ",\n     \"rows\": [";
+        os << c5 << "\"rows\": [";
         for (std::size_t r = 0; r < table.rows.size(); ++r) {
             if (r)
-                os << ",\n              ";
+                os << c14;
             printStringArray(os, table.rows[r]);
         }
-        os << "],\n     \"separators\": [";
+        os << "]" << c5 << "\"separators\": [";
         for (std::size_t s = 0; s < table.separators.size(); ++s) {
             if (s)
                 os << ", ";
@@ -102,14 +131,14 @@ ResultSink::writeJson(std::ostream &os) const
         }
         os << "]}";
     }
-    os << (tables_.empty() ? "]" : "\n  ]");
+    os << (tables_.empty() || compact ? "]" : "\n  ]");
 
-    os << ",\n  \"notes\": ";
+    os << c2 << "\"notes\": ";
     printStringArray(os, notes_);
 
     // Group keys are the stat-name prefixes; a second group with the
     // same prefix gets a "#N" suffix so keys stay unique.
-    os << ",\n  \"stats\": {";
+    os << c2 << "\"stats\": {";
     std::map<std::string, unsigned> seen;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
         std::string key = groups_[g]->prefix();
@@ -118,14 +147,14 @@ ResultSink::writeJson(std::ostream &os) const
         const unsigned n = ++seen[key];
         if (n > 1)
             key += "#" + std::to_string(n);
-        os << (g ? ",\n    " : "\n    ");
+        os << (g ? c4 : (compact ? "" : "\n    "));
         printJsonString(os, key);
         os << ": ";
         groups_[g]->dumpJson(os);
     }
-    os << (groups_.empty() ? "}" : "\n  }");
+    os << (groups_.empty() || compact ? "}" : "\n  }");
 
-    os << "\n}\n";
+    os << (compact ? "}\n" : "\n}\n");
 }
 
 bool

@@ -47,6 +47,13 @@ class ResultSink
     void addNote(const std::string &note);
 
     /**
+     * Mark the document as an error reply: an extra top-level "error"
+     * key carrying the message (consumers tolerate extra keys; the
+     * casimd protocol requires this one on failures).
+     */
+    void setError(const std::string &message);
+
+    /**
      * Register a component stat group.  The sink stores a pointer and
      * reads the statistics at writeJson() time, so the group must stay
      * alive until then.  Groups sharing a prefix are disambiguated
@@ -56,6 +63,13 @@ class ResultSink
 
     /** Render the full document (one JSON object, trailing newline). */
     void writeJson(std::ostream &os) const;
+
+    /**
+     * Render the same document on a single line (newline-terminated,
+     * no interior newlines) — the casimd framing, where one response
+     * line answers one request line.
+     */
+    void writeJsonLine(std::ostream &os) const;
 
     /** Render to a file; false (with a warning) on I/O failure. */
     bool writeJsonFile(const std::string &path) const;
@@ -69,11 +83,16 @@ class ResultSink
         std::vector<std::size_t> separators;
     };
 
+    /** Shared renderer; `compact` collapses all interior whitespace. */
+    void writeJsonImpl(std::ostream &os, bool compact) const;
+
     std::string bench_;
     StudyConfig config_;
     std::vector<TableCopy> tables_;
     std::vector<std::string> notes_;
     std::vector<const stats::StatGroup *> groups_;
+    std::string error_;
+    bool hasError_ = false;
 };
 
 } // namespace casim

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * End-to-end tests for the casimd daemon over socketpairs: the wire
+ * protocol ops, error replies, result decoding (byte-exact against a
+ * local queue), concurrent clients against one daemon, and the drain
+ * guarantee — buffered request lines are still answered after a stop.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "sim/daemon.hh"
+
+namespace casim {
+namespace {
+
+/** A fast study configuration for daemon tests. */
+StudyConfig
+testConfig()
+{
+    StudyConfig config;
+    config.workload.threads = 4;
+    config.workload.scale = 0.01;
+    config.hierarchy.numCores = 4;
+    return config;
+}
+
+/** Blocking full write of `text` to `fd`. */
+void
+writeAll(int fd, const std::string &text)
+{
+    std::size_t done = 0;
+    while (done < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + done, text.size() - done);
+        ASSERT_GT(n, 0);
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/** Read one newline-terminated line from `fd` (buffered in `pending`). */
+std::string
+readLine(int fd, std::string &pending)
+{
+    for (;;) {
+        const auto nl = pending.find('\n');
+        if (nl != std::string::npos) {
+            const std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            return line;
+        }
+        char buf[4096];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0)
+            return "";
+        pending.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+/** One daemon served over a socketpair; joins on destruction. */
+class DaemonHarness
+{
+  public:
+    DaemonHarness() : daemon_(testConfig(), 2)
+    {
+        int sv[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        client_ = sv[0];
+        server_ = sv[1];
+        thread_ = std::thread([this] {
+            daemon_.serveConnection(server_, server_);
+            // Signal EOF to the client once the connection loop exits
+            // (e.g. after a shutdown op) so reads never block forever.
+            ::shutdown(server_, SHUT_RDWR);
+        });
+    }
+
+    ~DaemonHarness()
+    {
+        ::shutdown(client_, SHUT_WR); // EOF ends the connection loop
+        thread_.join();
+        ::close(client_);
+        ::close(server_);
+    }
+
+    ExperimentDaemon &daemon() { return daemon_; }
+    int fd() const { return client_; }
+    std::string readResponse() { return readLine(client_, pending_); }
+
+  private:
+    ExperimentDaemon daemon_;
+    int client_ = -1;
+    int server_ = -1;
+    std::string pending_;
+    std::thread thread_;
+};
+
+TEST(Daemon, PingStatsAndUnknownOp)
+{
+    DaemonHarness harness;
+    writeAll(harness.fd(), "{\"op\": \"ping\"}\n");
+    std::string line = harness.readResponse();
+    EXPECT_NE(line.find("pong"), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    writeAll(harness.fd(), "{\"op\": \"stats\"}\n");
+    line = harness.readResponse();
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(json::parse(line, doc, &error)) << error;
+    EXPECT_NE(line.find("casimd.requests"), std::string::npos);
+    EXPECT_NE(line.find("capture_cache.memo_hits"), std::string::npos);
+    EXPECT_NE(line.find("queue.batches"), std::string::npos);
+
+    writeAll(harness.fd(), "{\"op\": \"flush\"}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("\"error\""), std::string::npos) << line;
+    EXPECT_NE(line.find("unknown op 'flush'"), std::string::npos)
+        << line;
+}
+
+TEST(Daemon, ExperimentMatchesLocalQueueByteForByte)
+{
+    ExperimentRequest request;
+    request.workload = "canneal";
+    request.config = testConfig();
+    request.labeler = "oracle";
+
+    CaptureCache cache;
+    ParallelRunner runner(2);
+    ExperimentQueue local(cache, runner);
+    const ExperimentResult direct = local.run(request);
+
+    DaemonHarness harness;
+    writeAll(harness.fd(),
+             "{\"op\": \"experiment\", \"request\": " +
+                 request.toJson() + "}\n");
+    const ExperimentResult remote =
+        decodeResponseDocument(harness.readResponse());
+    EXPECT_EQ(remote.toRows(), direct.toRows());
+
+    // A bare object (no "op") is the same experiment.
+    writeAll(harness.fd(), request.toJson() + "\n");
+    const ExperimentResult bare =
+        decodeResponseDocument(harness.readResponse());
+    EXPECT_EQ(bare.toRows(), direct.toRows());
+
+    // The second round was served from the resident capture store.
+    const auto *memo = dynamic_cast<const stats::Counter *>(
+        harness.daemon().cache().stats().find(
+            "capture_cache.memo_hits"));
+    ASSERT_NE(memo, nullptr);
+    EXPECT_GE(memo->value(), 1u);
+}
+
+TEST(Daemon, BatchKeepsRequestOrderAndPerSlotErrors)
+{
+    ExperimentRequest good;
+    good.workload = "canneal";
+    good.config = testConfig();
+    ExperimentRequest bad = good;
+    bad.policy = "lru2";
+
+    DaemonHarness harness;
+    writeAll(harness.fd(),
+             "{\"op\": \"batch\", \"requests\": [" + good.toJson() +
+                 ", " + bad.toJson() + ", " + good.toJson() + "]}\n");
+
+    // One response line per slot, in request order.
+    const std::string first = harness.readResponse();
+    const std::string second = harness.readResponse();
+    const std::string third = harness.readResponse();
+    EXPECT_EQ(first.find("\"error\""), std::string::npos) << first;
+    EXPECT_NE(second.find("invalid experiment request: unknown policy "
+                          "'lru2'"),
+              std::string::npos)
+        << second;
+    EXPECT_EQ(first, third);
+    const ExperimentResult result = decodeResponseDocument(first);
+    EXPECT_GT(result.misses, 0u);
+}
+
+TEST(Daemon, MalformedLinesGetErrorDocuments)
+{
+    DaemonHarness harness;
+    writeAll(harness.fd(), "{nope\n");
+    std::string line = harness.readResponse();
+    EXPECT_NE(line.find("request parse error"), std::string::npos)
+        << line;
+
+    writeAll(harness.fd(), "42\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("must be a JSON object"), std::string::npos)
+        << line;
+
+    // Error documents are still valid casim-stats-1 JSON.
+    json::Value doc;
+    std::string error;
+    EXPECT_TRUE(json::parse(line, doc, &error)) << error;
+
+    // And the connection survives for a real request afterwards.
+    writeAll(harness.fd(), "{\"op\": \"ping\"}\n");
+    EXPECT_NE(harness.readResponse().find("pong"), std::string::npos);
+}
+
+TEST(Daemon, ConcurrentClientsShareTheResidentCache)
+{
+    ExperimentRequest request;
+    request.workload = "streamcluster";
+    request.config = testConfig();
+
+    CaptureCache cache;
+    ParallelRunner runner(2);
+    ExperimentQueue local(cache, runner);
+    const auto expected = local.run(request).toRows();
+
+    ExperimentDaemon daemon(testConfig(), 2);
+    constexpr int kClients = 3;
+    int client_fds[kClients];
+    std::vector<std::thread> servers;
+    for (int c = 0; c < kClients; ++c) {
+        int sv[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        client_fds[c] = sv[0];
+        const int server = sv[1];
+        servers.emplace_back([&daemon, server] {
+            daemon.serveConnection(server, server);
+            ::close(server);
+        });
+    }
+
+    std::vector<std::thread> clients;
+    std::vector<std::string> replies(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            const int fd = client_fds[c];
+            std::string pending;
+            std::string payload = request.toJson() + "\n";
+            std::size_t done = 0;
+            while (done < payload.size()) {
+                const ssize_t n = ::write(fd, payload.data() + done,
+                                          payload.size() - done);
+                if (n <= 0)
+                    break;
+                done += static_cast<std::size_t>(n);
+            }
+            replies[c] = readLine(fd, pending);
+            ::shutdown(fd, SHUT_WR);
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    for (auto &t : servers)
+        t.join();
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(decodeResponseDocument(replies[c]).toRows(),
+                  expected);
+        ::close(client_fds[c]);
+    }
+
+    // One capture identity: every client after the first resolved it
+    // from the resident store.
+    const auto *memo = dynamic_cast<const stats::Counter *>(
+        daemon.cache().stats().find("capture_cache.memo_hits"));
+    ASSERT_NE(memo, nullptr);
+    EXPECT_EQ(memo->value(), kClients - 1u);
+}
+
+TEST(Daemon, ShutdownOpDrainsBufferedRequests)
+{
+    ExperimentRequest request;
+    request.workload = "canneal";
+    request.config = testConfig();
+
+    DaemonHarness harness;
+    // One write carrying a request, the shutdown op, and another
+    // request behind it: all three lines were read before the stop
+    // takes effect, so all three must be answered (no torn or dropped
+    // documents) before the connection closes.
+    writeAll(harness.fd(), request.toJson() + "\n" +
+                               "{\"op\": \"shutdown\"}\n" +
+                               request.toJson() + "\n");
+    const std::string first = harness.readResponse();
+    const std::string second = harness.readResponse();
+    const std::string third = harness.readResponse();
+    EXPECT_GT(decodeResponseDocument(first).misses, 0u);
+    EXPECT_NE(second.find("shutting down"), std::string::npos);
+    EXPECT_EQ(third, first);
+    EXPECT_TRUE(harness.daemon().stopping());
+    // EOF follows the drained responses.
+    EXPECT_EQ(harness.readResponse(), "");
+}
+
+TEST(Daemon, DecodeResponseDocumentIsFatalOnErrorReply)
+{
+    std::string line;
+    {
+        // Scoped so the connection thread is joined before the death
+        // test forks.
+        DaemonHarness harness;
+        writeAll(harness.fd(), "{\"op\": \"nope\"}\n");
+        line = harness.readResponse();
+    }
+    EXPECT_DEATH(decodeResponseDocument(line), "casimd: unknown op");
+}
+
+} // namespace
+} // namespace casim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the ExperimentQueue: batches must dedupe identical cells,
+ * produce the same numbers as direct cell execution, warm each capture
+ * identity exactly once per batch, and reject invalid requests with the
+ * clean validate() diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/capture_cache.hh"
+#include "sim/queue.hh"
+
+namespace casim {
+namespace {
+
+/** Read a named counter out of a stat group; fails the test if absent. */
+std::uint64_t
+counterValue(const stats::StatGroup &group, const std::string &name)
+{
+    const auto *counter =
+        dynamic_cast<const stats::Counter *>(group.find(name));
+    EXPECT_NE(counter, nullptr) << name;
+    return counter != nullptr ? counter->value() : 0;
+}
+
+/** A fast study configuration for queue tests. */
+StudyConfig
+testConfig()
+{
+    StudyConfig config;
+    config.workload.threads = 4;
+    config.workload.scale = 0.01;
+    config.hierarchy.numCores = 4;
+    return config;
+}
+
+TEST(Queue, BatchDedupesIdenticalCells)
+{
+    CaptureCache cache;
+    ParallelRunner runner(2);
+    ExperimentQueue queue(cache, runner);
+
+    ExperimentRequest lru;
+    lru.workload = "canneal";
+    lru.config = testConfig();
+    ExperimentRequest opt = lru;
+    opt.policy = "opt";
+
+    const auto results = queue.runBatch({lru, opt, lru});
+    ASSERT_EQ(results.size(), 3u);
+    // The duplicate slot carries the shared cell's numbers.
+    EXPECT_EQ(results[0].misses, results[2].misses);
+    EXPECT_EQ(results[0].streamRefs, results[2].streamRefs);
+    EXPECT_GT(results[0].misses, 0u);
+    // OPT can only do better than LRU.
+    EXPECT_LE(results[1].misses, results[0].misses);
+
+    EXPECT_EQ(counterValue(queue.stats(), "queue.submitted"), 3u);
+    EXPECT_EQ(counterValue(queue.stats(), "queue.executed"), 2u);
+    EXPECT_EQ(counterValue(queue.stats(), "queue.dedup_hits"), 1u);
+    EXPECT_EQ(counterValue(queue.stats(), "queue.batches"), 1u);
+}
+
+TEST(Queue, BatchMatchesDirectCellExecution)
+{
+    const StudyConfig config = testConfig();
+
+    ExperimentRequest request;
+    request.workload = "streamcluster";
+    request.labeler = "oracle";
+    request.config = config;
+
+    // Direct path: capture + executeCell by hand.
+    CaptureCache direct_cache;
+    const auto workload =
+        direct_cache.capture("streamcluster", config);
+    const ExperimentResult direct =
+        executeCell(request, *workload, nullptr);
+
+    // Queue path.
+    CaptureCache cache;
+    ParallelRunner runner(2);
+    ExperimentQueue queue(cache, runner);
+    const auto results = queue.runBatch({request});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].misses, direct.misses);
+    EXPECT_EQ(results[0].streamRefs, direct.streamRefs);
+    EXPECT_EQ(results[0].toRows(), direct.toRows());
+}
+
+TEST(Queue, BatchCapturesEachIdentityOnce)
+{
+    CaptureCache cache;
+    ParallelRunner runner(2);
+    ExperimentQueue queue(cache, runner);
+
+    // Four cells, two capture identities (same workload at two thread
+    // counts); the warm phase must capture each exactly once.
+    ExperimentRequest lru;
+    lru.workload = "canneal";
+    lru.config = testConfig();
+    ExperimentRequest srrip = lru;
+    srrip.policy = "srrip";
+    ExperimentRequest lru2 = lru;
+    lru2.config.workload.threads = 2;
+    lru2.config.hierarchy.numCores = 2;
+    ExperimentRequest srrip2 = lru2;
+    srrip2.policy = "srrip";
+
+    queue.runBatch({lru, srrip, lru2, srrip2});
+    // The warm phase groups the four cells into two capture
+    // identities and calls capture() once per group: no repeat
+    // lookups yet.
+    EXPECT_EQ(counterValue(cache.stats(), "capture_cache.memo_hits"),
+              0u);
+    EXPECT_EQ(counterValue(queue.stats(), "queue.executed"), 4u);
+
+    // A second batch over the same identities resolves both from the
+    // resident store.
+    queue.runBatch({lru, srrip2});
+    EXPECT_EQ(counterValue(cache.stats(), "capture_cache.memo_hits"),
+              2u);
+}
+
+TEST(Queue, SequentialBatchesAreDeterministic)
+{
+    CaptureCache cache;
+    ParallelRunner runner(4);
+    ExperimentQueue queue(cache, runner);
+
+    ExperimentRequest request;
+    request.workload = "dedup";
+    request.config = testConfig();
+    request.labeler = "oracle";
+
+    const auto first = queue.runBatch({request});
+    const auto second = queue.runBatch({request});
+    EXPECT_EQ(first[0].toRows(), second[0].toRows());
+}
+
+TEST(Queue, InvalidRequestIsFatalWithTheFieldName)
+{
+    CaptureCache cache;
+    ParallelRunner runner(1);
+    ExperimentQueue queue(cache, runner);
+
+    ExperimentRequest bad;
+    bad.workload = "canneal";
+    bad.labeler = "orcle";
+    EXPECT_DEATH(queue.runBatch({bad}),
+                 "invalid experiment request: unknown labeler 'orcle'");
+}
+
+} // namespace
+} // namespace casim
