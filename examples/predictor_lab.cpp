@@ -22,6 +22,7 @@
 #include "core/predictor.hh"
 #include "core/sharing_aware.hh"
 #include "mem/repl/factory.hh"
+#include "sim/capture_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/stream_sim.hh"
 
@@ -80,7 +81,8 @@ main(int argc, char **argv)
               << (1u << config.predictor.indexBits)
               << "-entry tables\n\n";
 
-    const CapturedWorkload wl = captureWorkload(name, config);
+    CaptureCache cache;
+    const CapturedWorkload wl = captureWorkload(name, config, cache);
     const NextUseIndex index(wl.stream);
     const SeqNo window = config.oracleWindow(llc_bytes);
     ReplaySpec lru_spec;

@@ -17,6 +17,7 @@
 #include "common/options.hh"
 #include "common/table.hh"
 #include "mem/repl/factory.hh"
+#include "sim/capture_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/stream_sim.hh"
 #include "trace/trace_io.hh"
@@ -36,7 +37,8 @@ doCapture(const Options &options)
         options.getString("out", name + ".llc");
 
     std::cout << "Capturing LLC stream of '" << name << "'...\n";
-    const CapturedWorkload wl = captureWorkload(name, config);
+    CaptureCache cache;
+    const CapturedWorkload wl = captureWorkload(name, config, cache);
     saveTrace(wl.stream, out); // fatal on any write failure
     std::cout << "Wrote " << wl.stream.size() << " LLC references ("
               << wl.demandAccesses << " demand refs upstream) to "

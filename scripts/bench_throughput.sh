@@ -38,8 +38,10 @@ fi
 
 micro="${build}/bench/microbench_sim"
 fullbench="${build}/bench/fig5_policy_comparison"
+warm_bench="${build}/bench/warm_start_bench"
 [ -x "$micro" ] || { echo "missing $micro (build first)" >&2; exit 1; }
 [ -x "$fullbench" ] || { echo "missing $fullbench" >&2; exit 1; }
+[ -x "$warm_bench" ] || { echo "missing $warm_bench" >&2; exit 1; }
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -55,6 +57,28 @@ micro_args=(
 [ "$reps" -gt 1 ] && micro_args+=(--benchmark_report_aggregates_only=true)
 [ "$smoke" -eq 1 ] && micro_args+=(--benchmark_min_time=0.05)
 "$micro" "${micro_args[@]}"
+
+echo "== warm-start: map vs deserialize latency =="
+warm_args=(
+    --benchmark_filter='BM_WarmStart'
+    --benchmark_repetitions="$reps"
+    --benchmark_out="$tmpdir/warm.json"
+    --benchmark_out_format=json
+)
+[ "$reps" -gt 1 ] && warm_args+=(--benchmark_report_aggregates_only=true)
+[ "$smoke" -eq 1 ] && warm_args+=(--benchmark_min_time=0.05)
+"$warm_bench" "${warm_args[@]}"
+
+echo "== warm-start: out-of-core replay max RSS =="
+# The flat-memory guarantee: a mapped trace several times the budget
+# replays through the streaming pager without growing RSS.  The replay
+# mode exits nonzero on a budget violation.
+trace_mb=256; rss_budget_mb=64
+[ "$smoke" -eq 1 ] && { trace_mb=64; rss_budget_mb=32; }
+"$warm_bench" --write --out="$tmpdir/warm_start.ccap" --mb="$trace_mb"
+"$warm_bench" --replay --in="$tmpdir/warm_start.ccap" \
+    --budget-mb="$rss_budget_mb" > "$tmpdir/warm_rss.json"
+cat "$tmpdir/warm_rss.json"
 
 ms_now() { date +%s%N; }
 elapsed_ms() { echo $(( ($2 - $1) / 1000000 )); }
@@ -91,30 +115,41 @@ echo "commit=${commit} simd=${simd_isa} cpu=${cpu_model}"
 
 python3 - "$tmpdir/micro.json" "$out" "$scale" \
          "$off_ms" "$cold_ms" "$warm_ms" "$smoke" \
-         "$commit" "$cpu_model" "$simd_isa" <<'EOF'
+         "$commit" "$cpu_model" "$simd_isa" \
+         "$tmpdir/warm.json" "$tmpdir/warm_rss.json" <<'EOF'
 import json, sys
 
 (micro_path, out_path, scale, off_ms, cold_ms, warm_ms, smoke,
- commit, cpu_model, simd_isa) = sys.argv[1:11]
+ commit, cpu_model, simd_isa, warm_path, warm_rss_path) = sys.argv[1:13]
 with open(micro_path) as f:
     micro = json.load(f)
 
-rates = {}
-for run in micro["benchmarks"]:
+
+def median_rates(doc):
     # Keep the median aggregate of each benchmark's repetitions; with a
     # single repetition (smoke mode) there are no aggregates, so fall
     # back to the lone iteration run.
-    is_median = run.get("aggregate_name") == "median"
-    is_plain = "aggregate_name" not in run
-    if not (is_median or is_plain):
-        continue
-    name = run["run_name"]
-    if name in rates and not is_median:
-        continue
-    rates[name] = {
-        "items_per_second": run.get("items_per_second"),
-        "cpu_time_ns": run.get("cpu_time"),
-    }
+    rates = {}
+    for run in doc["benchmarks"]:
+        is_median = run.get("aggregate_name") == "median"
+        is_plain = "aggregate_name" not in run
+        if not (is_median or is_plain):
+            continue
+        name = run["run_name"]
+        if name in rates and not is_median:
+            continue
+        rates[name] = {
+            "items_per_second": run.get("items_per_second"),
+            "cpu_time_ns": run.get("cpu_time"),
+        }
+    return rates
+
+
+rates = median_rates(micro)
+with open(warm_path) as f:
+    warm_rates = median_rates(json.load(f))
+with open(warm_rss_path) as f:
+    warm_rss = json.load(f)
 
 report = {
     "schema": "casim-bench-replay-v1",
@@ -133,6 +168,10 @@ report = {
         "capture_cache_cold_ms": int(cold_ms),
         "capture_cache_warm_ms": int(warm_ms),
     },
+    "warm_start": {
+        "bench": warm_rates,
+        "replay": warm_rss,
+    },
 }
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2, sort_keys=True)
@@ -147,4 +186,15 @@ batched = rates.get("BM_StreamSimBatched/8", {}).get("items_per_second")
 if legacy and batched:
     print(f"batched replay: {batched / 1e6:.2f}M refs/s vs "
           f"{legacy / 1e6:.2f}M legacy ({batched / legacy:.2f}x)")
+
+mapped_ns = warm_rates.get("BM_WarmStartMapped", {}).get("cpu_time_ns")
+deser_ns = warm_rates.get(
+    "BM_WarmStartDeserialized", {}).get("cpu_time_ns")
+if mapped_ns and deser_ns:
+    print(f"warm start: {mapped_ns / 1e3:.1f}us mapped vs "
+          f"{deser_ns / 1e6:.1f}ms deserialized "
+          f"({deser_ns / mapped_ns:.0f}x)")
+print(f"out-of-core max RSS: {warm_rss['max_rss_bytes'] >> 20}MB over "
+      f"{warm_rss['bytes_mapped'] >> 20}MB mapped "
+      f"(budget {warm_rss['budget_bytes'] >> 20}MB)")
 EOF

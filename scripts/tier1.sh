@@ -62,6 +62,84 @@ if ! cmp -s "${capdir}/fig7_plane.txt" "${capdir}/fig7_scan.txt"; then
 fi
 echo "plane/scan fig7 outputs identical"
 
+echo "== tier-1: mmap'd trace substrate, zero-deserialization warm start =="
+# The CCAP v3 substrate: a cold fig7 run persists v3 bundles, and the
+# warm repeat must (a) be byte-identical, (b) perform zero bundle
+# deserialization (everything arrives through mmap), and (c) match the
+# CASIM_NO_MMAP=1 fully-resident fallback byte for byte.  The capture
+# caches above ran at scale 0.05; this block re-runs fig7 at scale 0.2
+# so the substrate is exercised on the full acceptance workload.
+subdir="${capdir}/substrate-cache"
+fig7_sub() { "${fig7}" --scale=0.2 --capture-dir="${subdir}" "$@"; }
+fig7_sub --stats-out="${capdir}/sub_cold.json" > "${capdir}/sub_cold.txt"
+fig7_sub --stats-out="${capdir}/sub_warm.json" > "${capdir}/sub_warm.txt"
+CASIM_NO_MMAP=1 "${fig7}" --scale=0.2 --capture-dir="${subdir}" \
+    --stats-out="${capdir}/sub_nommap.json" > "${capdir}/sub_nommap.txt"
+for variant in warm nommap; do
+    if ! cmp -s "${capdir}/sub_cold.txt" "${capdir}/sub_${variant}.txt"
+    then
+        echo "FATAL: ${variant} substrate fig7 differs from cold" >&2
+        diff "${capdir}/sub_cold.txt" "${capdir}/sub_${variant}.txt" \
+            >&2 || true
+        exit 1
+    fi
+done
+stat_counter() {
+    python3 -c "import json, sys
+doc = json.load(open(sys.argv[1]))
+name = sys.argv[2]
+print(doc['stats'][name.split('.')[0]][name]['value'])" "$1" "$2"
+}
+warm_maps=$(stat_counter "${capdir}/sub_warm.json" \
+    capture_cache.mmap_maps)
+warm_bytes=$(stat_counter "${capdir}/sub_warm.json" \
+    capture_cache.bytes_mapped)
+warm_deser=$(stat_counter "${capdir}/sub_warm.json" \
+    capture_cache.deserialized)
+if [ "${CASIM_NO_MMAP:-}" = "" ]; then
+    if [ "${warm_maps}" -lt 1 ] || [ "${warm_bytes}" -le 0 ] ||
+       [ "${warm_deser}" -ne 0 ]; then
+        echo "FATAL: warm start was not zero-deserialization" \
+            "(mmap_maps=${warm_maps} bytes_mapped=${warm_bytes}" \
+            "deserialized=${warm_deser})" >&2
+        exit 1
+    fi
+else
+    # The no-mmap CI job: every warm load must take the resident
+    # fallback instead of the mapped path.
+    if [ "${warm_maps}" -ne 0 ] || [ "${warm_deser}" -lt 1 ]; then
+        echo "FATAL: CASIM_NO_MMAP warm start still mapped bundles" \
+            "(mmap_maps=${warm_maps} deserialized=${warm_deser})" >&2
+        exit 1
+    fi
+fi
+nommap_deser=$(stat_counter "${capdir}/sub_nommap.json" \
+    capture_cache.deserialized)
+if [ "${nommap_deser}" -lt 1 ]; then
+    echo "FATAL: CASIM_NO_MMAP run did not take the fallback path" >&2
+    exit 1
+fi
+for doc in sub_cold sub_warm sub_nommap; do
+    shims=$(stat_counter "${capdir}/${doc}.json" \
+        capture_cache.shim_uses)
+    if [ "${shims}" -ne 0 ]; then
+        echo "FATAL: ${doc} used a deprecated capture-cache shim" >&2
+        exit 1
+    fi
+done
+echo "warm start: ${warm_maps} bundles mapped (${warm_bytes} bytes)," \
+    "zero deserialization, zero shim uses"
+
+echo "== tier-1: out-of-core replay stays under the RSS budget =="
+# A trace 4x the RSS budget must replay with flat memory through the
+# mapped view's streaming pager; warm_start_bench --replay fails on a
+# budget violation by itself.
+wsb="${prefix}/bench/warm_start_bench"
+"${wsb}" --write --out="${capdir}/oocore.ccap" --mb=128
+"${wsb}" --replay --in="${capdir}/oocore.ccap" --budget-mb=32 \
+    | tee "${capdir}/oocore.json"
+echo "out-of-core replay within budget"
+
 echo "== tier-1: SIMD and batching are invisible in the output =="
 # The vector tag scan and the batched replay loop are pure performance
 # changes: fig5 must be byte-identical with both forced off.

@@ -118,11 +118,8 @@ BenchDriver::finish()
         sink_.addGroup(queue_->stats());
     if (client_)
         sink_.addGroup(client_->stats());
-    // The driver's injected cache when it was used, else the default
-    // instance the deprecated shims funnel through (its shim_uses
-    // counter tracks not-yet-converted callers).
-    sink_.addGroup(captureCache_ ? captureCache_->stats()
-                                 : captureCacheStats());
+    sink_.addGroup(captureCache().stats());
+    sink_.addGroup(captureCache().residentStats());
     sink_.addGroup(labelPlaneStats());
     sink_.addGroup(shardedReplayStats());
 

@@ -10,10 +10,13 @@
 #include <fstream>
 #include <sstream>
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "trace/mmap_file.hh"
+#include "trace/next_use.hh"
 #include "trace/trace_io.hh"
 
 namespace casim {
@@ -22,7 +25,7 @@ namespace {
 
 /**
  * A stale bundle is a well-formed file written by an incompatible
- * configuration or format; everything else readCaptureBundle reports
+ * configuration or format; everything else the bundle readers report
  * (bad magic, truncation, checksum mismatch, ...) is corruption.
  */
 bool
@@ -38,7 +41,9 @@ isStaleBundleError(const std::string &why)
  * the near-window veto the persisted label planes encode).  Folded
  * into the config hash so a change invalidates every existing cache
  * file instead of misinterpreting it.  Version 2: bundles embed the
- * next-use chain + label planes (CCAP format v2).
+ * next-use chain + label planes.  Deliberately NOT bumped for CCAP v3
+ * — the semantics are unchanged, and keeping the hash stable is what
+ * lets v2 bundles be adopted read-only instead of rejected as stale.
  */
 constexpr std::uint64_t kCaptureMetaVersion = 2;
 
@@ -136,44 +141,33 @@ unpackMeta(const std::vector<std::uint64_t> &meta,
     return true;
 }
 
-bool
-saveCapturedWorkloadImpl(const std::string &path,
-                         std::uint64_t config_hash,
-                         const CapturedWorkload &captured,
-                         const CaptureAux *aux)
+/**
+ * Accounted footprint of a resident capture: stream records plus the
+ * adopted next-use chain and label-plane codes.  Counted whether the
+ * storage is owned or file-backed — mapped pages cost RSS while
+ * touched, and the budget is what bounds the daemon either way.
+ */
+std::uint64_t
+residentFootprintBytes(const CapturedWorkload &captured)
 {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    const fs::path target(path);
-    if (target.has_parent_path())
-        fs::create_directories(target.parent_path(), ec);
+    std::uint64_t bytes =
+        captured.stream.size() * sizeof(MemAccess);
+    if (captured.nextUseAux != nullptr) {
+        const CaptureAuxView &aux = *captured.nextUseAux;
+        if (aux.nextUse != nullptr)
+            bytes += aux.count * sizeof(std::uint32_t);
+        bytes += aux.planes.size() * aux.count;
+    }
+    return bytes;
+}
 
-    // Write-then-rename keeps concurrent readers (and a crashed writer)
-    // from ever seeing a partial file; the checksum catches the rest.
-    std::ostringstream suffix;
-    suffix << ".tmp." << ::getpid();
-    const fs::path tmp = target.string() + suffix.str();
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
-            return false;
-        bool ok = writeCaptureBundle(os, config_hash,
-                                     packMeta(captured),
-                                     captured.stream, aux);
-        os.flush();
-        ok = ok && os.good();
-        if (!ok) {
-            os.close();
-            fs::remove(tmp, ec);
-            return false;
-        }
-    }
-    fs::rename(tmp, target, ec);
-    if (ec) {
-        fs::remove(tmp, ec);
-        return false;
-    }
-    return true;
+/** Label-plane code bytes a mapped bundle serves zero-copy. */
+std::uint64_t
+mappedPlaneBytes(const MappedCaptureBundle &bundle)
+{
+    if (bundle.aux == nullptr)
+        return 0;
+    return bundle.aux->planes.size() * bundle.aux->count;
 }
 
 } // namespace
@@ -198,15 +192,54 @@ CaptureCache::CaptureCache()
           "captures served from the in-memory resident store")),
       shimUses_(group_.addCounter(
           "shim_uses",
-          "calls through the deprecated singleton shims"))
+          "calls through the removed singleton shims (always 0)")),
+      mmapMaps_(group_.addCounter(
+          "mmap_maps", "v3 bundles loaded zero-copy via mmap")),
+      bytesMapped_(group_.addCounter(
+          "bytes_mapped", "bundle file bytes mapped (not read) on load")),
+      deserialized_(group_.addCounter(
+          "deserialized",
+          "bundle loads that deserialized record by record (v3 "
+          "no-mmap fallback or v2 adoption)")),
+      v2Adopted_(group_.addCounter(
+          "v2_adopted", "legacy v2 bundles adopted read-only")),
+      residentGroup_("resident_store"),
+      evictions_(residentGroup_.addCounter(
+          "evictions", "resident captures dropped by the byte budget")),
+      evictedBytes_(residentGroup_.addCounter(
+          "evicted_bytes", "accounted bytes of evicted captures"))
 {
+    group_.addFormula("major_faults",
+                      "major page faults of the process so far "
+                      "(getrusage; page-fault-dominated warm starts "
+                      "show up here, not in deserialized)",
+                      [] {
+                          struct rusage usage
+                          {
+                          };
+                          getrusage(RUSAGE_SELF, &usage);
+                          return static_cast<double>(usage.ru_majflt);
+                      });
+    residentGroup_.addFormula(
+        "entries", "captures currently resident", [this] {
+            return static_cast<double>(residentEntries_.load());
+        });
+    residentGroup_.addFormula(
+        "bytes", "accounted bytes currently resident", [this] {
+            return static_cast<double>(residentBytes_.load());
+        });
+    residentGroup_.addFormula(
+        "budget_bytes", "configured byte budget (0 = unbounded)",
+        [this] {
+            return static_cast<double>(budgetBytes_.load());
+        });
 }
 
 void
-CaptureCache::bump(stats::Counter &counter)
+CaptureCache::bump(stats::Counter &counter, std::uint64_t by)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++counter;
+    counter += by;
 }
 
 std::uint64_t
@@ -218,6 +251,29 @@ CaptureCache::counter(const std::string &name) const
                  name, "'");
     std::lock_guard<std::mutex> lock(mutex_);
     return counter->value();
+}
+
+std::uint64_t
+CaptureCache::residentCounter(const std::string &name) const
+{
+    const auto *stat = residentGroup_.find("resident_store." + name);
+    if (const auto *counter =
+            dynamic_cast<const stats::Counter *>(stat)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return counter->value();
+    }
+    const auto *formula = dynamic_cast<const stats::Formula *>(stat);
+    casim_assert(formula != nullptr,
+                 "unknown resident-store statistic '", name, "'");
+    return static_cast<std::uint64_t>(formula->value());
+}
+
+void
+CaptureCache::setResidentBudget(std::uint64_t bytes)
+{
+    budgetBytes_.store(bytes);
+    std::lock_guard<std::mutex> lock(mutex_);
+    enforceBudgetLocked(/*protect_hash=*/0);
 }
 
 std::shared_ptr<const CapturedWorkload>
@@ -235,15 +291,69 @@ CaptureCache::capture(const std::string &name, const StudyConfig &config)
             slot = std::make_shared<ResidentEntry>();
         else
             memo_hit = true;
+        slot->lastUse = ++lruTick_;
         entry = slot;
+        residentEntries_.store(resident_.size());
     }
     if (memo_hit)
         bump(memoHits_);
+    bool captured_now = false;
     std::call_once(entry->once, [&] {
         entry->captured = std::make_shared<const CapturedWorkload>(
             captureWorkload(name, config, *this));
+        captured_now = true;
     });
+    if (captured_now)
+        accountAndEnforceBudget(hash);
     return entry->captured;
+}
+
+void
+CaptureCache::accountAndEnforceBudget(std::uint64_t hash)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = resident_.find(hash);
+    // The entry may already have been evicted by a concurrent
+    // setResidentBudget(); nothing to account then — the caller's
+    // shared_ptr keeps the capture alive for its own use.
+    if (it == resident_.end() || it->second->captured == nullptr)
+        return;
+    ResidentEntry &entry = *it->second;
+    if (entry.ready)
+        return;
+    entry.ready = true;
+    entry.bytes = residentFootprintBytes(*entry.captured);
+    residentBytes_.fetch_add(entry.bytes);
+    enforceBudgetLocked(hash);
+}
+
+void
+CaptureCache::enforceBudgetLocked(std::uint64_t protect_hash)
+{
+    const std::uint64_t budget = budgetBytes_.load();
+    if (budget == 0)
+        return;
+    while (residentBytes_.load() > budget) {
+        // Evict the least-recently-used completed entry; the one just
+        // inserted is protected so a single oversized capture still
+        // serves its requester before being dropped on the next round.
+        auto victim = resident_.end();
+        for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+            if (!it->second->ready || it->first == protect_hash)
+                continue;
+            if (victim == resident_.end() ||
+                it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == resident_.end())
+            break;
+        const std::uint64_t freed = victim->second->bytes;
+        residentBytes_.fetch_sub(freed);
+        resident_.erase(victim);
+        residentEntries_.store(resident_.size());
+        ++evictions_;
+        evictedBytes_ += freed;
+    }
 }
 
 bool
@@ -259,16 +369,73 @@ CaptureCache::load(const std::string &path, std::uint64_t config_hash,
             *why = "cannot open";
         return false;
     }
-    std::vector<std::uint64_t> meta;
-    Trace stream{"", 1};
-    CaptureAux aux;
+
+    const std::uint32_t version = peekBundleVersion(path);
     std::string error;
-    bool ok = readCaptureBundle(is, config_hash, meta, stream, &error,
-                                &aux);
-    if (ok && !unpackMeta(meta, out)) {
-        ok = false;
-        error = "inconsistent bundle meta";
+    bool ok = false;
+    bool deserializing_load = false;
+    bool v2_load = false;
+    std::uint64_t mapped_bytes = 0;
+    std::uint64_t mapped_plane_bytes = 0;
+    CapturedWorkload loaded;
+
+    if (version == kBundleVersion3 && !mmapDisabled()) {
+        MappedCaptureBundle bundle;
+        ok = mapCaptureBundleV3(path, config_hash, bundle, &error);
+        if (ok && !unpackMeta(bundle.meta, loaded)) {
+            ok = false;
+            error = "inconsistent bundle meta";
+        }
+        if (ok) {
+            mapped_bytes = bundle.bytesMapped;
+            mapped_plane_bytes = mappedPlaneBytes(bundle);
+            loaded.stream = std::move(bundle.stream);
+            if (bundle.aux != nullptr &&
+                (bundle.aux->nextUse != nullptr ||
+                 !bundle.aux->planes.empty()))
+                loaded.nextUseAux = std::move(bundle.aux);
+        }
+    } else if (version == kBundleVersion3) {
+        // CASIM_NO_MMAP: the fully-resident fallback, byte-identical
+        // to the mapped view (and verifying every section checksum).
+        std::vector<std::uint64_t> meta;
+        Trace stream{"", 1};
+        CaptureAux aux;
+        ok = readCaptureBundleV3(is, config_hash, meta, stream, &error,
+                                 &aux);
+        if (ok && !unpackMeta(meta, loaded)) {
+            ok = false;
+            error = "inconsistent bundle meta";
+        }
+        if (ok) {
+            deserializing_load = true;
+            loaded.stream = std::move(stream);
+            if (!aux.empty())
+                loaded.nextUseAux = auxViewOf(
+                    std::make_shared<const CaptureAux>(std::move(aux)));
+        }
+    } else {
+        // v2 (and anything unrecognized, which the legacy reader
+        // rejects with the canonical error strings): adopt read-only.
+        std::vector<std::uint64_t> meta;
+        Trace stream{"", 1};
+        CaptureAux aux;
+        ok = readCaptureBundle(is, config_hash, meta, stream, &error,
+                               &aux);
+        if (ok && !unpackMeta(meta, loaded)) {
+            ok = false;
+            error = "inconsistent bundle meta";
+        }
+        if (ok) {
+            deserializing_load = true;
+            v2_load = true;
+            loaded.stream = std::move(stream);
+            if (!aux.empty())
+                loaded.nextUseAux = auxViewOf(
+                    std::make_shared<const CaptureAux>(std::move(aux)));
+        }
     }
+
     if (!ok) {
         const bool stale = isStaleBundleError(error);
         bump(stale ? staleMisses_ : corruptMisses_);
@@ -279,11 +446,18 @@ CaptureCache::load(const std::string &path, std::uint64_t config_hash,
             *why = error;
         return false;
     }
-    out.stream = std::move(stream);
-    if (!aux.empty())
-        out.nextUseAux =
-            std::make_shared<const CaptureAux>(std::move(aux));
+
+    out = std::move(loaded);
     bump(hits_);
+    if (mapped_bytes != 0) {
+        bump(mmapMaps_);
+        bump(bytesMapped_, mapped_bytes);
+        noteLabelPlaneMappedBytes(mapped_plane_bytes);
+    }
+    if (deserializing_load)
+        bump(deserialized_);
+    if (v2_load)
+        bump(v2Adopted_);
     if (why != nullptr)
         why->clear();
     return true;
@@ -294,8 +468,10 @@ CaptureCache::save(const std::string &path, std::uint64_t config_hash,
                    const CapturedWorkload &captured,
                    const CaptureAux *aux)
 {
-    const bool ok =
-        saveCapturedWorkloadImpl(path, config_hash, captured, aux);
+    const bool ok = writeFileDurably(path, [&](std::ostream &os) {
+        return writeCaptureBundleV3(os, config_hash, packMeta(captured),
+                                    captured.stream, aux);
+    });
     bump(ok ? saves_ : saveFailures_);
     return ok;
 }
@@ -304,13 +480,6 @@ void
 CaptureCache::noteShimUse()
 {
     bump(shimUses_);
-}
-
-CaptureCache &
-defaultCaptureCache()
-{
-    static CaptureCache cache;
-    return cache;
 }
 
 std::uint64_t
@@ -351,39 +520,6 @@ captureCachePath(const std::string &dir, const std::string &workload,
     std::ostringstream name;
     name << workload << '-' << std::hex << config_hash << ".ccap";
     return (std::filesystem::path(dir) / name.str()).string();
-}
-
-stats::StatGroup &
-captureCacheStats()
-{
-    return defaultCaptureCache().stats();
-}
-
-std::uint64_t
-captureCacheCounter(const std::string &name)
-{
-    return defaultCaptureCache().counter(name);
-}
-
-bool
-loadCapturedWorkload(const std::string &path,
-                     std::uint64_t config_hash, CapturedWorkload &out,
-                     std::string *why)
-{
-    CaptureCache &cache = defaultCaptureCache();
-    cache.noteShimUse();
-    return cache.load(path, config_hash, out, why);
-}
-
-bool
-saveCapturedWorkload(const std::string &path,
-                     std::uint64_t config_hash,
-                     const CapturedWorkload &captured,
-                     const CaptureAux *aux)
-{
-    CaptureCache &cache = defaultCaptureCache();
-    cache.noteShimUse();
-    return cache.save(path, config_hash, captured, aux);
 }
 
 } // namespace casim

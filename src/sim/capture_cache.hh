@@ -14,19 +14,30 @@
  * regeneration.  Output is therefore byte-identical with the cache
  * cold, warm, or disabled.
  *
- * Since the casimd redesign the cache is an injected handle, not a
- * process singleton: a CaptureCache instance owns its own counters and
- * an in-memory resident store of captured workloads (capture()), so a
- * long-running daemon keeps streams, next-use chains and label planes
- * warm across requests.  BenchDriver owns one per process and hands it
- * to the ExperimentQueue.  The old free functions remain as deprecated
- * shims over a process-wide default instance for one release; every
- * shim call is counted in the default instance's `shim_uses` stat.
+ * Saves write the mmap-friendly CCAP v3 layout; loads dispatch on the
+ * bundle's version word.  A v3 bundle is mapped zero-copy (the warm
+ * default: no deserialization, the stream/chain/planes are views into
+ * the mapping) unless CASIM_NO_MMAP forces the fully-resident stream
+ * reader; a v2 bundle is adopted read-only through the legacy reader
+ * and only counted `stale` when its version is unknown, never merely
+ * for being v2.
+ *
+ * The cache is an injected handle, not a process singleton: a
+ * CaptureCache instance owns its own counters and an in-memory
+ * resident store of captured workloads (capture()), so a long-running
+ * daemon keeps streams, next-use chains and label planes warm across
+ * requests.  The resident store can be bounded with
+ * setResidentBudget(): once the byte footprint of resident captures
+ * exceeds the budget, least-recently-used completed entries are
+ * dropped (in-flight users keep their shared references).  The old
+ * singleton shims are gone; the `shim_uses` counter remains, pinned at
+ * zero, so tier-1 can assert no caller regressed onto a shim path.
  */
 
 #ifndef CASIM_SIM_CAPTURE_CACHE_HH
 #define CASIM_SIM_CAPTURE_CACHE_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,14 +64,34 @@ class CaptureCache
 
     /**
      * Counters: disk hits, cold/stale/corrupt misses, saves and save
-     * failures, resident-store memo hits, and deprecated-shim uses.
+     * failures, resident-store memo hits, zero-copy map statistics
+     * (mmap_maps / bytes_mapped / major_faults), deserializing loads,
+     * v2 adoptions, and the legacy shim_uses (always zero).
      * Increments are internally serialized; read them only after the
      * runs of interest have completed.
      */
     stats::StatGroup &stats() { return group_; }
 
-    /** Value of one counter by short name, e.g. "hits". */
+    /**
+     * Resident-store accounting: live entries and bytes, the byte
+     * budget, and LRU evictions forced by it.
+     */
+    stats::StatGroup &residentStats() { return residentGroup_; }
+
+    /** Value of one capture_cache counter by short name, e.g. "hits". */
     std::uint64_t counter(const std::string &name) const;
+
+    /** Value of one resident_store statistic by short name. */
+    std::uint64_t residentCounter(const std::string &name) const;
+
+    /**
+     * Bound the resident store to `bytes` of captured data (stream
+     * records + next-use chain + label-plane codes, whether owned or
+     * file-backed).  0 (the default) means unbounded.  Applies to
+     * future capture() completions and immediately evicts if the store
+     * is already over the new budget.
+     */
+    void setResidentBudget(std::uint64_t bytes);
 
     /**
      * The captured workload for (name, config), resident in memory.
@@ -77,7 +108,8 @@ class CaptureCache
     capture(const std::string &name, const StudyConfig &config);
 
     /**
-     * Try to load a cached capture bundle from disk.
+     * Try to load a cached capture bundle from disk, dispatching on the
+     * bundle version (v3 mapped / v3 stream fallback / v2 adopted).
      *
      * @param path        Cache-file path.
      * @param config_hash Expected configuration fingerprint.
@@ -91,11 +123,12 @@ class CaptureCache
               CapturedWorkload &out, std::string *why);
 
     /**
-     * Persist a capture, creating the directory as needed.  Writes to
-     * a temporary file and renames it into place so concurrent
-     * processes never observe a partial file.  Best-effort: failures
-     * are reported via the return value, never fatal — the cache is an
-     * accelerator, not a dependency.
+     * Persist a capture as a CCAP v3 bundle, creating the directory as
+     * needed.  The write is durable: temporary file, fsync, rename
+     * into place, directory fsync — a crashed writer can never leave a
+     * torn file where the next boot expects a mappable bundle.
+     * Best-effort: failures are reported via the return value, never
+     * fatal — the cache is an accelerator, not a dependency.
      *
      * @param aux Optional precomputed next-use chain + label planes to
      *            embed so warm loads skip the index build and the
@@ -105,7 +138,11 @@ class CaptureCache
               const CapturedWorkload &captured,
               const CaptureAux *aux = nullptr);
 
-    /** Count one call through a deprecated singleton shim. */
+    /**
+     * Count one call through a deprecated singleton shim.  The shims
+     * themselves are gone; the counter stays so tier-1 can assert it
+     * remains zero.
+     */
     void noteShimUse();
 
   private:
@@ -118,10 +155,25 @@ class CaptureCache
     {
         std::once_flag once;
         std::shared_ptr<const CapturedWorkload> captured;
+
+        /** Accounted footprint; set once the capture completes. */
+        std::uint64_t bytes = 0;
+
+        /** LRU clock value of the most recent capture() touch. */
+        std::uint64_t lastUse = 0;
+
+        /** True once `captured` is set; only ready entries evict. */
+        bool ready = false;
     };
 
     mutable std::mutex mutex_;
     std::map<std::uint64_t, std::shared_ptr<ResidentEntry>> resident_;
+    std::uint64_t lruTick_ = 0;
+
+    /** Atomic mirrors feeding the resident_store formulas. */
+    std::atomic<std::uint64_t> residentEntries_{0};
+    std::atomic<std::uint64_t> residentBytes_{0};
+    std::atomic<std::uint64_t> budgetBytes_{0};
 
     stats::StatGroup group_;
     stats::Counter &hits_;
@@ -132,15 +184,27 @@ class CaptureCache
     stats::Counter &saveFailures_;
     stats::Counter &memoHits_;
     stats::Counter &shimUses_;
+    stats::Counter &mmapMaps_;
+    stats::Counter &bytesMapped_;
+    stats::Counter &deserialized_;
+    stats::Counter &v2Adopted_;
 
-    void bump(stats::Counter &counter);
+    stats::StatGroup residentGroup_;
+    stats::Counter &evictions_;
+    stats::Counter &evictedBytes_;
+
+    void bump(stats::Counter &counter, std::uint64_t by = 1);
+
+    /**
+     * Account a completed capture under `hash` and evict
+     * least-recently-used ready entries (never `hash` itself) until
+     * the store fits the budget.
+     */
+    void accountAndEnforceBudget(std::uint64_t hash);
+
+    /** Evict LRU ready entries while over budget; mutex_ held. */
+    void enforceBudgetLocked(std::uint64_t protect_hash);
 };
-
-/**
- * The process-wide default instance backing the deprecated shims below
- * and any code not yet converted to an injected handle.
- */
-CaptureCache &defaultCaptureCache();
 
 /**
  * Fingerprint of everything that determines one workload's capture:
@@ -156,29 +220,6 @@ std::uint64_t captureConfigHash(const std::string &workload,
 std::string captureCachePath(const std::string &dir,
                              const std::string &workload,
                              std::uint64_t config_hash);
-
-// ---------------------------------------------------------------------
-// Deprecated singleton shims, kept for one release.  Each call
-// delegates to defaultCaptureCache() and bumps its `shim_uses`
-// counter; new code should take a CaptureCache handle (benches get one
-// from BenchDriver, the daemon owns its own).
-
-/** @deprecated Stats of the default instance (read-only accessor). */
-stats::StatGroup &captureCacheStats();
-
-/** @deprecated Counter of the default instance (read-only accessor). */
-std::uint64_t captureCacheCounter(const std::string &name);
-
-/** @deprecated Shim over defaultCaptureCache().load(). */
-bool loadCapturedWorkload(const std::string &path,
-                          std::uint64_t config_hash,
-                          CapturedWorkload &out, std::string *why);
-
-/** @deprecated Shim over defaultCaptureCache().save(). */
-bool saveCapturedWorkload(const std::string &path,
-                          std::uint64_t config_hash,
-                          const CapturedWorkload &captured,
-                          const CaptureAux *aux = nullptr);
 
 } // namespace casim
 

@@ -25,12 +25,18 @@ printUsage(std::ostream &os)
 {
     os << "usage: casimd --socket=PATH | --stdio\n"
           "             [--jobs=N] [--stats-out=FILE]\n"
-          "             [--capture-dir=DIR] [study config flags]\n"
+          "             [--capture-dir=DIR]\n"
+          "             [--capture-budget-bytes=N] [study config flags]\n"
           "\n"
           "Serves newline-delimited JSON experiment requests; one\n"
           "casim-stats-1 document per request.  On SIGTERM/SIGINT the\n"
           "daemon drains in-flight requests, then flushes its stats\n"
-          "document to --stats-out.\n";
+          "document to --stats-out.\n"
+          "\n"
+          "--capture-budget-bytes bounds the resident capture store:\n"
+          "idle captured workloads are evicted least-recently-used\n"
+          "once the store's footprint exceeds the budget (0 = \n"
+          "unbounded; see the resident_store stats group).\n";
 }
 
 } // namespace
@@ -49,6 +55,8 @@ main(int argc, char **argv)
 
     ExperimentDaemon daemon(config, options.jobs());
     daemon.setStatsOutPath(options.getString("stats-out", ""));
+    daemon.cache().setResidentBudget(
+        options.getUint("capture-budget-bytes", 0));
 
     const std::string socket_path = options.getString("socket", "");
     if (!socket_path.empty())

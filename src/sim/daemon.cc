@@ -167,6 +167,7 @@ ExperimentDaemon::makeStatsSink()
     sink.addGroup(group_);
     sink.addGroup(queue_.stats());
     sink.addGroup(cache_.stats());
+    sink.addGroup(cache_.residentStats());
     sink.addGroup(labelPlaneStats());
     sink.addGroup(shardedReplayStats());
     return sink;

@@ -22,17 +22,20 @@ const NextUseIndex &
 CapturedWorkload::nextUse(const IndexFanout &fanout) const
 {
     std::call_once(lazyIndex_->once, [this, &fanout] {
-        if (nextUseAux != nullptr &&
-            nextUseAux->nextUse.size() == stream.size()) {
+        if (nextUseAux != nullptr && nextUseAux->nextUse != nullptr &&
+            nextUseAux->count == stream.size()) {
+            // Zero-copy adoption: the chain and plane codes stay where
+            // the view points (an mmap'd bundle or an owned aux); the
+            // index pins the view, the view pins the storage.
             std::vector<NextUseIndex::LabelPlane> planes;
             planes.reserve(nextUseAux->planes.size());
-            for (const CaptureAuxPlane &plane : nextUseAux->planes) {
-                if (plane.codes.size() == stream.size())
-                    planes.push_back({plane.window, plane.nearWindow,
-                                      plane.codes});
-            }
+            for (const CaptureAuxView::Plane &plane :
+                 nextUseAux->planes)
+                planes.push_back({plane.window, plane.nearWindow,
+                                  plane.codes, stream.size()});
             lazyIndex_->index = std::make_unique<NextUseIndex>(
-                stream, nextUseAux->nextUse, std::move(planes));
+                stream, nextUseAux->nextUse, stream.size(),
+                std::move(planes), nextUseAux);
         } else {
             lazyIndex_->index =
                 std::make_unique<NextUseIndex>(stream, fanout);
@@ -83,11 +86,15 @@ buildCaptureAux(const CapturedWorkload &captured,
 {
     CaptureAux aux;
     const NextUseIndex &index = captured.nextUse();
-    aux.nextUse = index.chain();
+    aux.nextUse.assign(index.chainData(),
+                       index.chainData() + index.size());
     for (const auto &[window, near] : studyOracleWindows(config)) {
         const NextUseIndex::LabelPlane &plane =
             index.labelPlane(window, near);
-        aux.planes.push_back({window, near, plane.codes});
+        aux.planes.push_back(
+            {window, near,
+             std::vector<std::uint8_t>(plane.codes.begin(),
+                                       plane.codes.end())});
     }
     return aux;
 }
@@ -124,10 +131,13 @@ captureWorkload(const std::string &name, const StudyConfig &config,
         captureCachePath(config.captureDir, name, hash);
 
     CapturedWorkload captured;
-    captured.info = workloadInfo(name);
     std::string why;
-    if (cache.load(path, hash, captured, &why))
+    if (cache.load(path, hash, captured, &why)) {
+        // The bundle carries only what a capture computes; the static
+        // workload description is re-resolved on every load.
+        captured.info = workloadInfo(name);
         return captured;
+    }
 
     captured = captureWorkloadFresh(name, config, hier);
     const CaptureAux aux = buildCaptureAux(captured, config);
@@ -137,30 +147,23 @@ captureWorkload(const std::string &name, const StudyConfig &config,
     return captured;
 }
 
-CapturedWorkload
-captureWorkload(const std::string &name, const StudyConfig &config)
-{
-    CaptureCache &cache = defaultCaptureCache();
-    cache.noteShimUse();
-    return captureWorkload(name, config, cache);
-}
-
 std::vector<CapturedWorkload>
-captureAllWorkloads(const StudyConfig &config)
+captureAllWorkloads(const StudyConfig &config, CaptureCache &cache)
 {
     std::vector<CapturedWorkload> captured;
     for (const auto &info : allWorkloads())
-        captured.push_back(captureWorkload(info.name, config));
+        captured.push_back(captureWorkload(info.name, config, cache));
     return captured;
 }
 
 std::vector<CapturedWorkload>
-captureAllWorkloads(const StudyConfig &config, ParallelRunner &runner)
+captureAllWorkloads(const StudyConfig &config, CaptureCache &cache,
+                    ParallelRunner &runner)
 {
     const auto infos = allWorkloads();
     return runner.map<CapturedWorkload>(
         infos.size(), [&](std::size_t i) {
-            return captureWorkload(infos[i].name, config);
+            return captureWorkload(infos[i].name, config, cache);
         });
 }
 

@@ -45,11 +45,15 @@ struct CapturedWorkload
 
     /**
      * Precomputed next-use chain and label planes from a warm capture
-     * bundle; when present (and consistent with `stream`), the first
-     * nextUse() call adopts them instead of rebuilding, so warm runs
-     * skip both the index build and the oracle's label sweeps.
+     * bundle, as a borrowed view: for a mapped v3 bundle the pointers
+     * lead straight into the mapping (zero-copy), for the no-mmap
+     * fallback and adopted v2 bundles into an owned CaptureAux the
+     * view keeps alive.  When present (and consistent with `stream`),
+     * the first nextUse() call adopts them instead of rebuilding, so
+     * warm runs skip both the index build and the oracle's label
+     * sweeps.
      */
-    std::shared_ptr<const CaptureAux> nextUseAux;
+    std::shared_ptr<const CaptureAuxView> nextUseAux;
 
     /**
      * Offline next-use index over `stream`, built on first use and
@@ -104,16 +108,9 @@ CapturedWorkload captureWorkload(const std::string &name,
                                  const StudyConfig &config,
                                  CaptureCache &cache);
 
-/**
- * @deprecated Shim over the default CaptureCache instance; counted in
- * its `shim_uses` stat.  New code should take an injected handle.
- */
-CapturedWorkload captureWorkload(const std::string &name,
-                                 const StudyConfig &config);
-
 /** Capture every registered workload serially in suite order. */
 std::vector<CapturedWorkload>
-captureAllWorkloads(const StudyConfig &config);
+captureAllWorkloads(const StudyConfig &config, CaptureCache &cache);
 
 /**
  * Capture every registered workload, fanning the independent captures
@@ -121,7 +118,8 @@ captureAllWorkloads(const StudyConfig &config);
  * scheduling, so the output is identical to the serial overload.
  */
 std::vector<CapturedWorkload>
-captureAllWorkloads(const StudyConfig &config, ParallelRunner &runner);
+captureAllWorkloads(const StudyConfig &config, CaptureCache &cache,
+                    ParallelRunner &runner);
 
 /**
  * Named description of one captured-stream replay.

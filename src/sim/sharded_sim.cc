@@ -9,6 +9,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "trace/mmap_file.hh"
 
 namespace casim {
 
@@ -77,8 +78,17 @@ ShardedStreamSim::ShardedStreamSim(const Trace &stream,
     const unsigned block_shift = floorLog2(geo_.blockBytes);
     const Addr shard_mask = shards_ - 1;
     std::vector<std::size_t> counts(shards_, 0);
-    for (const MemAccess &access : stream_)
-        ++counts[(access.blockAddr() >> block_shift) & shard_mask];
+    {
+        // Both passes stream a mapped trace forward; the counting pass
+        // must not retire pages the fill pass still needs, so only the
+        // second cursor releases them.
+        PageCursor cursor(stream_.pager(), /*retire=*/false);
+        for (std::size_t i = 0; i < stream_.size(); ++i) {
+            cursor.touch(i);
+            ++counts[(stream_[i].blockAddr() >> block_shift) &
+                     shard_mask];
+        }
+    }
 
     substreams_.reserve(shards_);
     positions_.resize(shards_);
@@ -89,7 +99,9 @@ ShardedStreamSim::ShardedStreamSim(const Trace &stream,
         substreams_[s].reserve(counts[s]);
         positions_[s].reserve(counts[s]);
     }
+    PageCursor cursor(stream_.pager(), /*retire=*/true);
     for (std::size_t i = 0; i < stream_.size(); ++i) {
+        cursor.touch(i);
         const MemAccess &access = stream_[i];
         const auto s = static_cast<unsigned>(
             (access.blockAddr() >> block_shift) & shard_mask);

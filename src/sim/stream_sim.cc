@@ -17,6 +17,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "trace/mmap_file.hh"
 
 namespace casim {
 
@@ -68,18 +69,30 @@ StreamSim::run()
             scorer_->onEviction(*cache_, set, way, now_);
         };
 
+    // A mapped stream is consumed strictly forward, so a page cursor
+    // advises the kernel epoch by epoch and retires fully replayed
+    // epochs — replay never needs more than O(epoch + window) resident
+    // trace pages.  Pure paging hints: results are unchanged.
+    PageCursor cursor(stream_.pager(), /*retire=*/true);
     const unsigned window = batchWindow_;
     if (window < 2) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            cursor.touch(i);
             step(i);
+        }
     } else {
+        // The cursor follows the step index: the advised span reaches
+        // one full epoch ahead, far beyond the batch lookahead, so
+        // prefetchWindow's reads stay inside it.
         prefetchWindow(0, std::min<std::size_t>(window, n));
         for (std::size_t base = 0; base < n; base += window) {
             const std::size_t end =
                 std::min<std::size_t>(base + window, n);
             prefetchWindow(end, std::min<std::size_t>(end + window, n));
-            for (std::size_t i = base; i < end; ++i)
+            for (std::size_t i = base; i < end; ++i) {
+                cursor.touch(i);
                 step(i);
+            }
         }
     }
     cache_->flushResidencies();

@@ -6,6 +6,9 @@
 #ifndef CASIM_TRACE_ACCESS_HH
 #define CASIM_TRACE_ACCESS_HH
 
+#include <bit>
+#include <cstddef>
+
 #include "common/types.hh"
 
 namespace casim {
@@ -35,6 +38,21 @@ struct MemAccess
     /** Block-aligned address of the reference. */
     Addr blockAddr() const { return blockAlign(addr); }
 };
+
+// The CCAP v3 trace section stores records in this exact in-memory
+// layout so a mapped bundle is usable as a `const MemAccess *` with no
+// deserialization.  Writers zero the tail padding for deterministic
+// file bytes; these asserts pin the layout (and byte order) the format
+// depends on.
+static_assert(sizeof(MemAccess) == 24,
+              "CCAP v3 assumes 24-byte trace records");
+static_assert(offsetof(MemAccess, addr) == 0 &&
+                  offsetof(MemAccess, pc) == 8 &&
+                  offsetof(MemAccess, core) == 16 &&
+                  offsetof(MemAccess, isWrite) == 17,
+              "CCAP v3 assumes the MemAccess field offsets");
+static_assert(std::endian::native == std::endian::little,
+              "CCAP v3 trace sections are little-endian");
 
 } // namespace casim
 

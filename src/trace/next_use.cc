@@ -11,6 +11,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "trace/mmap_file.hh"
 
 namespace casim {
 
@@ -29,6 +30,9 @@ struct PlaneStats
         "adopted", "planes adopted from a warm capture bundle");
     stats::Counter &bytes = group.addCounter(
         "bytes", "bytes held by built or adopted label planes");
+    stats::Counter &bytesMapped = group.addCounter(
+        "bytes_mapped",
+        "plane code bytes served zero-copy from mmap'd bundles");
 };
 
 PlaneStats &
@@ -77,6 +81,101 @@ labelPlaneCounter(const std::string &name)
 }
 
 void
+noteLabelPlaneMappedBytes(std::uint64_t bytes)
+{
+    if (bytes != 0)
+        bumpPlane(planeStats().bytesMapped, bytes);
+}
+
+bool
+operator==(const CodeSpan &a, const CodeSpan &b)
+{
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::equal(a.begin(), a.end(), b.begin()));
+}
+
+std::vector<std::uint32_t>
+computeNextUseChain(const Trace &trace)
+{
+    NextUseIndex::checkIndexable(trace.size());
+    const std::size_t n = trace.size();
+    std::vector<std::uint32_t> chain(n, kNoNextUse);
+    if (n == 0)
+        return chain;
+
+    // Open-addressing map block -> most recent later position, probed
+    // backward over the trace; emptiness lives in the value array so
+    // address 0 needs no special casing.
+    std::size_t cap = 16;
+    while (cap < 2 * n)
+        cap <<= 1;
+    const std::size_t mask = cap - 1;
+    std::vector<Addr> keys(cap, 0);
+    std::vector<std::uint32_t> later(cap, kNoNextUse);
+    for (std::size_t i = n; i-- > 0;) {
+        const Addr block = trace[i].blockAddr();
+        std::size_t slot = mixAddr(block) & mask;
+        for (;;) {
+            if (later[slot] == kNoNextUse) {
+                keys[slot] = block;
+                later[slot] = static_cast<std::uint32_t>(i);
+                break;
+            }
+            if (keys[slot] == block) {
+                chain[i] = later[slot];
+                later[slot] = static_cast<std::uint32_t>(i);
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+    return chain;
+}
+
+NextUseIndex::LabelPlane::LabelPlane(SeqNo window, SeqNo near_window,
+                                     std::vector<std::uint8_t>
+                                         owned_codes)
+    : window(window), nearWindow(near_window),
+      owned_(std::move(owned_codes))
+{
+    codes = CodeSpan(owned_.data(), owned_.size());
+}
+
+NextUseIndex::LabelPlane::LabelPlane(SeqNo window, SeqNo near_window,
+                                     const std::uint8_t *codes_data,
+                                     std::size_t count)
+    : window(window), nearWindow(near_window),
+      codes(codes_data, count)
+{
+}
+
+NextUseIndex::LabelPlane::LabelPlane(const LabelPlane &other)
+    : window(other.window), nearWindow(other.nearWindow),
+      owned_(other.owned_)
+{
+    // A copy of an owning plane must view its own copy of the codes; a
+    // borrowing plane's view is external and copies verbatim.
+    codes = other.codes.data() == other.owned_.data()
+                ? CodeSpan(owned_.data(), owned_.size())
+                : other.codes;
+}
+
+NextUseIndex::LabelPlane &
+NextUseIndex::LabelPlane::operator=(const LabelPlane &other)
+{
+    if (this == &other)
+        return *this;
+    window = other.window;
+    nearWindow = other.nearWindow;
+    owned_ = other.owned_;
+    codes = other.codes.data() == other.owned_.data()
+                ? CodeSpan(owned_.data(), owned_.size())
+                : other.codes;
+    return *this;
+}
+
+void
 NextUseIndex::checkIndexable(std::size_t trace_size)
 {
     if (trace_size >= kNone)
@@ -90,21 +189,15 @@ NextUseIndex::checkIndexable(std::size_t trace_size)
 
 NextUseIndex::NextUseIndex(const Trace &trace, const IndexFanout &fanout)
 {
+    // The chain is one serial backward pass; `fanout` still
+    // parallelizes the lazily built slices and plane sweeps.
+    (void)fanout;
     checkIndexable(trace.size());
-    const std::size_t n = trace.size();
-    refs_ = n == 0 ? nullptr : &*trace.begin();
-    next_.assign(n, kNone);
-    ensureSlices(fanout);
-
-    // The next-use chain falls out of consecutive slice entries; shards
-    // write disjoint positions, so the fill parallelizes over blocks.
-    forEachBlockShard(fanout, [this](std::uint32_t lo, std::uint32_t hi) {
-        for (std::uint32_t b = lo; b < hi; ++b) {
-            for (std::uint32_t k = s_.sliceBegin[b];
-                 k + 1 < s_.sliceBegin[b + 1]; ++k)
-                next_[s_.pos[k]] = s_.pos[k + 1];
-        }
-    });
+    refs_ = trace.data();
+    pager_ = trace.pagerShared();
+    chainOwned_ = computeNextUseChain(trace);
+    chain_ = chainOwned_.data();
+    chainSize_ = chainOwned_.size();
 }
 
 NextUseIndex::NextUseIndex(const Trace &trace,
@@ -114,12 +207,39 @@ NextUseIndex::NextUseIndex(const Trace &trace,
     checkIndexable(trace.size());
     casim_assert(chain.size() == trace.size(),
                  "adopted next-use chain length does not match trace");
-    refs_ = trace.empty() ? nullptr : &*trace.begin();
-    next_ = std::move(chain);
-    adoptedChain_ = true;
+    refs_ = trace.data();
+    pager_ = trace.pagerShared();
+    chainOwned_ = std::move(chain);
+    chain_ = chainOwned_.data();
+    chainSize_ = chainOwned_.size();
+    adoptPlanes(std::move(planes));
+}
+
+NextUseIndex::NextUseIndex(const Trace &trace,
+                           const std::uint32_t *chain,
+                           std::size_t chain_size,
+                           std::vector<LabelPlane> planes,
+                           std::shared_ptr<const void> keep_alive)
+{
+    checkIndexable(trace.size());
+    casim_assert(chain_size == trace.size(),
+                 "adopted next-use chain length does not match trace");
+    casim_assert(chain != nullptr || chain_size == 0,
+                 "adopted next-use chain needs a buffer");
+    refs_ = trace.data();
+    pager_ = trace.pagerShared();
+    chain_ = chain;
+    chainSize_ = chain_size;
+    keepAlive_ = std::move(keep_alive);
+    adoptPlanes(std::move(planes));
+}
+
+void
+NextUseIndex::adoptPlanes(std::vector<LabelPlane> planes)
+{
     std::uint64_t adopted_bytes = 0;
     for (LabelPlane &plane : planes) {
-        casim_assert(plane.codes.size() == trace.size(),
+        casim_assert(plane.codes.size() == chainSize_,
                      "adopted label plane length does not match trace");
         adopted_bytes += plane.codes.size();
         const auto key = std::make_pair(plane.window, plane.nearWindow);
@@ -144,7 +264,7 @@ void
 NextUseIndex::buildSlices(const IndexFanout &fanout) const
 {
     (void)fanout;
-    const std::size_t n = next_.size();
+    const std::size_t n = chainSize_;
 
     // Dense block ids via open addressing at <= 50% load.  Ids are
     // assigned in first-appearance order, so the whole build is
@@ -159,7 +279,9 @@ NextUseIndex::buildSlices(const IndexFanout &fanout) const
     std::vector<std::uint32_t> id_of(n);
     std::vector<std::uint32_t> counts;
     counts.reserve(n / 8 + 16);
+    PageCursor id_cursor(pager_.get(), /*retire=*/false);
     for (std::size_t i = 0; i < n; ++i) {
+        id_cursor.touch(i);
         const Addr block = refs_[i].blockAddr();
         std::size_t slot = mixAddr(block) & s_.tableMask;
         std::uint32_t id;
@@ -197,26 +319,25 @@ NextUseIndex::buildSlices(const IndexFanout &fanout) const
 
     s_.pos.resize(n);
     s_.core.resize(n);
+    PageCursor scatter_cursor(pager_.get(), /*retire=*/false);
     for (std::size_t i = 0; i < n; ++i) {
+        scatter_cursor.touch(i);
         const std::uint32_t at = counts[id_of[i]]++;
         s_.pos[at] = static_cast<std::uint32_t>(i);
         s_.core[at] = refs_[i].core;
     }
 
 #ifdef CASIM_PARANOID
-    // Cross-check a bundle-adopted next-use chain against the freshly
-    // derived slices.  Eagerly built chains are skipped: they are
-    // filled *from* these slices after buildSlices returns, so here
-    // next_ is still all-sentinel.
-    if (adoptedChain_) {
-        for (std::uint32_t b = 0; b < blocks; ++b) {
-            for (std::uint32_t k = s_.sliceBegin[b];
-                 k < s_.sliceBegin[b + 1]; ++k) {
-                const std::uint32_t expect =
-                    k + 1 < s_.sliceBegin[b + 1] ? s_.pos[k + 1] : kNone;
-                casim_assert(next_[s_.pos[k]] == expect,
-                             "next-use chain inconsistent with slices");
-            }
+    // The chain — whether freshly built by the backward pass or adopted
+    // from a checksummed bundle — must agree with consecutive slice
+    // entries; paranoid builds cross-check every position.
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+        for (std::uint32_t k = s_.sliceBegin[b];
+             k < s_.sliceBegin[b + 1]; ++k) {
+            const std::uint32_t expect =
+                k + 1 < s_.sliceBegin[b + 1] ? s_.pos[k + 1] : kNone;
+            casim_assert(chain_[s_.pos[k]] == expect,
+                         "next-use chain inconsistent with slices");
         }
     }
 #endif
@@ -378,7 +499,7 @@ NextUseIndex::scanLabel(Addr block, SeqNo from, SeqNo window,
 {
     if (!sharedWithin(block, from, window))
         return kLabelPrivate;
-    const SeqNo next = from < next_.size() ? nextUse(from) : kSeqNever;
+    const SeqNo next = from < chainSize_ ? nextUse(from) : kSeqNever;
     if (next == kSeqNever || next - from > near_window)
         return kLabelNearVeto;
     return kLabelShared;
@@ -389,9 +510,8 @@ NextUseIndex::computeLabelPlane(SeqNo window, SeqNo near_window,
                                 const IndexFanout &fanout) const
 {
     ensureSlices(fanout);
-    LabelPlane plane{window, near_window,
-                     std::vector<std::uint8_t>(next_.size(),
-                                               kLabelPrivate)};
+    std::vector<std::uint8_t> codes(chainSize_, kLabelPrivate);
+    std::uint8_t *out = codes.data();
 
     // Per block: slide the window [pos[k], pos[k] + window) over the
     // sorted slice with two pointers.  `left`/`right` bound the slice
@@ -431,8 +551,7 @@ NextUseIndex::computeLabelPlane(SeqNo window, SeqNo near_window,
                     const bool veto =
                         k + 1 >= m ||
                         SeqNo{pos[k + 1]} - from > near_window;
-                    plane.codes[from] =
-                        veto ? kLabelNearVeto : kLabelShared;
+                    out[from] = veto ? kLabelNearVeto : kLabelShared;
                 }
             }
             // Drain the still-counted tail so the count array can be
@@ -441,7 +560,7 @@ NextUseIndex::computeLabelPlane(SeqNo window, SeqNo near_window,
                 --core_refs[core[k]];
         }
     });
-    return plane;
+    return LabelPlane(window, near_window, std::move(codes));
 }
 
 const NextUseIndex::LabelPlane &

@@ -21,6 +21,9 @@
  * The index borrows the trace's record buffer instead of copying it:
  * the trace must outlive the index, but *moving* the trace (and
  * whatever owns it) is safe because vector moves keep the heap buffer.
+ * The next-use chain and the label-plane codes are likewise borrowable:
+ * a warm start adopts them straight out of an mmap'd CCAP v3 bundle
+ * (held alive by a shared handle) instead of copying them into vectors.
  */
 
 #ifndef CASIM_TRACE_NEXT_USE_HH
@@ -63,6 +66,54 @@ stats::StatGroup &labelPlaneStats();
 /** Value of one label-plane counter by short name, e.g. "builds". */
 std::uint64_t labelPlaneCounter(const std::string &name);
 
+/**
+ * Record `bytes` of label-plane codes adopted as zero-copy mapped
+ * views (the `label_plane.bytes_mapped` counter).  Called by the
+ * capture cache when it hands a mapped bundle's planes to an index.
+ */
+void noteLabelPlaneMappedBytes(std::uint64_t bytes);
+
+/** The chain entry meaning "no later reference to this block". */
+inline constexpr std::uint32_t kNoNextUse = 0xffffffffu;
+
+/**
+ * The next-use chain over a trace, built in one serial backward pass
+ * (an open-addressing map from block to its most recent later
+ * position).  chain[i] is the position of the next reference to the
+ * block at position i, or kNoNextUse.  This is the capture-time
+ * builder; NextUseIndex adopts the result (or derives the identical
+ * chain from its slices under -DCASIM_PARANOID cross-checking).
+ */
+std::vector<std::uint32_t> computeNextUseChain(const Trace &trace);
+
+/**
+ * Non-owning view of one label plane's per-position codes.  Content
+ * (not identity) equality; iteration and indexing match the vector it
+ * replaced.
+ */
+class CodeSpan
+{
+  public:
+    CodeSpan() = default;
+    CodeSpan(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+    const std::uint8_t *begin() const { return data_; }
+    const std::uint8_t *end() const { return data_ + size_; }
+
+  private:
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+bool operator==(const CodeSpan &a, const CodeSpan &b);
+
 /** Offline next-use and per-block reference index. */
 class NextUseIndex
 {
@@ -88,12 +139,37 @@ class NextUseIndex
      * codes[i] is the Label of a fill at stream position i.  Valid only
      * for demand fills, where the filled block is the trace record at
      * that position; prefetch fills fall back to scanLabel().
+     *
+     * The codes are exposed as a CodeSpan; the plane either owns them
+     * (a fresh sweep, or an adopted v2 bundle) or borrows them from a
+     * mapped v3 bundle, whose lifetime the owning index guarantees.
      */
     struct LabelPlane
     {
         SeqNo window = 0;
         SeqNo nearWindow = 0;
-        std::vector<std::uint8_t> codes;
+        CodeSpan codes;
+
+        LabelPlane() = default;
+
+        /** Owning: take the code vector (sweep / deserialized path). */
+        LabelPlane(SeqNo window, SeqNo near_window,
+                   std::vector<std::uint8_t> owned_codes);
+
+        /** Borrowing: view codes owned elsewhere (mapped bundles). */
+        LabelPlane(SeqNo window, SeqNo near_window,
+                   const std::uint8_t *codes_data, std::size_t count);
+
+        LabelPlane(const LabelPlane &other);
+        LabelPlane &operator=(const LabelPlane &other);
+
+        // Moves are safe with the defaults: the span is copied before
+        // owned_ moves, and a vector move keeps its heap buffer.
+        LabelPlane(LabelPlane &&other) noexcept = default;
+        LabelPlane &operator=(LabelPlane &&other) noexcept = default;
+
+      private:
+        std::vector<std::uint8_t> owned_;
     };
 
     /**
@@ -117,6 +193,15 @@ class NextUseIndex
     NextUseIndex(const Trace &trace, std::vector<std::uint32_t> chain,
                  std::vector<LabelPlane> planes);
 
+    /**
+     * Zero-copy adoption from a mapped v3 bundle: borrow the chain (and
+     * any borrowing planes) instead of owning them, with `keep_alive`
+     * (the mapping) pinning the storage for the index's lifetime.
+     */
+    NextUseIndex(const Trace &trace, const std::uint32_t *chain,
+                 std::size_t chain_size, std::vector<LabelPlane> planes,
+                 std::shared_ptr<const void> keep_alive);
+
     NextUseIndex(const NextUseIndex &) = delete;
     NextUseIndex &operator=(const NextUseIndex &) = delete;
 
@@ -133,15 +218,15 @@ class NextUseIndex
     SeqNo
     nextUse(SeqNo i) const
     {
-        const std::uint32_t n = next_[i];
+        const std::uint32_t n = chain_[i];
         return n == kNone ? kSeqNever : n;
     }
 
-    /** The raw next-use chain (kNone-terminated 32-bit positions). */
-    const std::vector<std::uint32_t> &chain() const { return next_; }
+    /** The raw next-use chain (kNoNextUse-terminated positions). */
+    const std::uint32_t *chainData() const { return chain_; }
 
     /** Number of references the index was built over. */
-    std::size_t size() const { return next_.size(); }
+    std::size_t size() const { return chainSize_; }
 
     /** Block-aligned address of the trace record at position i. */
     Addr blockAt(SeqNo i) const { return refs_[i].blockAddr(); }
@@ -238,7 +323,7 @@ class NextUseIndex
                                  const IndexFanout &fanout = {}) const;
 
   private:
-    static constexpr std::uint32_t kNone = 0xffffffffu;
+    static constexpr std::uint32_t kNone = kNoNextUse;
 
     /** Flat per-block reference slices (see file comment). */
     struct Slices
@@ -268,6 +353,7 @@ class NextUseIndex
         std::size_t count = 0;
     };
 
+    void adoptPlanes(std::vector<LabelPlane> planes);
     void ensureSlices(const IndexFanout &fanout = {}) const;
     void buildSlices(const IndexFanout &fanout) const;
     Span spanFor(Addr block) const;
@@ -283,16 +369,17 @@ class NextUseIndex
     /** The trace's record buffer (owned by the trace, not the index). */
     const MemAccess *refs_ = nullptr;
 
-    std::vector<std::uint32_t> next_;
-
     /**
-     * True when next_ was adopted from a capture bundle rather than
-     * derived from the slices; paranoid builds then cross-check it
-     * against the freshly derived slices.  (During an eager build the
-     * chain is filled *from* the slices after buildSlices returns, so
-     * the check would be premature there — and tautological after.)
+     * The next-use chain: points at chainOwned_ (eager build, owned
+     * adoption) or into storage pinned by keepAlive_ (mapped bundles).
      */
-    bool adoptedChain_ = false;
+    std::vector<std::uint32_t> chainOwned_;
+    const std::uint32_t *chain_ = nullptr;
+    std::size_t chainSize_ = 0;
+    std::shared_ptr<const void> keepAlive_;
+
+    /** The trace's pager, so the slice build streams mapped pages. */
+    std::shared_ptr<const TracePager> pager_;
 
     mutable std::once_flag slicesOnce_;
     mutable Slices s_;
@@ -304,6 +391,15 @@ class NextUseIndex
     mutable std::mutex planeMutex_;
     mutable std::map<std::pair<SeqNo, SeqNo>, LabelPlane> planes_;
 };
+
+/** Content equality (owned and borrowed planes compare equal). */
+inline bool
+operator==(const NextUseIndex::LabelPlane &a,
+           const NextUseIndex::LabelPlane &b)
+{
+    return a.window == b.window && a.nearWindow == b.nearWindow &&
+           a.codes == b.codes;
+}
 
 } // namespace casim
 

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "trace/mmap_file.hh"
 
 namespace casim {
 
@@ -19,12 +20,89 @@ Trace::Trace(std::string name, unsigned num_cores)
                  "unsupported core count ", num_cores);
 }
 
+Trace
+Trace::view(std::string name, unsigned num_cores,
+            const MemAccess *records, std::size_t count,
+            std::shared_ptr<const void> keep_alive,
+            std::shared_ptr<const TracePager> pager)
+{
+    Trace trace(std::move(name), num_cores);
+    casim_assert(records != nullptr || count == 0,
+                 "trace view needs a record buffer");
+    trace.data_ = records;
+    trace.size_ = count;
+    trace.view_ = true;
+    trace.keepAlive_ = std::move(keep_alive);
+    trace.pager_ = std::move(pager);
+    return trace;
+}
+
+Trace::Trace(const Trace &other)
+    : name_(other.name_), numCores_(other.numCores_),
+      owned_(other.owned_), size_(other.size_), view_(other.view_),
+      keepAlive_(other.keepAlive_), pager_(other.pager_)
+{
+    data_ = view_ ? other.data_ : owned_.data();
+}
+
+Trace &
+Trace::operator=(const Trace &other)
+{
+    if (this == &other)
+        return *this;
+    name_ = other.name_;
+    numCores_ = other.numCores_;
+    owned_ = other.owned_;
+    size_ = other.size_;
+    view_ = other.view_;
+    keepAlive_ = other.keepAlive_;
+    pager_ = other.pager_;
+    data_ = view_ ? other.data_ : owned_.data();
+    return *this;
+}
+
+Trace::Trace(Trace &&other) noexcept
+    : name_(std::move(other.name_)), numCores_(other.numCores_),
+      owned_(std::move(other.owned_)), size_(other.size_),
+      view_(other.view_), keepAlive_(std::move(other.keepAlive_)),
+      pager_(std::move(other.pager_))
+{
+    // A vector move keeps the heap buffer, so the owned pointer stays
+    // valid; a view's pointer is external either way.
+    data_ = view_ ? other.data_ : owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.view_ = false;
+}
+
+Trace &
+Trace::operator=(Trace &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    name_ = std::move(other.name_);
+    numCores_ = other.numCores_;
+    owned_ = std::move(other.owned_);
+    size_ = other.size_;
+    view_ = other.view_;
+    keepAlive_ = std::move(other.keepAlive_);
+    pager_ = std::move(other.pager_);
+    data_ = view_ ? other.data_ : owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.view_ = false;
+    return *this;
+}
+
 void
 Trace::append(const MemAccess &access)
 {
+    casim_assert(!view_, "cannot append to a trace view (", name_, ")");
     casim_assert(access.core < numCores_, "core id ",
                  unsigned(access.core), " out of range in trace ", name_);
-    accesses_.push_back(access);
+    owned_.push_back(access);
+    data_ = owned_.data();
+    size_ = owned_.size();
 }
 
 void
@@ -33,26 +111,39 @@ Trace::append(Addr addr, PC pc, CoreId core, bool is_write)
     append(MemAccess{blockAlign(addr), pc, core, is_write});
 }
 
+void
+Trace::reserve(std::size_t n)
+{
+    casim_assert(!view_, "cannot reserve on a trace view (", name_, ")");
+    owned_.reserve(n);
+    data_ = owned_.data();
+}
+
 std::size_t
 Trace::footprintBlocks() const
 {
     std::unordered_set<Addr> blocks;
-    blocks.reserve(accesses_.size() / 8 + 16);
-    for (const auto &access : accesses_)
-        blocks.insert(access.blockAddr());
+    blocks.reserve(size_ / 8 + 16);
+    PageCursor cursor(pager_.get(), /*retire=*/false);
+    for (std::size_t i = 0; i < size_; ++i) {
+        cursor.touch(i);
+        blocks.insert(data_[i].blockAddr());
+    }
     return blocks.size();
 }
 
 double
 Trace::writeFraction() const
 {
-    if (accesses_.empty())
+    if (size_ == 0)
         return 0.0;
     std::size_t writes = 0;
-    for (const auto &access : accesses_)
-        writes += access.isWrite ? 1 : 0;
-    return static_cast<double>(writes) /
-           static_cast<double>(accesses_.size());
+    PageCursor cursor(pager_.get(), /*retire=*/false);
+    for (std::size_t i = 0; i < size_; ++i) {
+        cursor.touch(i);
+        writes += data_[i].isWrite ? 1 : 0;
+    }
+    return static_cast<double>(writes) / static_cast<double>(size_);
 }
 
 std::size_t
@@ -60,8 +151,11 @@ Trace::sharedFootprintBlocks() const
 {
     // Map block -> (first core seen, shared flag).
     std::unordered_map<Addr, std::pair<CoreId, bool>> seen;
-    seen.reserve(accesses_.size() / 8 + 16);
-    for (const auto &access : accesses_) {
+    seen.reserve(size_ / 8 + 16);
+    PageCursor cursor(pager_.get(), /*retire=*/false);
+    for (std::size_t i = 0; i < size_; ++i) {
+        cursor.touch(i);
+        const MemAccess &access = data_[i];
         auto [it, inserted] =
             seen.try_emplace(access.blockAddr(),
                              std::make_pair(access.core, false));

@@ -16,7 +16,9 @@
 #define CASIM_TRACE_TRACE_IO_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,7 +29,12 @@ namespace casim {
 /** Serialize a trace to a stream; returns false on I/O failure. */
 bool writeTrace(const Trace &trace, std::ostream &os);
 
-/** Serialize a trace to a file; fatal on open or write failure. */
+/**
+ * Serialize a trace to a file; fatal on open or write failure.  The
+ * file is written to a temporary name, fsync'd, and renamed into
+ * place (with the directory fsync'd), so a crash mid-save can never
+ * leave a torn file at `path`.
+ */
 void saveTrace(const Trace &trace, const std::string &path);
 
 /**
@@ -42,6 +49,15 @@ Trace readTrace(std::istream &is, std::string *error = nullptr);
 
 /** Deserialize a trace from a file; fatal on open or format errors. */
 Trace loadTrace(const std::string &path);
+
+/**
+ * Crash-safe file write shared by every trace/bundle writer: stream
+ * the contents via `writer` to a temporary file, fsync it, rename it
+ * into place and fsync the directory.  Returns false (leaving any old
+ * file at `path` intact) when the writer or any durability step fails.
+ */
+bool writeFileDurably(const std::string &path,
+                      const std::function<bool(std::ostream &)> &writer);
 
 // --- Capture bundles ---------------------------------------------------
 //
@@ -123,6 +139,146 @@ bool readCaptureBundle(std::istream &is, std::uint64_t expected_hash,
                        std::vector<std::uint64_t> &meta, Trace &stream,
                        std::string *error = nullptr,
                        CaptureAux *aux = nullptr);
+
+// --- CCAP v3: the mmap-backed epoch-segmented bundle -------------------
+//
+// Version 3 restructures the bundle so a warm load is a single mmap()
+// with zero deserialization.  The file is a checksummed header region
+// followed by page-aligned data sections holding native-layout data:
+//
+//   header (offset 0, little-endian):
+//     magic "CCAP"        @0   | version u32 (=3)   @4
+//     config_hash u64     @8   | file_bytes u64     @16
+//     header_fnv u64      @24  (FNV-1a over [0, header_region_bytes)
+//                               with this field zeroed)
+//     record_count u64    @32  | epoch_records u64  @40
+//     meta_count u32      @48  | num_cores u32      @52
+//     name_len u32        @56  | plane_count u32    @60
+//     trace_off u64       @64  | chain_off u64      @72
+//     header_region_bytes u64 @80
+//     record_stride u32   @88  (= sizeof(MemAccess) = 24)
+//     reserved u32        @92
+//   then, still inside the checksummed header region:
+//     meta u64s | name bytes |
+//     segment directory: seg_count x { trace_fnv u64 | chain_fnv u64 } |
+//     plane descriptors: plane_count x { window u64 | near u64 |
+//                                        codes_off u64 | codes_fnv u64 }
+//   zero padding to the next page boundary, then the sections:
+//     trace records  @trace_off  (record_count x 24, native MemAccess
+//                                 layout, tail padding zeroed)
+//     next-use chain @chain_off  (record_count x u32; chain_off = 0
+//                                 means the bundle carries no chain)
+//     plane codes    @codes_off  (record_count bytes per plane)
+//   each section zero-padded to a page boundary; file_bytes = total.
+//
+// The trace is logically segmented into epochs of epoch_records
+// records; seg_count = ceil(record_count / epoch_records).  Segments
+// are stored contiguously (the default epoch is a multiple of 512
+// records, so with the 24-byte stride every default epoch boundary is
+// page-aligned) and the directory carries one FNV per segment for the
+// trace and chain sections.  Mapping validates the header checksum and
+// file_bytes against the actual size — cheap truncation/corruption
+// detection that touches only header pages; the per-segment FNVs are
+// verified by the stream-fallback reader and, eagerly, under
+// -DCASIM_PARANOID.
+
+/**
+ * Bundle version words (the u32 at file offset 4).  Version 2 is the
+ * legacy chunked-deserialization layout above, still adopted read-only;
+ * version 3 is the mmap-backed layout; version 1 (no aux section) and
+ * anything newer are rejected as stale.
+ */
+constexpr std::uint32_t kBundleVersion2 = 2;
+constexpr std::uint32_t kBundleVersion3 = 3;
+
+/** Records per epoch segment unless the writer overrides it.  A
+ *  multiple of 512 = lcm(24, 4096)/24, so default epoch boundaries
+ *  land on page boundaries within the trace section. */
+constexpr std::uint64_t kDefaultEpochRecords = std::uint64_t{1} << 18;
+
+/**
+ * Zero-copy view of a bundle's precomputed next-use data: a borrowed
+ * chain and label-plane code pointers, valid while `keepAlive` (the
+ * mapping, or an owned CaptureAux for the fallback path) is held.
+ * `nextUse` may be null when the bundle carries no chain.
+ */
+struct CaptureAuxView
+{
+    struct Plane
+    {
+        std::uint64_t window = 0;
+        std::uint64_t nearWindow = 0;
+        const std::uint8_t *codes = nullptr;
+    };
+
+    const std::uint32_t *nextUse = nullptr;
+    std::uint64_t count = 0;
+    std::vector<Plane> planes;
+    std::shared_ptr<const void> keepAlive;
+};
+
+/** Result of mapping a v3 bundle: everything a warm load needs. */
+struct MappedCaptureBundle
+{
+    std::vector<std::uint64_t> meta;
+    Trace stream{"", 1};
+    std::shared_ptr<const CaptureAuxView> aux;
+    std::uint64_t bytesMapped = 0;
+};
+
+/**
+ * Serialize a v3 capture bundle (see the format comment above).
+ *
+ * @param epoch_records Records per epoch segment; tests use tiny
+ *                      epochs, production the default.
+ * @return False on I/O failure.
+ */
+bool writeCaptureBundleV3(std::ostream &os, std::uint64_t config_hash,
+                          const std::vector<std::uint64_t> &meta,
+                          const Trace &stream,
+                          const CaptureAux *aux = nullptr,
+                          std::uint64_t epoch_records =
+                              kDefaultEpochRecords);
+
+/**
+ * Map a v3 bundle zero-copy: validates the header region (magic,
+ * version, checksum, claimed size vs actual size, offset consistency,
+ * config hash) without touching the data sections, then exposes the
+ * trace as a view with a TracePager and the aux data as borrowed
+ * pointers.  Under -DCASIM_PARANOID every segment and plane FNV is
+ * verified eagerly (touching all pages).  Failure semantics match
+ * readCaptureBundle: "config hash mismatch" / "unsupported bundle
+ * version" are staleness, everything else corruption.
+ */
+bool mapCaptureBundleV3(const std::string &path,
+                        std::uint64_t expected_hash,
+                        MappedCaptureBundle &out,
+                        std::string *error = nullptr);
+
+/**
+ * Fully-resident stream reader for v3 bundles — the CASIM_NO_MMAP
+ * fallback.  Verifies every per-segment and per-plane checksum and the
+ * record core range, and produces an owned Trace/CaptureAux that is
+ * byte-identical to what the mapped view exposes.
+ */
+bool readCaptureBundleV3(std::istream &is, std::uint64_t expected_hash,
+                         std::vector<std::uint64_t> &meta, Trace &stream,
+                         std::string *error = nullptr,
+                         CaptureAux *aux = nullptr);
+
+/**
+ * The version word of the bundle at `path` (0 on open/read failure or
+ * bad magic).  Used to dispatch between the v3 map path and the v2
+ * read-only adoption path without consuming the stream.
+ */
+std::uint32_t peekBundleVersion(const std::string &path);
+
+/**
+ * Wrap an owned CaptureAux as a borrowed view (the fallback and v2
+ * adoption paths); the returned view shares ownership of `aux`.
+ */
+std::shared_ptr<const CaptureAuxView>
+auxViewOf(std::shared_ptr<const CaptureAux> aux);
 
 } // namespace casim
 

@@ -3,7 +3,9 @@
  * Tests for the persistent capture cache: warm loads must be
  * byte-identical to cold regeneration, and stale, truncated or
  * corrupted cache files must fall back to regeneration while counting
- * the fallback in the capture_cache stat group.
+ * the fallback in the capture_cache stat group.  The cache is an
+ * injected handle now, so every test owns its instance and reads its
+ * counters from zero.
  */
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 #include "common/rng.hh"
 #include "sim/capture_cache.hh"
 #include "sim/experiment.hh"
+#include "trace/mmap_file.hh"
 #include "trace/trace_io.hh"
 
 namespace casim {
@@ -127,14 +130,15 @@ TEST(CaptureCache, WarmLoadIsByteIdenticalAcrossAllWorkloads)
     const StudyConfig uncached = tinyConfig();
     const StudyConfig cached = tinyConfig(dir.str());
 
-    const auto hits_before = captureCacheCounter("hits");
-    const auto cold_before = captureCacheCounter("cold_misses");
+    CaptureCache cache;
     std::uint64_t workloads = 0;
     for (const auto &info : allWorkloads()) {
         const CapturedWorkload fresh =
-            captureWorkload(info.name, uncached);
-        const CapturedWorkload cold = captureWorkload(info.name, cached);
-        const CapturedWorkload warm = captureWorkload(info.name, cached);
+            captureWorkload(info.name, uncached, cache);
+        const CapturedWorkload cold =
+            captureWorkload(info.name, cached, cache);
+        const CapturedWorkload warm =
+            captureWorkload(info.name, cached, cache);
         SCOPED_TRACE(info.name);
         expectSameCapture(fresh, cold);
         expectSameCapture(fresh, warm);
@@ -142,44 +146,47 @@ TEST(CaptureCache, WarmLoadIsByteIdenticalAcrossAllWorkloads)
     }
     // One cold miss and one warm hit per workload (uncached runs never
     // touch the cache).
-    EXPECT_EQ(captureCacheCounter("hits") - hits_before, workloads);
-    EXPECT_EQ(captureCacheCounter("cold_misses") - cold_before,
-              workloads);
+    EXPECT_EQ(cache.counter("hits"), workloads);
+    EXPECT_EQ(cache.counter("cold_misses"), workloads);
+    EXPECT_EQ(cache.counter("shim_uses"), 0u);
 }
 
 TEST(CaptureCache, TruncatedFileFallsBackToRegeneration)
 {
     ScratchDir dir;
     const StudyConfig cached = tinyConfig(dir.str());
-    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+    CaptureCache cache;
+    const CapturedWorkload fresh =
+        captureWorkload("canneal", cached, cache);
 
     const fs::path file = onlyCacheFile(dir.path());
     const auto size = fs::file_size(file);
     fs::resize_file(file, size / 2);
 
-    const auto corrupt_before = captureCacheCounter("corrupt_misses");
-    const CapturedWorkload again = captureWorkload("canneal", cached);
+    const CapturedWorkload again =
+        captureWorkload("canneal", cached, cache);
     expectSameCapture(fresh, again);
     // The fallback is counted as a corrupt miss, and the regeneration
     // must also have repaired the cache file.
-    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
-              1u);
+    EXPECT_EQ(cache.counter("corrupt_misses"), 1u);
     EXPECT_EQ(fs::file_size(onlyCacheFile(dir.path())), size);
 }
 
-TEST(CaptureCache, BitFlippedFileFallsBackToRegeneration)
+TEST(CaptureCache, HeaderCorruptionFallsBackToRegeneration)
 {
     ScratchDir dir;
     const StudyConfig cached = tinyConfig(dir.str());
-    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+    CaptureCache cache;
+    const CapturedWorkload fresh =
+        captureWorkload("canneal", cached, cache);
 
+    // Flip one bit inside the checksummed header region (a metadata
+    // word) — exactly what the cheap map-time validation must notice
+    // without touching any data page.
     const fs::path file = onlyCacheFile(dir.path());
-    // Flip one bit deep inside the record payload, where only the
-    // checksum can notice.
     std::fstream f(file, std::ios::in | std::ios::out |
                              std::ios::binary);
-    const auto size = fs::file_size(file);
-    f.seekp(static_cast<std::streamoff>(size - size / 4));
+    f.seekp(100);
     char byte = 0;
     f.read(&byte, 1);
     f.seekp(-1, std::ios::cur);
@@ -187,18 +194,19 @@ TEST(CaptureCache, BitFlippedFileFallsBackToRegeneration)
     f.write(&byte, 1);
     f.close();
 
-    const auto corrupt_before = captureCacheCounter("corrupt_misses");
-    const CapturedWorkload again = captureWorkload("canneal", cached);
+    const CapturedWorkload again =
+        captureWorkload("canneal", cached, cache);
     expectSameCapture(fresh, again);
-    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
-              1u);
+    EXPECT_EQ(cache.counter("corrupt_misses"), 1u);
 }
 
 TEST(CaptureCache, VersionMismatchFallsBackToRegeneration)
 {
     ScratchDir dir;
     const StudyConfig cached = tinyConfig(dir.str());
-    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+    CaptureCache cache;
+    const CapturedWorkload fresh =
+        captureWorkload("canneal", cached, cache);
 
     const fs::path file = onlyCacheFile(dir.path());
     std::fstream f(file, std::ios::in | std::ios::out |
@@ -212,17 +220,19 @@ TEST(CaptureCache, VersionMismatchFallsBackToRegeneration)
 
     // An unsupported bundle version is a stale cache entry, not
     // corruption.
-    const auto stale_before = captureCacheCounter("stale_misses");
-    const CapturedWorkload again = captureWorkload("canneal", cached);
+    const CapturedWorkload again =
+        captureWorkload("canneal", cached, cache);
     expectSameCapture(fresh, again);
-    EXPECT_EQ(captureCacheCounter("stale_misses") - stale_before, 1u);
+    EXPECT_EQ(cache.counter("stale_misses"), 1u);
 }
 
 TEST(CaptureCache, OldVersionHeaderIsStaleMissNotCorrupt)
 {
     ScratchDir dir;
     const StudyConfig cached = tinyConfig(dir.str());
-    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+    CaptureCache cache;
+    const CapturedWorkload fresh =
+        captureWorkload("canneal", cached, cache);
 
     // Rewrite the header's version word to 1 — the pre-aux-section
     // format this code used to write.  A bundle from the old version
@@ -237,56 +247,102 @@ TEST(CaptureCache, OldVersionHeaderIsStaleMissNotCorrupt)
             sizeof(old_version));
     f.close();
 
-    const auto stale_before = captureCacheCounter("stale_misses");
-    const auto corrupt_before = captureCacheCounter("corrupt_misses");
-    const CapturedWorkload again = captureWorkload("canneal", cached);
+    const CapturedWorkload again =
+        captureWorkload("canneal", cached, cache);
     expectSameCapture(fresh, again);
-    EXPECT_EQ(captureCacheCounter("stale_misses") - stale_before, 1u);
-    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
-              0u);
+    EXPECT_EQ(cache.counter("stale_misses"), 1u);
+    EXPECT_EQ(cache.counter("corrupt_misses"), 0u);
 }
 
-TEST(CaptureCache, AuxCorruptionFallsBackToRegeneration)
+TEST(CaptureCache, V2BundleIsAdoptedReadOnly)
 {
     ScratchDir dir;
     const StudyConfig cached = tinyConfig(dir.str());
-    const CapturedWorkload fresh = captureWorkload("canneal", cached);
+    CaptureCache writer;
+    const CapturedWorkload fresh =
+        captureWorkload("canneal", cached, writer);
 
-    // The aux section (next-use chain + label planes) sits at the end
-    // of the bundle; flip its very last byte, which only the aux
-    // checksum can notice.
+    // Downgrade the on-disk bundle to the legacy v2 layout with
+    // identical content: read the v3 sections back, re-serialize them
+    // through the v2 writer.
     const fs::path file = onlyCacheFile(dir.path());
-    std::fstream f(file, std::ios::in | std::ios::out |
-                             std::ios::binary);
-    const auto size = fs::file_size(file);
-    f.seekp(static_cast<std::streamoff>(size - 1));
-    char byte = 0;
-    f.read(&byte, 1);
-    f.seekp(-1, std::ios::cur);
-    byte = static_cast<char>(byte ^ 0x01);
-    f.write(&byte, 1);
-    f.close();
+    const std::uint64_t hash = captureConfigHash(
+        "canneal", cached.workload, captureHierarchyConfig(cached));
+    std::vector<std::uint64_t> meta;
+    Trace stream{"", 1};
+    CaptureAux aux;
+    {
+        std::ifstream is(file, std::ios::binary);
+        std::string error;
+        ASSERT_TRUE(readCaptureBundleV3(is, hash, meta, stream, &error,
+                                        &aux))
+            << error;
+    }
+    {
+        std::ofstream os(file,
+                         std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(writeCaptureBundle(os, hash, meta, stream, &aux));
+    }
+    ASSERT_EQ(peekBundleVersion(file.string()), kBundleVersion2);
 
-    const auto corrupt_before = captureCacheCounter("corrupt_misses");
-    const CapturedWorkload again = captureWorkload("canneal", cached);
-    expectSameCapture(fresh, again);
-    EXPECT_EQ(captureCacheCounter("corrupt_misses") - corrupt_before,
-              1u);
+    // A v2 bundle is adopted (hit + deserialized + v2_adopted), never
+    // rejected as stale, and the file is not rewritten to v3.
+    CaptureCache cache;
+    const CapturedWorkload adopted =
+        captureWorkload("canneal", cached, cache);
+    expectSameCapture(fresh, adopted);
+    EXPECT_EQ(cache.counter("hits"), 1u);
+    EXPECT_EQ(cache.counter("v2_adopted"), 1u);
+    EXPECT_EQ(cache.counter("deserialized"), 1u);
+    EXPECT_EQ(cache.counter("stale_misses"), 0u);
+    EXPECT_EQ(cache.counter("mmap_maps"), 0u);
+    EXPECT_EQ(peekBundleVersion(file.string()), kBundleVersion2);
+    ASSERT_NE(adopted.nextUseAux, nullptr);
+    EXPECT_EQ(adopted.nextUseAux->count, adopted.stream.size());
+}
+
+TEST(CaptureCache, WarmStartCountsZeroDeserialization)
+{
+    ScratchDir dir;
+    const StudyConfig cached = tinyConfig(dir.str());
+    CaptureCache writer;
+    captureWorkload("canneal", cached, writer);
+
+    CaptureCache cache;
+    captureWorkload("canneal", cached, cache);
+    EXPECT_EQ(cache.counter("hits"), 1u);
+    EXPECT_EQ(cache.counter("v2_adopted"), 0u);
+    if (mmapDisabled()) {
+        // The fully-resident fallback deserializes — and never maps.
+        EXPECT_EQ(cache.counter("mmap_maps"), 0u);
+        EXPECT_EQ(cache.counter("bytes_mapped"), 0u);
+        EXPECT_EQ(cache.counter("deserialized"), 1u);
+    } else {
+        // The warm default: one mapping, zero deserialization.
+        EXPECT_EQ(cache.counter("mmap_maps"), 1u);
+        EXPECT_GT(cache.counter("bytes_mapped"), 0u);
+        EXPECT_EQ(cache.counter("deserialized"), 0u);
+    }
 }
 
 TEST(CaptureCache, WarmLoadAdoptsNextUseChainAndPlanes)
 {
     ScratchDir dir;
     const StudyConfig cached = tinyConfig(dir.str());
-    const CapturedWorkload cold = captureWorkload("canneal", cached);
-    const CapturedWorkload warm = captureWorkload("canneal", cached);
+    CaptureCache cache;
+    const CapturedWorkload cold =
+        captureWorkload("canneal", cached, cache);
+    const CapturedWorkload warm =
+        captureWorkload("canneal", cached, cache);
 
     // The warm load must carry the bundle's precomputed chain and one
-    // plane per studied oracle window.
+    // plane per studied oracle window, as a borrowed view over the
+    // mapped bundle (or the fallback's owned aux).
     ASSERT_NE(warm.nextUseAux, nullptr);
     const auto pairs = studyOracleWindows(cached);
     ASSERT_EQ(warm.nextUseAux->planes.size(), pairs.size());
-    EXPECT_EQ(warm.nextUseAux->nextUse.size(), warm.stream.size());
+    EXPECT_EQ(warm.nextUseAux->count, warm.stream.size());
+    ASSERT_NE(warm.nextUseAux->nextUse, nullptr);
 
     // Materializing the warm index must adopt, not rebuild...
     const auto adopted_before = labelPlaneCounter("adopted");
@@ -312,11 +368,13 @@ TEST(CaptureCache, ConfigChangeMissesTheCache)
 {
     ScratchDir dir;
     StudyConfig cached = tinyConfig(dir.str());
-    captureWorkload("canneal", cached);
+    CaptureCache cache;
+    captureWorkload("canneal", cached, cache);
 
     // A different seed is a different capture: new hash, new file.
     cached.workload.seed = 43;
-    const CapturedWorkload reseeded = captureWorkload("canneal", cached);
+    const CapturedWorkload reseeded =
+        captureWorkload("canneal", cached, cache);
     int files = 0;
     for ([[maybe_unused]] const auto &entry :
          fs::directory_iterator(dir.path()))
@@ -325,7 +383,44 @@ TEST(CaptureCache, ConfigChangeMissesTheCache)
 
     StudyConfig uncached = tinyConfig();
     uncached.workload.seed = 43;
-    expectSameCapture(captureWorkload("canneal", uncached), reseeded);
+    expectSameCapture(captureWorkload("canneal", uncached, cache),
+                      reseeded);
+}
+
+TEST(CaptureCache, ResidentBudgetEvictsLeastRecentlyUsed)
+{
+    CaptureCache cache;
+    cache.setResidentBudget(1); // any completed capture is over budget
+    StudyConfig a = tinyConfig();
+    StudyConfig b = tinyConfig();
+    b.workload.seed = 43;
+
+    // A lone oversized capture is protected on insert: it still serves
+    // its requester and stays resident until a later round needs room.
+    const auto first = cache.capture("canneal", a);
+    EXPECT_EQ(cache.residentCounter("entries"), 1u);
+    EXPECT_EQ(cache.residentCounter("evictions"), 0u);
+    const std::uint64_t first_bytes = cache.residentCounter("bytes");
+    EXPECT_GT(first_bytes, 0u);
+
+    // The next capture's accounting evicts the older entry.
+    const auto second = cache.capture("canneal", b);
+    EXPECT_EQ(cache.residentCounter("entries"), 1u);
+    EXPECT_EQ(cache.residentCounter("evictions"), 1u);
+    EXPECT_EQ(cache.residentCounter("evicted_bytes"), first_bytes);
+
+    // Eviction drops only the store's reference: in-flight users keep
+    // theirs, and a repeat request recaptures instead of memo-hitting.
+    EXPECT_GT(first->stream.size(), 0u);
+    cache.capture("canneal", a);
+    EXPECT_EQ(cache.counter("memo_hits"), 0u);
+    EXPECT_EQ(cache.residentCounter("evictions"), 2u);
+
+    // Unbounded again: the resident entry memo-hits.
+    cache.setResidentBudget(0);
+    EXPECT_EQ(cache.residentCounter("budget_bytes"), 0u);
+    cache.capture("canneal", a);
+    EXPECT_EQ(cache.counter("memo_hits"), 1u);
 }
 
 TEST(CaptureCache, HashCoversWorkloadAndHierarchyKnobs)
@@ -389,10 +484,14 @@ TEST(CaptureBundle, RoundTripsAuxSection)
                       rng.chance(0.5));
     CaptureAux aux;
     const NextUseIndex index(stream);
-    aux.nextUse = index.chain();
+    aux.nextUse.assign(index.chainData(),
+                       index.chainData() + index.size());
     for (const SeqNo window : {SeqNo{50}, SeqNo{500}}) {
         const auto plane = index.computeLabelPlane(window, window);
-        aux.planes.push_back({window, window, plane.codes});
+        aux.planes.push_back(
+            {window, window,
+             std::vector<std::uint8_t>(plane.codes.begin(),
+                                       plane.codes.end())});
     }
 
     std::stringstream buffer(std::ios::in | std::ios::out |

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/capture_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 
@@ -184,10 +185,13 @@ TEST(ParallelRunner, ParallelCaptureMatchesSerial)
     // The tentpole guarantee: fanning the capture of all workloads out
     // to a pool yields bit-identical results to the serial loop.
     const StudyConfig config = tinyStudy();
-    const auto serial = captureAllWorkloads(config);
+    CaptureCache serial_cache;
+    const auto serial = captureAllWorkloads(config, serial_cache);
 
     ParallelRunner runner(4);
-    const auto parallel = captureAllWorkloads(config, runner);
+    CaptureCache parallel_cache;
+    const auto parallel =
+        captureAllWorkloads(config, parallel_cache, runner);
 
     ASSERT_EQ(parallel.size(), serial.size());
     for (std::size_t w = 0; w < serial.size(); ++w) {

@@ -7,10 +7,23 @@
 #include <gtest/gtest.h>
 
 #include "mem/repl/factory.hh"
+#include "sim/capture_cache.hh"
 #include "sim/experiment.hh"
 
 namespace casim {
 namespace {
+
+/**
+ * Capture with a throwaway cache instance: these tests use no capture
+ * directory, so the cache only carries the (unused) counters the
+ * three-argument API requires.
+ */
+CapturedWorkload
+captureUncached(const std::string &name, const StudyConfig &config)
+{
+    CaptureCache cache;
+    return captureWorkload(name, config, cache);
+}
 
 StudyConfig
 tinyStudy()
@@ -131,8 +144,8 @@ TEST(HierarchySim, SharingSummaryAddsUp)
 TEST(Experiment, CaptureWorkloadIsDeterministic)
 {
     const StudyConfig config = tinyStudy();
-    const CapturedWorkload a = captureWorkload("lu", config);
-    const CapturedWorkload b = captureWorkload("lu", config);
+    const CapturedWorkload a = captureUncached("lu", config);
+    const CapturedWorkload b = captureUncached("lu", config);
     EXPECT_EQ(a.demandAccesses, b.demandAccesses);
     EXPECT_EQ(a.stream.size(), b.stream.size());
     EXPECT_EQ(a.hierarchy.llcMisses, b.hierarchy.llcMisses);
@@ -147,7 +160,7 @@ TEST(Experiment, ReplayLruMatchesCaptureRunMisses)
     // count exactly: the stream replayer sees the same references in
     // the same order.
     const StudyConfig config = tinyStudy();
-    const CapturedWorkload wl = captureWorkload("ocean", config);
+    const CapturedWorkload wl = captureUncached("ocean", config);
     ReplaySpec spec;
     spec.geo = config.llcGeometry(config.llcSmallBytes);
     const auto replayed = replayMisses(wl.stream, spec);
@@ -157,7 +170,7 @@ TEST(Experiment, ReplayLruMatchesCaptureRunMisses)
 TEST(Experiment, LargerLlcNeverMissesMoreUnderLru)
 {
     const StudyConfig config = tinyStudy();
-    const CapturedWorkload wl = captureWorkload("canneal", config);
+    const CapturedWorkload wl = captureUncached("canneal", config);
     ReplaySpec small_spec;
     small_spec.geo = config.llcGeometry(config.llcSmallBytes);
     const auto small = replayMisses(wl.stream, small_spec);
@@ -173,7 +186,7 @@ TEST(Experiment, LargerLlcNeverMissesMoreUnderLru)
 TEST(Experiment, OptIsOptimalAcrossPolicies)
 {
     const StudyConfig config = tinyStudy();
-    const CapturedWorkload wl = captureWorkload("dedup", config);
+    const CapturedWorkload wl = captureUncached("dedup", config);
     const CacheGeometry geo =
         config.llcGeometry(config.llcSmallBytes);
     const NextUseIndex index(wl.stream);
@@ -195,7 +208,7 @@ TEST(Experiment, OracleWrapperNeverBeatsOpt)
 {
     const StudyConfig config = tinyStudy();
     const CapturedWorkload wl =
-        captureWorkload("streamcluster", config);
+        captureUncached("streamcluster", config);
     const CacheGeometry geo =
         config.llcGeometry(config.llcSmallBytes);
     const NextUseIndex index(wl.stream);
@@ -217,7 +230,7 @@ TEST(Experiment, OracleWrapperNeverBeatsOpt)
 TEST(Experiment, ReplaySharingMatchesDirectTracker)
 {
     const StudyConfig config = tinyStudy();
-    const CapturedWorkload wl = captureWorkload("fft", config);
+    const CapturedWorkload wl = captureUncached("fft", config);
     const CacheGeometry geo =
         config.llcGeometry(config.llcSmallBytes);
     ReplaySpec spec;

@@ -363,8 +363,14 @@ TEST(LabelPlane, AdoptedChainAndPlanesMatchFresh)
     const auto &plane = fresh.labelPlane(window, window);
 
     const std::uint64_t adopted_before = labelPlaneCounter("adopted");
-    const NextUseIndex adopted(trace, fresh.chain(),
-                               {{window, window, plane.codes}});
+    std::vector<std::uint32_t> chain(fresh.chainData(),
+                                     fresh.chainData() + fresh.size());
+    std::vector<NextUseIndex::LabelPlane> planes;
+    planes.emplace_back(window, window,
+                        std::vector<std::uint8_t>(plane.codes.begin(),
+                                                  plane.codes.end()));
+    const NextUseIndex adopted(trace, std::move(chain),
+                               std::move(planes));
     EXPECT_EQ(labelPlaneCounter("adopted"), adopted_before + 1);
 
     // The chain and the plane come straight from the "bundle"; the
@@ -406,12 +412,15 @@ TEST(LabelPlane, FanoutBuildMatchesSerial)
         };
     const NextUseIndex serial(trace);
     const NextUseIndex sharded(trace, fanout);
-    EXPECT_GT(fanned_tasks, 0u);
+    // The chain itself is one serial backward pass (the same builder
+    // whose output capture bundles persist), so construction fans
+    // nothing out; the plane sweep below is what shards.
     for (std::size_t i = 0; i < trace.size(); ++i)
         ASSERT_EQ(sharded.nextUse(i), serial.nextUse(i));
     const auto serial_plane = serial.computeLabelPlane(100, 50);
     const auto sharded_plane = sharded.computeLabelPlane(100, 50,
                                                          fanout);
+    EXPECT_GT(fanned_tasks, 0u);
     EXPECT_EQ(sharded_plane.codes, serial_plane.codes);
 }
 
