@@ -6,12 +6,22 @@ Sends a single request line and prints the response document(s):
   casimd_query.py SOCKET ping                 # liveness probe
   casimd_query.py SOCKET stats                # full stats document
   casimd_query.py SOCKET shutdown             # graceful stop
+  casimd_query.py SOCKET hello [PROTOCOL]     # protocol negotiation
   casimd_query.py SOCKET raw '<json-line>'    # any protocol line
   casimd_query.py SOCKET counter NAME         # one stats counter value
+  casimd_query.py SOCKET sweep '<base-json>' [--workloads=a,b]
+                 [--policies=x,y] [--llc-bytes=N,M]
+                                              # server-side cross product
 
 `counter` extracts a single numeric value (e.g.
 `capture_cache.memo_hits`) from the stats document — what tier1.sh
 uses to assert that warm requests skip capture deserialization.
+
+`sweep` ships one protocol-v2 sweep op: the daemon expands the
+(workloads x policies x llc_bytes) cross product around the base
+request and streams back a header document (cell count + expansion
+order) followed by one result document per cell; all lines are printed
+to stdout in order.
 """
 
 import json
@@ -19,14 +29,60 @@ import socket
 import sys
 
 
-def read_line(sock):
-    buf = b""
-    while not buf.endswith(b"\n"):
-        chunk = sock.recv(65536)
-        if not chunk:
-            sys.exit("casimd_query: connection closed mid-response")
-        buf += chunk
-    return buf.decode()
+def connect_lines(path, line):
+    """Send one request line; return a text stream of response lines."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(path)
+    sock.sendall(line.encode() + b"\n")
+    return sock.makefile("r")
+
+
+def read_line(stream):
+    response = stream.readline()
+    if not response.endswith("\n"):
+        sys.exit("casimd_query: connection closed mid-response")
+    return response
+
+
+def split_csv(flag, value):
+    items = [item for item in value.split(",") if item]
+    if not items:
+        sys.exit(f"casimd_query: {flag} needs a comma-separated list")
+    return items
+
+
+def build_sweep_request(argv):
+    try:
+        base = json.loads(argv[0])
+    except (IndexError, json.JSONDecodeError) as err:
+        sys.exit(f"casimd_query: sweep needs a base request JSON: {err}")
+    request = {"op": "sweep", "base": base}
+    for arg in argv[1:]:
+        if arg.startswith("--workloads="):
+            request["workloads"] = split_csv(
+                "--workloads", arg.split("=", 1)[1])
+        elif arg.startswith("--policies="):
+            request["policies"] = split_csv(
+                "--policies", arg.split("=", 1)[1])
+        elif arg.startswith("--llc-bytes="):
+            request["llc_bytes"] = [
+                int(x) for x in split_csv("--llc-bytes",
+                                          arg.split("=", 1)[1])]
+        else:
+            sys.exit(f"casimd_query: unknown sweep flag '{arg}'")
+    return json.dumps(request)
+
+
+def run_sweep(path, argv):
+    stream = connect_lines(path, build_sweep_request(argv))
+    header_line = read_line(stream)
+    sys.stdout.write(header_line)
+    header = json.loads(header_line)
+    if "error" in header:
+        sys.exit(f"casimd_query: sweep failed: {header['error']}")
+    rows = dict(header["tables"][0]["rows"])
+    for _ in range(int(rows["cells"])):
+        sys.stdout.write(read_line(stream))
 
 
 def main():
@@ -34,8 +90,17 @@ def main():
         sys.exit(__doc__.strip())
     path, mode = sys.argv[1], sys.argv[2]
 
+    if mode == "sweep":
+        run_sweep(path, sys.argv[3:])
+        return
+
     if mode in ("ping", "stats", "shutdown"):
         line = json.dumps({"op": mode})
+    elif mode == "hello":
+        request = {"op": "hello"}
+        if len(sys.argv) > 3:
+            request["protocol"] = int(sys.argv[3])
+        line = json.dumps(request)
     elif mode == "raw":
         line = sys.argv[3]
     elif mode == "counter":
@@ -43,11 +108,7 @@ def main():
     else:
         sys.exit(f"casimd_query: unknown mode '{mode}'")
 
-    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    sock.connect(path)
-    sock.sendall(line.encode() + b"\n")
-    response = read_line(sock)
-    sock.close()
+    response = read_line(connect_lines(path, line))
 
     if mode != "counter":
         sys.stdout.write(response)

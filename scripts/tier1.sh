@@ -267,6 +267,63 @@ fi
 echo "warm casimd request: zero capture deserialization," \
     "memoized label planes"
 
+echo "== tier-1: casimd protocol v2 hello and server-side sweep =="
+if ! python3 scripts/casimd_query.py "${sock}" hello \
+    | grep -q '\["protocol", "2"\]'; then
+    echo "FATAL: casimd hello did not negotiate protocol 2" >&2
+    exit 1
+fi
+sweep_base='{"workload": "canneal", "config": {"threads": 4, "scale": 0.05}}'
+sweep_lines=$(python3 scripts/casimd_query.py "${sock}" sweep \
+    "${sweep_base}" --policies=lru,srrip | wc -l)
+if [ "${sweep_lines}" -ne 3 ]; then
+    echo "FATAL: sweep over 2 policies returned ${sweep_lines} lines" \
+        "(want header + 2 cells)" >&2
+    exit 1
+fi
+echo "hello negotiated v2; sweep expanded 2 cells"
+
+echo "== tier-1: concurrent casimd clients, leased captures =="
+# Three clients (two fig5, one fig7) hammer one casimd at once: every
+# output must still match its direct run byte for byte, the batches
+# must actually have overlapped in the queue (concurrent_batches), and
+# each capture identity must have been warmed exactly once over the
+# daemon's whole life — the lease guarantee: lease_warms equals the
+# resident entries as long as nothing was evicted.
+"${prefix}/bench/fig5_policy_comparison" --scale=0.05 --jobs=2 \
+    --daemon="${sock}" > "${capdir}/fig5_conc_a.txt" &
+conc_a=$!
+"${prefix}/bench/fig5_policy_comparison" --scale=0.05 --jobs=2 \
+    --daemon="${sock}" > "${capdir}/fig5_conc_b.txt" &
+conc_b=$!
+"${prefix}/bench/fig7_oracle" --scale=0.05 --daemon="${sock}" \
+    > "${capdir}/fig7_conc.txt" &
+conc_c=$!
+wait "${conc_a}" "${conc_b}" "${conc_c}"
+cmp "${capdir}/fig5_policy_comparison.txt" "${capdir}/fig5_conc_a.txt"
+cmp "${capdir}/fig5_policy_comparison.txt" "${capdir}/fig5_conc_b.txt"
+cmp "${capdir}/fig7_plane.txt" "${capdir}/fig7_conc.txt"
+concurrent=$(counter queue.concurrent_batches)
+lease_warms=$(counter queue.lease_warms)
+entries=$(counter resident_store.entries)
+evictions=$(counter resident_store.evictions)
+if [ "${concurrent}" -le 1 ]; then
+    echo "FATAL: concurrent clients never overlapped in the queue" \
+        "(queue.concurrent_batches=${concurrent})" >&2
+    exit 1
+fi
+if [ "${evictions}" -ne 0 ] || [ "${lease_warms}" -ne "${entries}" ]
+then
+    echo "FATAL: capture identities were not warmed exactly once" \
+        "(lease_warms=${lease_warms} entries=${entries}" \
+        "evictions=${evictions})" >&2
+    exit 1
+fi
+echo "3 concurrent clients byte-identical to direct runs:" \
+    "concurrent_batches=${concurrent}," \
+    "lease_waits=$(counter queue.lease_waits)," \
+    "one warm per identity (${lease_warms})"
+
 kill -TERM "${daemon_pid}"
 if ! wait "${daemon_pid}"; then
     echo "FATAL: casimd did not exit cleanly on SIGTERM" >&2

@@ -117,6 +117,51 @@ Counter::mergeFrom(const StatBase &other)
     value_ += mergePeer<Counter>(*this, other).value_;
 }
 
+void
+AtomicCounter::noteMax(std::uint64_t v)
+{
+    std::uint64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < v && !value_.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed,
+                           std::memory_order_relaxed)) {
+    }
+}
+
+void
+AtomicCounter::print(std::ostream &os) const
+{
+    printRow(os, name(), static_cast<double>(value()), desc());
+}
+
+void
+AtomicCounter::printCsv(std::ostream &os) const
+{
+    printCsvRow(os, name(), static_cast<double>(value()));
+}
+
+void
+AtomicCounter::printJson(std::ostream &os) const
+{
+    printJsonString(os, name());
+    os << ": {\"kind\": \"counter\", \"value\": " << value() << "}";
+}
+
+void
+AtomicCounter::mergeFrom(const StatBase &other)
+{
+    *this += mergePeer<AtomicCounter>(*this, other).value();
+}
+
+std::optional<std::uint64_t>
+counterValue(const StatBase *stat)
+{
+    if (const auto *plain = dynamic_cast<const Counter *>(stat))
+        return plain->value();
+    if (const auto *atomic = dynamic_cast<const AtomicCounter *>(stat))
+        return atomic->value();
+    return std::nullopt;
+}
+
 std::uint64_t
 CounterVector::total() const
 {
@@ -175,6 +220,7 @@ CounterVector::mergeFrom(const StatBase &other)
 void
 Distribution::sample(double x)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == 0) {
         min_ = max_ = x;
     } else {
@@ -186,19 +232,64 @@ Distribution::sample(double x)
     sumSq_ += x * x;
 }
 
+Distribution::Snapshot
+Distribution::snapshotLocked() const
+{
+    Snapshot snap;
+    snap.count = count_;
+    snap.mean = count_ ? sum_ / count_ : 0.0;
+    snap.min = count_ ? min_ : 0.0;
+    snap.max = count_ ? max_ : 0.0;
+    if (count_ == 0) {
+        snap.stddev = 0.0;
+    } else {
+        const double var = sumSq_ / count_ - snap.mean * snap.mean;
+        snap.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    return snap;
+}
+
+Distribution::Snapshot
+Distribution::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshotLocked();
+}
+
+std::uint64_t
+Distribution::count() const
+{
+    return snapshot().count;
+}
+
+double
+Distribution::mean() const
+{
+    return snapshot().mean;
+}
+
+double
+Distribution::min() const
+{
+    return snapshot().min;
+}
+
+double
+Distribution::max() const
+{
+    return snapshot().max;
+}
+
 double
 Distribution::stddev() const
 {
-    if (count_ == 0)
-        return 0.0;
-    const double m = mean();
-    const double var = sumSq_ / count_ - m * m;
-    return var > 0.0 ? std::sqrt(var) : 0.0;
+    return snapshot().stddev;
 }
 
 void
 Distribution::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     count_ = 0;
     sum_ = sumSq_ = min_ = max_ = 0.0;
 }
@@ -206,36 +297,40 @@ Distribution::reset()
 void
 Distribution::print(std::ostream &os) const
 {
-    printRow(os, name() + "::count", static_cast<double>(count_), desc());
-    printRow(os, name() + "::mean", mean(), "");
-    printRow(os, name() + "::min", min(), "");
-    printRow(os, name() + "::max", max(), "");
-    printRow(os, name() + "::stddev", stddev(), "");
+    const Snapshot snap = snapshot();
+    printRow(os, name() + "::count", static_cast<double>(snap.count),
+             desc());
+    printRow(os, name() + "::mean", snap.mean, "");
+    printRow(os, name() + "::min", snap.min, "");
+    printRow(os, name() + "::max", snap.max, "");
+    printRow(os, name() + "::stddev", snap.stddev, "");
 }
 
 void
 Distribution::printCsv(std::ostream &os) const
 {
-    printCsvRow(os, name() + "::count", static_cast<double>(count_));
-    printCsvRow(os, name() + "::mean", mean());
-    printCsvRow(os, name() + "::min", min());
-    printCsvRow(os, name() + "::max", max());
-    printCsvRow(os, name() + "::stddev", stddev());
+    const Snapshot snap = snapshot();
+    printCsvRow(os, name() + "::count", static_cast<double>(snap.count));
+    printCsvRow(os, name() + "::mean", snap.mean);
+    printCsvRow(os, name() + "::min", snap.min);
+    printCsvRow(os, name() + "::max", snap.max);
+    printCsvRow(os, name() + "::stddev", snap.stddev);
 }
 
 void
 Distribution::printJson(std::ostream &os) const
 {
+    const Snapshot snap = snapshot();
     printJsonString(os, name());
-    os << ": {\"kind\": \"distribution\", \"count\": " << count_
+    os << ": {\"kind\": \"distribution\", \"count\": " << snap.count
        << ", \"mean\": ";
-    printJsonNumber(os, mean());
+    printJsonNumber(os, snap.mean);
     os << ", \"min\": ";
-    printJsonNumber(os, min());
+    printJsonNumber(os, snap.min);
     os << ", \"max\": ";
-    printJsonNumber(os, max());
+    printJsonNumber(os, snap.max);
     os << ", \"stddev\": ";
-    printJsonNumber(os, stddev());
+    printJsonNumber(os, snap.stddev);
     os << "}";
 }
 
@@ -243,6 +338,9 @@ void
 Distribution::mergeFrom(const StatBase &other)
 {
     const Distribution &peer = mergePeer<Distribution>(*this, other);
+    // Lock both sides together; mergeFrom is never called with
+    // this == &peer (a group does not merge with itself).
+    std::scoped_lock lock(mutex_, peer.mutex_);
     if (peer.count_ == 0)
         return;
     if (count_ == 0) {
@@ -375,6 +473,16 @@ Counter &
 StatGroup::addCounter(const std::string &name, const std::string &desc)
 {
     auto stat = std::make_unique<Counter>(qualify(name), desc);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+AtomicCounter &
+StatGroup::addAtomicCounter(const std::string &name,
+                            const std::string &desc)
+{
+    auto stat = std::make_unique<AtomicCounter>(qualify(name), desc);
     auto &ref = *stat;
     stats_.push_back(std::move(stat));
     return ref;

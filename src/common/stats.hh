@@ -12,9 +12,12 @@
 #ifndef CASIM_COMMON_STATS_HH
 #define CASIM_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -91,6 +94,58 @@ class Counter : public StatBase
     std::uint64_t value_ = 0;
 };
 
+/**
+ * A Counter whose increments are lock-free relaxed atomics.
+ *
+ * For counters bumped by concurrent service threads (the experiment
+ * queue, the capture cache, the label-plane and sharded-replay
+ * singletons) while another thread renders the owning group — e.g. the
+ * casimd stats op answering mid-batch.  Renders with the same
+ * "counter" kind as Counter, so the JSON schema is unchanged.  Relaxed
+ * ordering is sufficient: readers need a torn-free value, not ordering
+ * against other state.
+ */
+class AtomicCounter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    AtomicCounter &
+    operator++()
+    {
+        value_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    AtomicCounter &
+    operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+
+    /** Raise the value to at least `v` (a running maximum). */
+    void noteMax(std::uint64_t v);
+
+    /** Current count. */
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() override
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+    void print(std::ostream &os) const override;
+    void printCsv(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void mergeFrom(const StatBase &other) override;
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
 /** A fixed-length vector of counters with per-element labels. */
 class CounterVector : public StatBase
 {
@@ -125,7 +180,16 @@ class CounterVector : public StatBase
     std::vector<std::uint64_t> values_;
 };
 
-/** Running scalar summary (count / mean / min / max / stddev). */
+/**
+ * Running scalar summary (count / mean / min / max / stddev).
+ *
+ * Internally synchronized: sample(), the accessors, the renderers and
+ * mergeFrom() all take a per-instance mutex, so a distribution in a
+ * long-lived service group (runner task times, sharded-replay substream
+ * sizes) can be sampled on worker threads while another thread renders
+ * it.  Every current user samples at coarse granularity (per task, per
+ * replay), so the lock is not on a simulation hot path.
+ */
 class Distribution : public StatBase
 {
   public:
@@ -134,10 +198,10 @@ class Distribution : public StatBase
     /** Record one sample. */
     void sample(double x);
 
-    std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const;
+    double mean() const;
+    double min() const;
+    double max() const;
 
     /** Population standard deviation of the samples. */
     double stddev() const;
@@ -149,6 +213,16 @@ class Distribution : public StatBase
     void mergeFrom(const StatBase &other) override;
 
   private:
+    /** One coherent reading of all five summary values. */
+    struct Snapshot
+    {
+        std::uint64_t count;
+        double mean, min, max, stddev;
+    };
+    Snapshot snapshotLocked() const;
+    Snapshot snapshot() const;
+
+    mutable std::mutex mutex_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double sumSq_ = 0.0;
@@ -231,6 +305,10 @@ class StatGroup
     /** Register a counter and return a reference that stays valid. */
     Counter &addCounter(const std::string &name, const std::string &desc);
 
+    /** Register a lock-free counter for concurrently bumped stats. */
+    AtomicCounter &addAtomicCounter(const std::string &name,
+                                    const std::string &desc);
+
     /** Register a labelled counter vector. */
     CounterVector &addVector(const std::string &name,
                              const std::string &desc,
@@ -290,6 +368,13 @@ class StatGroup
     std::string prefix_;
     std::vector<std::unique_ptr<StatBase>> stats_;
 };
+
+/**
+ * The value of a statistic that renders with the "counter" kind —
+ * a Counter or an AtomicCounter; nullopt for any other kind (or null).
+ * Lets readers stay agnostic of which counter flavour a group uses.
+ */
+std::optional<std::uint64_t> counterValue(const StatBase *stat);
 
 /** Append `text` JSON-escaped and double-quoted to `os`. */
 void printJsonString(std::ostream &os, const std::string &text);

@@ -174,39 +174,40 @@ mappedPlaneBytes(const MappedCaptureBundle &bundle)
 
 CaptureCache::CaptureCache()
     : group_("capture_cache"),
-      hits_(group_.addCounter("hits",
-                              "captures loaded from a cached bundle")),
-      coldMisses_(group_.addCounter(
+      hits_(group_.addAtomicCounter(
+          "hits", "captures loaded from a cached bundle")),
+      coldMisses_(group_.addAtomicCounter(
           "cold_misses", "lookups that found no cache file")),
-      staleMisses_(group_.addCounter(
+      staleMisses_(group_.addAtomicCounter(
           "stale_misses",
           "bundles rejected for a stale config hash or format version")),
-      corruptMisses_(group_.addCounter(
+      corruptMisses_(group_.addAtomicCounter(
           "corrupt_misses",
           "bundles rejected as truncated, checksum-bad or inconsistent")),
-      saves_(group_.addCounter("saves", "bundles written to the cache")),
-      saveFailures_(group_.addCounter(
+      saves_(group_.addAtomicCounter("saves",
+                                     "bundles written to the cache")),
+      saveFailures_(group_.addAtomicCounter(
           "save_failures", "bundle writes that failed (best-effort)")),
-      memoHits_(group_.addCounter(
+      memoHits_(group_.addAtomicCounter(
           "memo_hits",
           "captures served from the in-memory resident store")),
-      shimUses_(group_.addCounter(
+      shimUses_(group_.addAtomicCounter(
           "shim_uses",
           "calls through the removed singleton shims (always 0)")),
-      mmapMaps_(group_.addCounter(
+      mmapMaps_(group_.addAtomicCounter(
           "mmap_maps", "v3 bundles loaded zero-copy via mmap")),
-      bytesMapped_(group_.addCounter(
+      bytesMapped_(group_.addAtomicCounter(
           "bytes_mapped", "bundle file bytes mapped (not read) on load")),
-      deserialized_(group_.addCounter(
+      deserialized_(group_.addAtomicCounter(
           "deserialized",
           "bundle loads that deserialized record by record (v3 "
           "no-mmap fallback or v2 adoption)")),
-      v2Adopted_(group_.addCounter(
+      v2Adopted_(group_.addAtomicCounter(
           "v2_adopted", "legacy v2 bundles adopted read-only")),
       residentGroup_("resident_store"),
-      evictions_(residentGroup_.addCounter(
+      evictions_(residentGroup_.addAtomicCounter(
           "evictions", "resident captures dropped by the byte budget")),
-      evictedBytes_(residentGroup_.addCounter(
+      evictedBytes_(residentGroup_.addAtomicCounter(
           "evicted_bytes", "accounted bytes of evicted captures"))
 {
     group_.addFormula("major_faults",
@@ -235,33 +236,22 @@ CaptureCache::CaptureCache()
         });
 }
 
-void
-CaptureCache::bump(stats::Counter &counter, std::uint64_t by)
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    counter += by;
-}
-
 std::uint64_t
 CaptureCache::counter(const std::string &name) const
 {
     const auto *stat = group_.find("capture_cache." + name);
-    const auto *counter = dynamic_cast<const stats::Counter *>(stat);
-    casim_assert(counter != nullptr, "unknown capture-cache counter '",
+    const auto value = stats::counterValue(stat);
+    casim_assert(value.has_value(), "unknown capture-cache counter '",
                  name, "'");
-    std::lock_guard<std::mutex> lock(mutex_);
-    return counter->value();
+    return *value;
 }
 
 std::uint64_t
 CaptureCache::residentCounter(const std::string &name) const
 {
     const auto *stat = residentGroup_.find("resident_store." + name);
-    if (const auto *counter =
-            dynamic_cast<const stats::Counter *>(stat)) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return counter->value();
-    }
+    if (const auto value = stats::counterValue(stat))
+        return *value;
     const auto *formula = dynamic_cast<const stats::Formula *>(stat);
     casim_assert(formula != nullptr,
                  "unknown resident-store statistic '", name, "'");
@@ -277,7 +267,8 @@ CaptureCache::setResidentBudget(std::uint64_t bytes)
 }
 
 std::shared_ptr<const CapturedWorkload>
-CaptureCache::capture(const std::string &name, const StudyConfig &config)
+CaptureCache::capture(const std::string &name, const StudyConfig &config,
+                      bool *captured_now)
 {
     const std::uint64_t hash = captureConfigHash(
         name, config.workload, captureHierarchyConfig(config));
@@ -289,23 +280,53 @@ CaptureCache::capture(const std::string &name, const StudyConfig &config)
         std::shared_ptr<ResidentEntry> &slot = resident_[hash];
         if (slot == nullptr)
             slot = std::make_shared<ResidentEntry>();
-        else
-            memo_hit = true;
+        // A slot may exist without a capture (pinResident() pins ahead
+        // of the warm): only an adopted capture is a memo hit.
+        memo_hit = slot->captured != nullptr;
         slot->lastUse = ++lruTick_;
         entry = slot;
         residentEntries_.store(resident_.size());
     }
     if (memo_hit)
-        bump(memoHits_);
-    bool captured_now = false;
+        ++memoHits_;
+    bool cold = false;
     std::call_once(entry->once, [&] {
         entry->captured = std::make_shared<const CapturedWorkload>(
             captureWorkload(name, config, *this));
-        captured_now = true;
+        cold = true;
     });
-    if (captured_now)
+    if (cold)
         accountAndEnforceBudget(hash);
+    if (captured_now != nullptr)
+        *captured_now = cold;
     return entry->captured;
+}
+
+void
+CaptureCache::pinResident(std::uint64_t hash)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<ResidentEntry> &slot = resident_[hash];
+    if (slot == nullptr)
+        slot = std::make_shared<ResidentEntry>();
+    ++slot->pinned;
+    residentEntries_.store(resident_.size());
+}
+
+void
+CaptureCache::unpinResident(std::uint64_t hash)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = resident_.find(hash);
+    if (it == resident_.end())
+        return;
+    casim_assert(it->second->pinned > 0,
+                 "unpinResident without a matching pin");
+    --it->second->pinned;
+    // The entry stayed exempt from the budget while pinned; with the
+    // last pin gone it competes with the rest of the store again.
+    if (it->second->pinned == 0)
+        enforceBudgetLocked(/*protect_hash=*/0);
 }
 
 void
@@ -336,10 +357,12 @@ CaptureCache::enforceBudgetLocked(std::uint64_t protect_hash)
     while (residentBytes_.load() > budget) {
         // Evict the least-recently-used completed entry; the one just
         // inserted is protected so a single oversized capture still
-        // serves its requester before being dropped on the next round.
+        // serves its requester before being dropped on the next round,
+        // and pinned entries (leased by in-flight batches) are exempt.
         auto victim = resident_.end();
         for (auto it = resident_.begin(); it != resident_.end(); ++it) {
-            if (!it->second->ready || it->first == protect_hash)
+            if (!it->second->ready || it->second->pinned > 0 ||
+                it->first == protect_hash)
                 continue;
             if (victim == resident_.end() ||
                 it->second->lastUse < victim->second->lastUse)
@@ -364,7 +387,7 @@ CaptureCache::load(const std::string &path, std::uint64_t config_hash,
     if (!is) {
         // The normal cold path: nothing cached yet, nothing to warn
         // about.
-        bump(coldMisses_);
+        ++coldMisses_;
         if (why != nullptr)
             *why = "cannot open";
         return false;
@@ -438,7 +461,7 @@ CaptureCache::load(const std::string &path, std::uint64_t config_hash,
 
     if (!ok) {
         const bool stale = isStaleBundleError(error);
-        bump(stale ? staleMisses_ : corruptMisses_);
+        ++(stale ? staleMisses_ : corruptMisses_);
         casim_warn("capture cache: ignoring ",
                    stale ? "stale" : "corrupt", " bundle ", path, " (",
                    error, "); regenerating capture");
@@ -448,16 +471,16 @@ CaptureCache::load(const std::string &path, std::uint64_t config_hash,
     }
 
     out = std::move(loaded);
-    bump(hits_);
+    ++hits_;
     if (mapped_bytes != 0) {
-        bump(mmapMaps_);
-        bump(bytesMapped_, mapped_bytes);
+        ++mmapMaps_;
+        bytesMapped_ += mapped_bytes;
         noteLabelPlaneMappedBytes(mapped_plane_bytes);
     }
     if (deserializing_load)
-        bump(deserialized_);
+        ++deserialized_;
     if (v2_load)
-        bump(v2Adopted_);
+        ++v2Adopted_;
     if (why != nullptr)
         why->clear();
     return true;
@@ -472,14 +495,14 @@ CaptureCache::save(const std::string &path, std::uint64_t config_hash,
         return writeCaptureBundleV3(os, config_hash, packMeta(captured),
                                     captured.stream, aux);
     });
-    bump(ok ? saves_ : saveFailures_);
+    ++(ok ? saves_ : saveFailures_);
     return ok;
 }
 
 void
 CaptureCache::noteShimUse()
 {
-    bump(shimUses_);
+    ++shimUses_;
 }
 
 std::uint64_t

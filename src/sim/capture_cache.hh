@@ -66,9 +66,9 @@ class CaptureCache
      * Counters: disk hits, cold/stale/corrupt misses, saves and save
      * failures, resident-store memo hits, zero-copy map statistics
      * (mmap_maps / bytes_mapped / major_faults), deserializing loads,
-     * v2 adoptions, and the legacy shim_uses (always zero).
-     * Increments are internally serialized; read them only after the
-     * runs of interest have completed.
+     * v2 adoptions, and the legacy shim_uses (always zero).  All
+     * counters are atomic, so the group can be rendered (e.g. by the
+     * casimd stats op) while captures are running.
      */
     stats::StatGroup &stats() { return group_; }
 
@@ -103,9 +103,29 @@ class CaptureCache
      * same object with zero deserialization, counted in `memo_hits`.
      * This is what lets casimd answer warm repeat requests with no
      * setup cost.
+     *
+     * @param captured_now Optionally receives whether this call did
+     *                     the cold capture (true) or found the result
+     *                     already resident/being captured (false).
      */
     std::shared_ptr<const CapturedWorkload>
-    capture(const std::string &name, const StudyConfig &config);
+    capture(const std::string &name, const StudyConfig &config,
+            bool *captured_now = nullptr);
+
+    /**
+     * Pin the resident entry for `hash` against budget eviction,
+     * creating the (not yet captured) slot if absent.  Pins nest; the
+     * experiment queue pins every capture identity a lease covers so
+     * the `--capture-budget-bytes` LRU can never drop a bundle that an
+     * in-flight batch is about to execute against.
+     */
+    void pinResident(std::uint64_t hash);
+
+    /**
+     * Drop one pin from `hash` and, once the entry is unpinned, let
+     * the budget reconsider it for eviction.
+     */
+    void unpinResident(std::uint64_t hash);
 
     /**
      * Try to load a cached capture bundle from disk, dispatching on the
@@ -164,6 +184,9 @@ class CaptureCache
 
         /** True once `captured` is set; only ready entries evict. */
         bool ready = false;
+
+        /** Nested pin count; pinned entries never evict. */
+        unsigned pinned = 0;
     };
 
     mutable std::mutex mutex_;
@@ -176,24 +199,22 @@ class CaptureCache
     std::atomic<std::uint64_t> budgetBytes_{0};
 
     stats::StatGroup group_;
-    stats::Counter &hits_;
-    stats::Counter &coldMisses_;
-    stats::Counter &staleMisses_;
-    stats::Counter &corruptMisses_;
-    stats::Counter &saves_;
-    stats::Counter &saveFailures_;
-    stats::Counter &memoHits_;
-    stats::Counter &shimUses_;
-    stats::Counter &mmapMaps_;
-    stats::Counter &bytesMapped_;
-    stats::Counter &deserialized_;
-    stats::Counter &v2Adopted_;
+    stats::AtomicCounter &hits_;
+    stats::AtomicCounter &coldMisses_;
+    stats::AtomicCounter &staleMisses_;
+    stats::AtomicCounter &corruptMisses_;
+    stats::AtomicCounter &saves_;
+    stats::AtomicCounter &saveFailures_;
+    stats::AtomicCounter &memoHits_;
+    stats::AtomicCounter &shimUses_;
+    stats::AtomicCounter &mmapMaps_;
+    stats::AtomicCounter &bytesMapped_;
+    stats::AtomicCounter &deserialized_;
+    stats::AtomicCounter &v2Adopted_;
 
     stats::StatGroup residentGroup_;
-    stats::Counter &evictions_;
-    stats::Counter &evictedBytes_;
-
-    void bump(stats::Counter &counter, std::uint64_t by = 1);
+    stats::AtomicCounter &evictions_;
+    stats::AtomicCounter &evictedBytes_;
 
     /**
      * Account a completed capture under `hash` and evict

@@ -29,9 +29,14 @@ printUsage(std::ostream &os)
           "             [--capture-budget-bytes=N] [study config flags]\n"
           "\n"
           "Serves newline-delimited JSON experiment requests; one\n"
-          "casim-stats-1 document per request.  On SIGTERM/SIGINT the\n"
-          "daemon drains in-flight requests, then flushes its stats\n"
-          "document to --stats-out.\n"
+          "casim-stats-1 document per request.  Protocol v2 ops:\n"
+          "hello (version negotiation), experiment, batch, sweep\n"
+          "(server-side workloads x policies x llc_bytes expansion),\n"
+          "stats, ping, shutdown.  Concurrent connections overlap:\n"
+          "batches lease capture identities instead of serializing\n"
+          "on the queue.  On SIGTERM/SIGINT the daemon drains\n"
+          "in-flight requests, then flushes its stats document to\n"
+          "--stats-out.\n"
           "\n"
           "--capture-budget-bytes bounds the resident capture store:\n"
           "idle captured workloads are evicted least-recently-used\n"

@@ -117,10 +117,11 @@ ExperimentDaemon::ExperimentDaemon(const StudyConfig &config,
 }
 
 std::string
-ExperimentDaemon::errorDocument(const std::string &message) const
+ExperimentDaemon::errorDocument(const std::string &message,
+                                const std::string &code) const
 {
     ResultSink sink("casimd", config_);
-    sink.setError(message);
+    sink.setError(message, code);
     std::ostringstream os;
     sink.writeJsonLine(os);
     return os.str();
@@ -150,10 +151,10 @@ ExperimentDaemon::countError()
 std::string
 ExperimentDaemon::statsDocument()
 {
-    // Quiesce the queue so the queue/cache/label-plane groups are not
-    // mid-update on another connection's batch, then freeze our own
-    // counters for the render.
-    const auto queue_lock = queue_.quiesce();
+    // No quiesce: the queue/cache/label-plane/sharded-replay groups
+    // are atomic (or internally synchronized), so the stats op answers
+    // instantly even while batches are executing.  Only the daemon's
+    // own counters need their mutex.
     std::scoped_lock lock(statsMutex_);
     std::ostringstream os;
     makeStatsSink().writeJsonLine(os);
@@ -178,6 +179,8 @@ ExperimentDaemon::flushStats()
 {
     if (statsOutPath_.empty())
         return;
+    // Unlike the stats op, the final flush quiesces: the document
+    // written at shutdown reflects fully retired batches.
     const auto queue_lock = queue_.quiesce();
     std::scoped_lock lock(statsMutex_);
     makeStatsSink().writeJsonFile(statsOutPath_);
@@ -196,14 +199,15 @@ ExperimentDaemon::handleRequests(
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (!parseErrors[i].empty()) {
             countError();
-            replies[i] = errorDocument(parseErrors[i]);
+            replies[i] = errorDocument(parseErrors[i], "bad_request");
             continue;
         }
-        const std::string why = requests[i].validate();
+        std::string code;
+        const std::string why = requests[i].validate(&code);
         if (!why.empty()) {
             countError();
-            replies[i] =
-                errorDocument("invalid experiment request: " + why);
+            replies[i] = errorDocument(
+                "invalid experiment request: " + why, code);
             continue;
         }
         // Valid: execute with the daemon's capture store substituted.
@@ -231,19 +235,22 @@ ExperimentDaemon::handleLine(const std::string &line, std::string &out)
     std::string error;
     if (!json::parse(line, value, &error)) {
         countError();
-        out += errorDocument("request parse error: " + error);
+        out += errorDocument("request parse error: " + error,
+                             "bad_request");
         return;
     }
     if (!value.isObject()) {
         countError();
-        out += errorDocument("request must be a JSON object");
+        out += errorDocument("request must be a JSON object",
+                             "bad_request");
         return;
     }
 
     const json::Value *op = value.find("op");
     if (op != nullptr && !op->isString()) {
         countError();
-        out += errorDocument("request field 'op' must be a string");
+        out += errorDocument("request field 'op' must be a string",
+                             "bad_request");
         return;
     }
     const std::string op_name = op ? op->str() : "experiment";
@@ -255,7 +262,8 @@ ExperimentDaemon::handleLine(const std::string &line, std::string &out)
             if (body == nullptr) {
                 countError();
                 out += errorDocument(
-                    "op 'experiment' needs a 'request' object");
+                    "op 'experiment' needs a 'request' object",
+                    "bad_request");
                 return;
             }
         }
@@ -271,8 +279,8 @@ ExperimentDaemon::handleLine(const std::string &line, std::string &out)
         const json::Value *list = value.find("requests");
         if (list == nullptr || !list->isArray()) {
             countError();
-            out += errorDocument(
-                "op 'batch' needs a 'requests' array");
+            out += errorDocument("op 'batch' needs a 'requests' array",
+                                 "bad_request");
             return;
         }
         const json::Array &items = list->array();
@@ -282,6 +290,16 @@ ExperimentDaemon::handleLine(const std::string &line, std::string &out)
             ExperimentRequest::fromJson(items[i], requests[i],
                                         &parse_errors[i]);
         handleRequests(requests, parse_errors, out);
+        return;
+    }
+
+    if (op_name == "hello") {
+        handleHello(value, out);
+        return;
+    }
+
+    if (op_name == "sweep") {
+        handleSweep(value, out);
         return;
     }
 
@@ -310,9 +328,227 @@ ExperimentDaemon::handleLine(const std::string &line, std::string &out)
     }
 
     countError();
-    out += errorDocument(
-        "unknown op '" + op_name +
-        "' (known: experiment, batch, stats, ping, shutdown)");
+    out += errorDocument("unknown op '" + op_name +
+                             "' (known: hello, experiment, batch, "
+                             "sweep, stats, ping, shutdown)",
+                         "unknown_op");
+}
+
+void
+ExperimentDaemon::handleHello(const json::Value &value, std::string &out)
+{
+    // Without an explicit "protocol" the client gets the newest; v1
+    // clients never send hello at all, so this path only ever
+    // negotiates, never breaks.
+    unsigned negotiated = kProtocolVersion;
+    if (const json::Value *protocol = value.find("protocol")) {
+        const double raw = protocol->isNumber() ? protocol->number() : -1;
+        if (raw < 0 ||
+            raw != static_cast<double>(static_cast<std::uint64_t>(raw))) {
+            countError();
+            out += errorDocument(
+                "hello field 'protocol' must be a non-negative integer",
+                "bad_request");
+            return;
+        }
+        const std::uint64_t v = static_cast<std::uint64_t>(raw);
+        if (v < kProtocolVersionMin || v > kProtocolVersion) {
+            countError();
+            out += errorDocument(
+                "unsupported protocol " + std::to_string(v) +
+                    " (supported: " +
+                    std::to_string(kProtocolVersionMin) + ".." +
+                    std::to_string(kProtocolVersion) + ")",
+                "protocol_mismatch");
+            return;
+        }
+        negotiated = static_cast<unsigned>(v);
+    }
+
+    ResultSink sink("casimd", config_);
+    TablePrinter table("hello", {"field", "value"});
+    table.addRow({"protocol", std::to_string(negotiated)});
+    table.addRow({"min_protocol", std::to_string(kProtocolVersionMin)});
+    table.addRow({"max_protocol", std::to_string(kProtocolVersion)});
+    table.addRow({"server", "casimd"});
+    table.addRow({"ops", "hello, experiment, batch, sweep, stats, "
+                         "ping, shutdown"});
+    sink.addTable(table);
+    std::ostringstream os;
+    sink.writeJsonLine(os);
+    out += os.str();
+}
+
+void
+ExperimentDaemon::handleSweep(const json::Value &value, std::string &out)
+{
+    static constexpr const char *kSweepFields[] = {
+        "op", "base", "workloads", "policies", "llc_bytes"};
+    for (const auto &[key, member] : value.object()) {
+        (void)member;
+        bool known = false;
+        for (const char *field : kSweepFields)
+            known = known || key == field;
+        if (!known) {
+            countError();
+            out += errorDocument(
+                "unknown sweep field '" + key +
+                    "' (known: op, base, workloads, policies, "
+                    "llc_bytes)",
+                "bad_request");
+            return;
+        }
+    }
+
+    const json::Value *base_value = value.find("base");
+    if (base_value == nullptr || !base_value->isObject()) {
+        countError();
+        out += errorDocument("op 'sweep' needs a 'base' request object",
+                             "bad_request");
+        return;
+    }
+    ExperimentRequest base;
+    std::string parse_error;
+    if (!ExperimentRequest::fromJson(*base_value, base, &parse_error)) {
+        countError();
+        out += errorDocument("sweep base: " + parse_error,
+                             "bad_request");
+        return;
+    }
+
+    // Axis readers with per-axis, per-element diagnostics — the
+    // requirePolicyFactory style, naming the axis, the index and the
+    // known values, so a bad sweep fails before any cell is expanded.
+    const auto stringAxis =
+        [&](const char *axis, std::string (*check)(const std::string &),
+            const char *code,
+            std::vector<std::string> &items) -> bool {
+        const json::Value *list = value.find(axis);
+        if (list == nullptr)
+            return true;
+        if (!list->isArray() || list->array().empty()) {
+            countError();
+            out += errorDocument("sweep axis '" + std::string(axis) +
+                                     "' must be a non-empty array",
+                                 "bad_request");
+            return false;
+        }
+        const json::Array &array = list->array();
+        for (std::size_t i = 0; i < array.size(); ++i) {
+            if (!array[i].isString()) {
+                countError();
+                out += errorDocument("sweep axis '" +
+                                         std::string(axis) + "'[" +
+                                         std::to_string(i) +
+                                         "] must be a string",
+                                     "bad_request");
+                return false;
+            }
+            if (const std::string why = check(array[i].str());
+                !why.empty()) {
+                countError();
+                out += errorDocument("sweep axis '" +
+                                         std::string(axis) + "'[" +
+                                         std::to_string(i) +
+                                         "]: " + why,
+                                     code);
+                return false;
+            }
+            items.push_back(array[i].str());
+        }
+        return true;
+    };
+
+    std::vector<std::string> workloads, policies;
+    std::vector<std::uint64_t> llc_bytes;
+    if (!stringAxis("workloads", checkWorkloadName, "unknown_workload",
+                    workloads))
+        return;
+    if (!stringAxis("policies", checkPolicyName, "unknown_policy",
+                    policies))
+        return;
+
+    if (const json::Value *list = value.find("llc_bytes")) {
+        if (!list->isArray() || list->array().empty()) {
+            countError();
+            out += errorDocument(
+                "sweep axis 'llc_bytes' must be a non-empty array",
+                "bad_request");
+            return;
+        }
+        const json::Array &array = list->array();
+        for (std::size_t i = 0; i < array.size(); ++i) {
+            const double raw =
+                array[i].isNumber() ? array[i].number() : -1;
+            if (raw < 0 ||
+                raw != static_cast<double>(
+                           static_cast<std::uint64_t>(raw))) {
+                countError();
+                out += errorDocument(
+                    "sweep axis 'llc_bytes'[" + std::to_string(i) +
+                        "] must be a non-negative integer",
+                    "bad_request");
+                return;
+            }
+            llc_bytes.push_back(static_cast<std::uint64_t>(raw));
+        }
+    }
+
+    // An absent axis sweeps nothing: the base's own value stands in.
+    if (workloads.empty())
+        workloads.push_back(base.workload);
+    if (policies.empty())
+        policies.push_back(base.policy);
+    if (llc_bytes.empty())
+        llc_bytes.push_back(base.llcBytes);
+
+    // Overflow-safe cross-product size against the hard expansion cap.
+    std::size_t cells = 1;
+    for (const std::size_t n :
+         {workloads.size(), policies.size(), llc_bytes.size()}) {
+        if (n > kSweepExpansionCap / cells) {
+            cells = kSweepExpansionCap + 1;
+            break;
+        }
+        cells *= n;
+    }
+    if (cells > kSweepExpansionCap) {
+        countError();
+        out += errorDocument(
+            "sweep expands to " + std::to_string(workloads.size()) +
+                " x " + std::to_string(policies.size()) + " x " +
+                std::to_string(llc_bytes.size()) + " cells (cap " +
+                std::to_string(kSweepExpansionCap) + ")",
+            "capacity");
+        return;
+    }
+
+    // A leading header document announces how many result lines follow
+    // and the expansion order, so a client can stream the sweep.
+    {
+        ResultSink sink("casimd", base.config);
+        TablePrinter table("sweep", {"field", "value"});
+        table.addRow({"cells", std::to_string(cells)});
+        table.addRow({"order", "workloads, policies, llc_bytes"});
+        sink.addTable(table);
+        std::ostringstream os;
+        sink.writeJsonLine(os);
+        out += os.str();
+    }
+
+    std::vector<ExperimentRequest> requests;
+    requests.reserve(cells);
+    for (const std::string &workload : workloads)
+        for (const std::string &policy : policies)
+            for (const std::uint64_t bytes : llc_bytes) {
+                ExperimentRequest request = base;
+                request.workload = workload;
+                request.policy = policy;
+                request.llcBytes = bytes;
+                requests.push_back(std::move(request));
+            }
+    const std::vector<std::string> no_parse_errors(requests.size());
+    handleRequests(requests, no_parse_errors, out);
 }
 
 void

@@ -12,10 +12,15 @@
  * Wire protocol (see docs/casimd_protocol.md): newline-delimited JSON,
  * one request per line, one casim-stats-1 response document per request
  * on one line.  A bare object is an experiment request; an object with
- * an "op" key selects "experiment", "batch", "stats", "ping" or
- * "shutdown".  Errors (parse, unknown field, invalid combination) are
- * answered with a document carrying a top-level "error" key — the same
- * message ExperimentRequest::validate() produces locally.
+ * an "op" key selects "hello", "experiment", "batch", "sweep", "stats",
+ * "ping" or "shutdown".  Errors (parse, unknown field, invalid
+ * combination) are answered with a document carrying a top-level
+ * "error" key — the same message ExperimentRequest::validate()
+ * produces locally — plus, since protocol v2, a stable machine-readable
+ * "error_code".  "hello" negotiates the protocol version; clients that
+ * never send it (v1) keep working, since every v1 request and response
+ * form is unchanged.  "sweep" expands a (workloads x policies x
+ * llc_bytes) cross product server-side into one batch.
  *
  * Transports: a Unix domain socket (serveSocket, thread per
  * connection) or stdin/stdout (serveStdio).  On SIGTERM/SIGINT the
@@ -38,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "sim/capture_cache.hh"
 #include "sim/parallel.hh"
@@ -45,6 +51,16 @@
 #include "sim/result_sink.hh"
 
 namespace casim {
+
+/** Protocol versions this daemon speaks (negotiated by "hello"). */
+inline constexpr unsigned kProtocolVersionMin = 1;
+inline constexpr unsigned kProtocolVersion = 2;
+
+/**
+ * Hard cap on the cells one "sweep" op may expand to — a sweep beyond
+ * this is answered with a "capacity" error instead of being queued.
+ */
+inline constexpr std::size_t kSweepExpansionCap = 1024;
 
 /** The persistent experiment service process. */
 class ExperimentDaemon
@@ -105,7 +121,9 @@ class ExperimentDaemon
     /**
      * Render the daemon's stats document (capture cache, label planes,
      * queue and daemon counters) — the reply to the "stats" op and the
-     * document flushed to --stats-out on shutdown.
+     * document flushed to --stats-out on shutdown.  Safe to call while
+     * batches are executing: every rendered group is either atomic or
+     * guarded, so the "stats" op never waits on in-flight work.
      */
     std::string statsDocument();
 
@@ -118,8 +136,18 @@ class ExperimentDaemon
                         const std::vector<std::string> &parseErrors,
                         std::string &out);
 
-    /** One-line error document with the given message. */
-    std::string errorDocument(const std::string &message) const;
+    /** Answer the "hello" op (protocol negotiation). */
+    void handleHello(const json::Value &value, std::string &out);
+
+    /** Answer the "sweep" op (server-side cross-product expansion). */
+    void handleSweep(const json::Value &value, std::string &out);
+
+    /**
+     * One-line error document with the given message and, when
+     * non-empty, the protocol-v2 "error_code" classification.
+     */
+    std::string errorDocument(const std::string &message,
+                              const std::string &code = "") const;
 
     /** The sink behind statsDocument() and flushStats(). */
     ResultSink makeStatsSink();

@@ -15,10 +15,9 @@ namespace {
 
 /**
  * The runner whose batch the current thread is executing a task of,
- * if any.  run() consults it to detect re-entry: fanning a nested
- * batch out through the shared pending_/batchDone_ state would corrupt
- * the outer batch's accounting (and block a worker on its own pool),
- * so nested calls execute inline instead.
+ * if any.  run() consults it to detect re-entry: a nested fan-out
+ * would block this worker on its own pool (deadlocking once every
+ * worker does it), so nested calls execute inline instead.
  */
 thread_local const ParallelRunner *tls_active_runner = nullptr;
 
@@ -63,7 +62,7 @@ void
 ParallelRunner::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             workReady_.wait(lock, [this] {
@@ -76,13 +75,13 @@ ParallelRunner::workerLoop()
         }
         PhaseTimer timer;
         tls_active_runner = this;
-        job();
+        job.fn();
         tls_active_runner = nullptr;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             taskSeconds_.sample(timer.seconds());
             ++tasks_;
-            if (--pending_ == 0)
+            if (--job.batch->pending == 0)
                 batchDone_.notify_all();
         }
     }
@@ -124,8 +123,8 @@ ParallelRunner::run(std::size_t n,
     if (n == 0)
         return;
     if (tls_active_runner == this) {
-        // Called from inside one of our own tasks: the batch state is
-        // busy with the outer fan-out, so execute on this worker.
+        // Called from inside one of our own tasks: blocking this
+        // worker on the pool could deadlock it, so execute here.
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++reentries_;
@@ -139,30 +138,36 @@ ParallelRunner::run(std::size_t n,
         return;
     }
 
+    // Each run() owns a Batch record shared with its queued jobs, so
+    // concurrent top-level callers interleave on the one pool without
+    // touching each other's completion accounting or error slot.
+    auto batch = std::make_shared<Batch>();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++batches_;
-        pending_ = n;
-        firstError_ = nullptr;
+        batch->pending = n;
         for (std::size_t i = 0; i < n; ++i) {
-            queue_.push_back([this, &task, i] {
-                try {
-                    task(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> guard(mutex_);
-                    if (!firstError_)
-                        firstError_ = std::current_exception();
-                }
-            });
+            queue_.push_back({[this, batch, &task, i] {
+                                  try {
+                                      task(i);
+                                  } catch (...) {
+                                      std::lock_guard<std::mutex> guard(
+                                          mutex_);
+                                      if (!batch->firstError)
+                                          batch->firstError =
+                                              std::current_exception();
+                                  }
+                              },
+                              batch});
         }
         maxQueueDepth_ = std::max(maxQueueDepth_, queue_.size());
     }
     workReady_.notify_all();
 
     std::unique_lock<std::mutex> lock(mutex_);
-    batchDone_.wait(lock, [this] { return pending_ == 0; });
-    if (firstError_)
-        std::rethrow_exception(firstError_);
+    batchDone_.wait(lock, [&batch] { return batch->pending == 0; });
+    if (batch->firstError)
+        std::rethrow_exception(batch->firstError);
 }
 
 } // namespace casim

@@ -61,11 +61,17 @@ class ParallelRunner
      * first task exception afterwards, so `tasks`/`task_seconds` stats
      * are consistent across jobs values and the runner stays reusable.
      *
-     * Nesting is safe: a task that calls run() on its own runner (e.g.
-     * a sharded replay inside an experiment cell) is detected through a
-     * thread-local marker and executed inline on the worker, because
-     * fanning out from inside a batch would corrupt the shared batch
-     * accounting (pending_/batchDone_) and deadlock.
+     * Concurrent top-level calls are safe: every run() owns its own
+     * batch accounting (a heap-allocated pending/first-error record the
+     * queued jobs share), so independent callers — e.g. casimd
+     * connection threads executing overlapping experiment batches —
+     * interleave their jobs on one pool, each returning when its own
+     * batch drains and rethrowing only its own batch's first exception.
+     *
+     * Nesting is also safe: a task that calls run() on its own runner
+     * (e.g. a sharded replay inside an experiment cell) is detected
+     * through a thread-local marker and executed inline on the worker,
+     * because a worker blocking on its own pool would deadlock it.
      */
     void run(std::size_t n, const std::function<void(std::size_t)> &task);
 
@@ -86,12 +92,33 @@ class ParallelRunner
 
     /**
      * Execution counters: batches and tasks run, per-task wall time,
-     * the worker count and the deepest queue observed.  Read only
-     * between run() calls — sampling is serialized with the queue.
+     * the worker count and the deepest queue observed.  Counter and
+     * distribution updates are serialized on the queue mutex; read the
+     * values after the runs of interest have completed.
      */
     const stats::StatGroup &stats() const { return stats_; }
 
   private:
+    /**
+     * Accounting one run() call owns: the undone-task count and the
+     * first exception of that batch.  Heap-allocated and shared between
+     * the caller and its queued jobs so concurrent top-level run()
+     * calls never touch each other's state; all fields are guarded by
+     * the runner mutex.
+     */
+    struct Batch
+    {
+        std::size_t pending = 0;
+        std::exception_ptr firstError;
+    };
+
+    /** One queued task plus the batch it retires into. */
+    struct Job
+    {
+        std::function<void()> fn;
+        std::shared_ptr<Batch> batch;
+    };
+
     /** Worker main loop: pop jobs until asked to stop. */
     void workerLoop();
 
@@ -110,10 +137,8 @@ class ParallelRunner
     std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable batchDone_;
-    std::deque<std::function<void()>> queue_;
-    std::size_t pending_ = 0;
+    std::deque<Job> queue_;
     std::size_t maxQueueDepth_ = 0;
-    std::exception_ptr firstError_;
     bool stopping_ = false;
 
     stats::StatGroup stats_;

@@ -32,6 +32,15 @@ ExperimentService::run(const ExperimentRequest &request)
 
 namespace {
 
+/** Run a callable at scope exit (lease and gauge cleanup on every path). */
+template <typename Fn>
+struct ScopeExit
+{
+    Fn fn;
+    ~ScopeExit() { fn(); }
+};
+template <typename Fn> ScopeExit(Fn) -> ScopeExit<Fn>;
+
 /**
  * Feed per-block residency outcomes of a recorded baseline run to the
  * residency-replay labeler.
@@ -236,23 +245,43 @@ executeCell(const ExperimentRequest &request,
 ExperimentQueue::ExperimentQueue(CaptureCache &cache,
                                  ParallelRunner &runner)
     : cache_(cache), runner_(runner), group_("queue"),
-      submitted_(group_.addCounter("submitted",
-                                   "experiment requests submitted")),
-      executed_(group_.addCounter("executed",
-                                  "unique cells executed")),
-      dedupHits_(group_.addCounter(
+      submitted_(group_.addAtomicCounter(
+          "submitted", "experiment requests submitted")),
+      executed_(group_.addAtomicCounter("executed",
+                                        "unique cells executed")),
+      dedupHits_(group_.addAtomicCounter(
           "dedup_hits", "requests resolved by an identical cell in "
                         "the same batch")),
-      batches_(group_.addCounter("batches", "batches run"))
+      batches_(group_.addAtomicCounter("batches", "batches run")),
+      concurrentBatches_(group_.addAtomicCounter(
+          "concurrent_batches",
+          "batches that overlapped another in-flight batch")),
+      leaseWaits_(group_.addAtomicCounter(
+          "lease_waits",
+          "borrowed capture leases waited on (warm in progress)")),
+      leaseWarms_(group_.addAtomicCounter(
+          "lease_warms", "cold capture warms performed under a lease")),
+      leaseHoldersMax_(group_.addAtomicCounter(
+          "lease_holders_max",
+          "most concurrent holders of one capture lease"))
 {
+    group_.addFormula("in_flight",
+                      "batches currently inside runBatch()", [this] {
+                          return static_cast<double>(inFlight_.load());
+                      });
 }
 
 std::vector<ExperimentResult>
 ExperimentQueue::runBatch(const std::vector<ExperimentRequest> &requests)
 {
-    std::lock_guard<std::mutex> exec(execMutex_);
+    // Batches hold the exec lock shared — only quiesce() (drain,
+    // stats flush) excludes them; other batches run concurrently.
+    std::shared_lock<std::shared_mutex> exec(execMutex_);
     ++batches_;
     submitted_ += requests.size();
+    if (inFlight_.fetch_add(1) + 1 > 1)
+        ++concurrentBatches_;
+    const ScopeExit gauge{[this] { inFlight_.fetch_sub(1); }};
 
     // Validate up front: a bad request from a bench is a programming
     // error and gets requirePolicyFactory's fatal treatment (the
@@ -277,14 +306,15 @@ ExperimentQueue::runBatch(const std::vector<ExperimentRequest> &requests)
     }
     executed_ += unique.size();
 
-    // Warm phase: group the unique cells by capture identity and fan
-    // one task per captured workload out, capturing it and pre-building
-    // the next-use index and oracle label planes its cells will query —
-    // the warmSharingOracle discipline, now per batch, so no replay
-    // cell stalls on a build.
+    // Warm planning: group the unique cells by capture identity,
+    // collecting per identity whether the next-use index is needed and
+    // which oracle label planes the cells will query — the
+    // warmSharingOracle discipline, now per batch, so no replay cell
+    // stalls on a build.
     struct WarmItem
     {
         const ExperimentRequest *request; // capture identity donor
+        std::uint64_t hash = 0;
         bool index = false;
         std::vector<std::pair<SeqNo, SeqNo>> planes;
     };
@@ -299,7 +329,7 @@ ExperimentQueue::runBatch(const std::vector<ExperimentRequest> &requests)
         const auto [it, inserted] =
             warm_by_hash.emplace(hash, warm.size());
         if (inserted)
-            warm.push_back({&request, false, {}});
+            warm.push_back({&request, hash, false, {}});
         WarmItem &item = warm[it->second];
         warm_of[u] = it->second;
         item.index = item.index || needsIndex(request);
@@ -310,17 +340,98 @@ ExperimentQueue::runBatch(const std::vector<ExperimentRequest> &requests)
                 item.planes.push_back(pair);
         }
     }
+
+    // Lease acquisition, on the submitting thread (never inside a pool
+    // task — a task blocked on a lease would occupy the very worker
+    // the warm it waits for needs).  The creator of a lease owns the
+    // warm; everyone else borrows.  A fresh lease pins the identity in
+    // the capture cache until the last holder releases it.
+    std::vector<std::size_t> owned_items, borrowed_items;
+    {
+        std::lock_guard<std::mutex> lock(leaseMutex_);
+        for (std::size_t i = 0; i < warm.size(); ++i) {
+            std::shared_ptr<CaptureLease> &slot = leases_[warm[i].hash];
+            if (slot == nullptr) {
+                slot = std::make_shared<CaptureLease>();
+                cache_.pinResident(warm[i].hash);
+            }
+            ++slot->holders;
+            leaseHoldersMax_.noteMax(slot->holders);
+            if (!slot->warming && !slot->warmed) {
+                slot->warming = true;
+                owned_items.push_back(i);
+            } else {
+                borrowed_items.push_back(i);
+            }
+        }
+    }
+    const ScopeExit lease_release{[&] {
+        std::vector<std::uint64_t> unpin;
+        {
+            std::lock_guard<std::mutex> lock(leaseMutex_);
+            for (const WarmItem &item : warm) {
+                const auto it = leases_.find(item.hash);
+                if (--it->second->holders == 0) {
+                    leases_.erase(it);
+                    unpin.push_back(item.hash);
+                }
+            }
+        }
+        for (const std::uint64_t hash : unpin)
+            cache_.unpinResident(hash);
+    }};
+
+    // Warms the capture (counting cold ones), then the index and label
+    // planes the batch's cells need; every layer is memoized, so the
+    // borrowed top-up below only pays for planes the owner didn't
+    // build.
     std::vector<std::shared_ptr<const CapturedWorkload>> captured(
         warm.size());
-    runner_.run(warm.size(), [&](std::size_t i) {
+    const auto warm_one = [&](std::size_t i) {
         const WarmItem &item = warm[i];
+        bool cold = false;
         captured[i] = cache_.capture(item.request->workload,
-                                     item.request->config);
+                                     item.request->config, &cold);
+        if (cold)
+            ++leaseWarms_;
         if (!item.index && item.planes.empty())
             return;
         const NextUseIndex &index = captured[i]->nextUse();
         for (const auto &[window, near] : item.planes)
             index.labelPlane(window, near);
+    };
+
+    // Warm phase: one pool task per identity this batch owns the lease
+    // warm of.
+    runner_.run(owned_items.size(), [&](std::size_t k) {
+        const std::size_t i = owned_items[k];
+        // Publish even if the warm throws, so borrowers unblock; their
+        // own capture() retries and reports the same failure.
+        const ScopeExit publish{[&] {
+            std::lock_guard<std::mutex> lock(leaseMutex_);
+            CaptureLease &lease = *leases_.at(warm[i].hash);
+            lease.warming = false;
+            lease.warmed = true;
+            leaseCv_.notify_all();
+        }};
+        warm_one(i);
+    });
+
+    // Wait for the borrowed identities' owners to publish — again on
+    // the submitting thread, so pool workers stay busy with real work.
+    for (const std::size_t i : borrowed_items) {
+        std::unique_lock<std::mutex> lock(leaseMutex_);
+        CaptureLease &lease = *leases_.at(warm[i].hash);
+        if (!lease.warmed) {
+            ++leaseWaits_;
+            leaseCv_.wait(lock, [&lease] { return lease.warmed; });
+        }
+    }
+
+    // Top-up phase: adopt the borrowed captures (memoized) and build
+    // any extra label planes this batch's cells query.
+    runner_.run(borrowed_items.size(), [&](std::size_t k) {
+        warm_one(borrowed_items[k]);
     });
 
     // Execution phase: one runner task per unique cell; shard fan-out

@@ -18,15 +18,28 @@
  * against the same queue reuse captured workloads from memory.
  *
  * runBatch() is safe to call from multiple threads (casimd's
- * connection handlers): batches serialize on an internal mutex because
- * ParallelRunner::run must not be entered concurrently from different
- * top-level threads.
+ * connection handlers), and concurrent batches genuinely overlap:
+ * instead of serializing on a global exec mutex, each batch acquires a
+ * lease per capture identity it touches.  The first lease holder warms
+ * the capture / next-use index / label planes once; later batches for
+ * the same identity wait on that lease (not on the whole queue), while
+ * batches over disjoint identities never wait at all.  Cells from all
+ * in-flight batches fan out on the one shared ParallelRunner, results
+ * stay bit-identical to serial execution, and a leased capture is
+ * pinned in the CaptureCache so the resident byte budget can never
+ * evict a bundle an in-flight batch is about to execute against.
  */
 
 #ifndef CASIM_SIM_QUEUE_HH
 #define CASIM_SIM_QUEUE_HH
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/stats.hh"
@@ -70,34 +83,67 @@ class ExperimentQueue : public ExperimentService
 
     /**
      * Queue counters: requests submitted / unique cells executed /
-     * dedupe hits / batches run.  Read between runBatch() calls, or
-     * while holding quiesce().
+     * dedupe hits / batches run, plus the concurrency counters —
+     * `concurrent_batches` (batches that overlapped another in-flight
+     * batch), `lease_waits` (borrowed capture leases actually waited
+     * on), `lease_warms` (cold capture warms performed under a lease)
+     * and `lease_holders_max` (most concurrent holders of one lease) —
+     * and the `in_flight` gauge.  All counters are atomic, so the
+     * group can be rendered (e.g. by the casimd stats op) while
+     * batches are executing.
      */
     const stats::StatGroup &stats() const { return group_; }
 
     /**
      * Block until no batch is executing and keep new batches out while
-     * the returned lock is held.  casimd renders its stats document
-     * under this so the queue/capture-cache/label-plane counters are
-     * not read mid-batch from another connection thread.
+     * the returned lock is held.  Batches hold the exec lock shared;
+     * this takes it exclusive, so a SIGTERM drain (or a stats flush at
+     * exit) sees fully retired batches and untorn counters.
      */
-    std::unique_lock<std::mutex> quiesce()
+    std::unique_lock<std::shared_mutex> quiesce()
     {
-        return std::unique_lock<std::mutex>(execMutex_);
+        return std::unique_lock<std::shared_mutex>(execMutex_);
     }
 
   private:
+    /**
+     * One in-flight capture identity.  The creating batch owns the
+     * warm (`warming` set until it publishes `warmed`); later batches
+     * borrow the lease, wait for `warmed` on the submitting thread and
+     * then top up whatever extra label planes their own cells need.
+     * The lease pins the identity in the CaptureCache for its whole
+     * lifetime and is dropped when the last holder releases it.
+     */
+    struct CaptureLease
+    {
+        unsigned holders = 0;
+        bool warming = false;
+        bool warmed = false;
+    };
+
     CaptureCache &cache_;
     ParallelRunner &runner_;
 
-    /** Serializes batches: the runner cannot be entered concurrently. */
-    std::mutex execMutex_;
+    /** Held shared by batches, exclusive by quiesce(). */
+    std::shared_mutex execMutex_;
+
+    /** Guards leases_ and every CaptureLease; leaseCv_ signals warms. */
+    std::mutex leaseMutex_;
+    std::condition_variable leaseCv_;
+    std::map<std::uint64_t, std::shared_ptr<CaptureLease>> leases_;
+
+    /** Batches currently inside runBatch() (feeds the gauge). */
+    std::atomic<std::size_t> inFlight_{0};
 
     stats::StatGroup group_;
-    stats::Counter &submitted_;
-    stats::Counter &executed_;
-    stats::Counter &dedupHits_;
-    stats::Counter &batches_;
+    stats::AtomicCounter &submitted_;
+    stats::AtomicCounter &executed_;
+    stats::AtomicCounter &dedupHits_;
+    stats::AtomicCounter &batches_;
+    stats::AtomicCounter &concurrentBatches_;
+    stats::AtomicCounter &leaseWaits_;
+    stats::AtomicCounter &leaseWarms_;
+    stats::AtomicCounter &leaseHoldersMax_;
 };
 
 /**

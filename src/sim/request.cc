@@ -270,66 +270,106 @@ ExperimentRequest::toJson() const
 }
 
 std::string
+checkWorkloadName(const std::string &workload)
+{
+    bool known = false;
+    std::string names;
+    for (const auto &info : allWorkloads()) {
+        if (!names.empty())
+            names += ", ";
+        names += info.name;
+        known = known || info.name == workload;
+    }
+    if (known)
+        return "";
+    return "unknown workload '" + workload + "' (known: " + names + ")";
+}
+
+std::string
+checkPolicyName(const std::string &policy)
+{
+    if (policy == "opt" || policyDesc(policy).has_value())
+        return "";
+    std::string names = "opt";
+    for (const std::string &name : builtinPolicyNames())
+        names += ", " + name;
+    return "unknown policy '" + policy + "' (known: " + names + ")";
+}
+
+std::string
 ExperimentRequest::validate() const
 {
+    return validate(nullptr);
+}
+
+std::string
+ExperimentRequest::validate(std::string *code) const
+{
+    // Message first, code second: the message is the v1-compatible
+    // diagnostic, the code is the protocol-v2 classification.
+    const auto fail = [code](const char *what, std::string message) {
+        if (code != nullptr)
+            *code = what;
+        return message;
+    };
+
     if (!contains(kKinds, kind))
-        return "unknown request kind '" + kind +
-               "' (known: " + joinNames(kKinds) + ")";
+        return fail("unknown_kind", "unknown request kind '" + kind +
+                                        "' (known: " +
+                                        joinNames(kKinds) + ")");
 
-    bool workload_known = false;
-    std::string workload_names;
-    for (const auto &info : allWorkloads()) {
-        if (!workload_names.empty())
-            workload_names += ", ";
-        workload_names += info.name;
-        workload_known = workload_known || info.name == workload;
-    }
-    if (!workload_known)
-        return "unknown workload '" + workload +
-               "' (known: " + workload_names + ")";
+    if (std::string why = checkWorkloadName(workload); !why.empty())
+        return fail("unknown_workload", std::move(why));
 
-    if (policy != "opt" && !policyDesc(policy).has_value()) {
-        std::string names = "opt";
-        for (const std::string &name : builtinPolicyNames())
-            names += ", " + name;
-        return "unknown policy '" + policy + "' (known: " + names + ")";
-    }
+    if (std::string why = checkPolicyName(policy); !why.empty())
+        return fail("unknown_policy", std::move(why));
 
     if (!contains(kLabelers, labeler))
-        return "unknown labeler '" + labeler +
-               "' (known: " + joinNames(kLabelers) + ")";
+        return fail("unknown_labeler",
+                    "unknown labeler '" + labeler +
+                        "' (known: " + joinNames(kLabelers) + ")");
 
     if (kind == "awareness" || kind == "capture") {
         if (!labeler.empty())
-            return "kind '" + kind + "' does not take a labeler";
+            return fail("invalid_request",
+                        "kind '" + kind + "' does not take a labeler");
         if (evaluate || prefetch)
-            return "kind '" + kind +
-                   "' does not take evaluate/prefetch";
+            return fail("invalid_request",
+                        "kind '" + kind +
+                            "' does not take evaluate/prefetch");
     }
     if (evaluate && labeler != "addr-pred" && labeler != "pc-pred")
-        return "evaluate needs a predictor labeler (addr-pred or "
-               "pc-pred), got '" +
-               labeler + "'";
+        return fail("invalid_request",
+                    "evaluate needs a predictor labeler (addr-pred or "
+                    "pc-pred), got '" +
+                        labeler + "'");
     if (prefetch && policy == "opt")
-        return "prefetch is incompatible with policy 'opt'";
+        return fail("invalid_request",
+                    "prefetch is incompatible with policy 'opt'");
     if (traceProps && kind != "capture")
-        return "trace_props is only valid with kind 'capture'";
+        return fail("invalid_request",
+                    "trace_props is only valid with kind 'capture'");
 
     const auto powerOf2 = [](std::uint64_t v) {
         return v != 0 && (v & (v - 1)) == 0;
     };
     if (shards != 0 && !powerOf2(shards))
-        return "shards must be a power of two, got " +
-               std::to_string(shards);
+        return fail("invalid_request",
+                    "shards must be a power of two, got " +
+                        std::to_string(shards));
     if (!powerOf2(config.shards))
-        return "config.shards must be a power of two, got " +
-               std::to_string(config.shards);
+        return fail("invalid_request",
+                    "config.shards must be a power of two, got " +
+                        std::to_string(config.shards));
     if (config.workload.threads < 2)
-        return "config.threads must be at least 2 for a sharing study";
+        return fail(
+            "invalid_request",
+            "config.threads must be at least 2 for a sharing study");
     if (!(config.workload.scale > 0.0))
-        return "config.scale must be positive";
+        return fail("invalid_request", "config.scale must be positive");
     if (config.llcWays == 0)
-        return "config.llc_ways must be nonzero";
+        return fail("invalid_request",
+                    "config.llc_ways must be nonzero");
     return "";
 }
 

@@ -126,6 +126,15 @@ struct ExperimentRequest
      */
     std::string validate() const;
 
+    /**
+     * As validate(), additionally classifying a failure with a stable
+     * machine-readable code for protocol-v2 error documents:
+     * "unknown_kind", "unknown_workload", "unknown_policy",
+     * "unknown_labeler", or "invalid_request" for every other invalid
+     * field or combination.  `code` is untouched on success.
+     */
+    std::string validate(std::string *code) const;
+
     /** casim_fatal with validate()'s message when invalid. */
     void requireValid() const;
 
@@ -195,6 +204,19 @@ struct ExperimentResult
     static bool fromRows(const std::vector<std::vector<std::string>> &rows,
                          ExperimentResult &out, std::string *error);
 };
+
+/**
+ * Empty when `workload` names a known workload, else the same
+ * "unknown workload" diagnostic validate() produces.  Exposed so the
+ * daemon's sweep op can validate axis values with per-axis context.
+ */
+std::string checkWorkloadName(const std::string &workload);
+
+/**
+ * Empty when `policy` is "opt" or a builtin policy, else the same
+ * "unknown policy" diagnostic validate() produces.
+ */
+std::string checkPolicyName(const std::string &policy);
 
 } // namespace casim
 

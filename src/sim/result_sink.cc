@@ -54,9 +54,11 @@ ResultSink::addNote(const std::string &note)
 }
 
 void
-ResultSink::setError(const std::string &message)
+ResultSink::setError(const std::string &message,
+                     const std::string &code)
 {
     error_ = message;
+    errorCode_ = code;
     hasError_ = true;
 }
 
@@ -95,6 +97,10 @@ ResultSink::writeJsonImpl(std::ostream &os, bool compact) const
     if (hasError_) {
         os << c2 << "\"error\": ";
         printJsonString(os, error_);
+        if (!errorCode_.empty()) {
+            os << c2 << "\"error_code\": ";
+            printJsonString(os, errorCode_);
+        }
     }
 
     os << c2 << "\"config\": {";

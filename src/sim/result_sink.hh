@@ -49,9 +49,13 @@ class ResultSink
     /**
      * Mark the document as an error reply: an extra top-level "error"
      * key carrying the message (consumers tolerate extra keys; the
-     * casimd protocol requires this one on failures).
+     * casimd protocol requires this one on failures).  A non-empty
+     * `code` additionally emits "error_code", the protocol-v2 stable
+     * machine-readable classification (docs/casimd_protocol.md); v1
+     * consumers that only look at "error" are unaffected.
      */
-    void setError(const std::string &message);
+    void setError(const std::string &message,
+                  const std::string &code = "");
 
     /**
      * Register a component stat group.  The sink stores a pointer and
@@ -92,6 +96,7 @@ class ResultSink
     std::vector<std::string> notes_;
     std::vector<const stats::StatGroup *> groups_;
     std::string error_;
+    std::string errorCode_;
     bool hasError_ = false;
 };
 

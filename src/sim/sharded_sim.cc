@@ -15,18 +15,22 @@ namespace casim {
 
 namespace {
 
-/** Process-wide sharded-replay counters (see shardedReplayStats). */
+/**
+ * Process-wide sharded-replay counters (see shardedReplayStats).
+ * Atomic counters plus an internally synchronized distribution, so
+ * concurrent replays (and a casimd stats render racing them) need no
+ * extra serialization.
+ */
 struct ShardStats
 {
-    std::mutex mutex;
     stats::StatGroup group{"sharded_replay"};
-    stats::Counter &replays = group.addCounter(
+    stats::AtomicCounter &replays = group.addAtomicCounter(
         "replays", "sharded replays run");
-    stats::Counter &shardsRun = group.addCounter(
+    stats::AtomicCounter &shardsRun = group.addAtomicCounter(
         "shards_run", "shard replays executed");
-    stats::Counter &statMerges = group.addCounter(
+    stats::AtomicCounter &statMerges = group.addAtomicCounter(
         "stat_merges", "per-shard stat groups merged");
-    stats::Counter &serialFallbacks = group.addCounter(
+    stats::AtomicCounter &serialFallbacks = group.addAtomicCounter(
         "serial_fallbacks",
         "replays forced serial by a non-shardable spec");
     stats::Distribution &substreamRefs = group.addDistribution(
@@ -51,9 +55,7 @@ shardedReplayStats()
 void
 noteShardedReplayFallback()
 {
-    ShardStats &stats = shardStats();
-    std::lock_guard<std::mutex> lock(stats.mutex);
-    ++stats.serialFallbacks;
+    ++shardStats().serialFallbacks;
 }
 
 ShardedStreamSim::ShardedStreamSim(const Trace &stream,
@@ -145,7 +147,6 @@ ShardedStreamSim::run(ParallelRunner *runner)
         sims_[0]->cache().stats().mergeFrom(sims_[s]->cache().stats());
 
     ShardStats &stats = shardStats();
-    std::lock_guard<std::mutex> lock(stats.mutex);
     ++stats.replays;
     stats.shardsRun += shards_;
     stats.statMerges += shards_ - 1;

@@ -17,20 +17,22 @@ namespace casim {
 
 namespace {
 
-/** The label-plane counters plus the mutex serializing increments. */
+/**
+ * The label-plane counters.  Atomic so concurrent plane builds (and a
+ * casimd stats render racing them) need no extra serialization.
+ */
 struct PlaneStats
 {
-    std::mutex mutex;
     stats::StatGroup group{"label_plane"};
-    stats::Counter &builds = group.addCounter(
+    stats::AtomicCounter &builds = group.addAtomicCounter(
         "builds", "label planes built by the O(n) two-pointer sweep");
-    stats::Counter &memoHits = group.addCounter(
+    stats::AtomicCounter &memoHits = group.addAtomicCounter(
         "memo_hits", "plane requests served from the in-memory memo");
-    stats::Counter &adopted = group.addCounter(
+    stats::AtomicCounter &adopted = group.addAtomicCounter(
         "adopted", "planes adopted from a warm capture bundle");
-    stats::Counter &bytes = group.addCounter(
+    stats::AtomicCounter &bytes = group.addAtomicCounter(
         "bytes", "bytes held by built or adopted label planes");
-    stats::Counter &bytesMapped = group.addCounter(
+    stats::AtomicCounter &bytesMapped = group.addAtomicCounter(
         "bytes_mapped",
         "plane code bytes served zero-copy from mmap'd bundles");
 };
@@ -40,13 +42,6 @@ planeStats()
 {
     static PlaneStats stats;
     return stats;
-}
-
-void
-bumpPlane(stats::Counter &counter, std::uint64_t by = 1)
-{
-    std::lock_guard<std::mutex> lock(planeStats().mutex);
-    counter += by;
 }
 
 /**
@@ -74,17 +69,17 @@ std::uint64_t
 labelPlaneCounter(const std::string &name)
 {
     const auto *stat = planeStats().group.find("label_plane." + name);
-    const auto *counter = dynamic_cast<const stats::Counter *>(stat);
-    casim_assert(counter != nullptr, "unknown label-plane counter '",
+    const auto value = stats::counterValue(stat);
+    casim_assert(value.has_value(), "unknown label-plane counter '",
                  name, "'");
-    return counter->value();
+    return *value;
 }
 
 void
 noteLabelPlaneMappedBytes(std::uint64_t bytes)
 {
     if (bytes != 0)
-        bumpPlane(planeStats().bytesMapped, bytes);
+        planeStats().bytesMapped += bytes;
 }
 
 bool
@@ -246,8 +241,8 @@ NextUseIndex::adoptPlanes(std::vector<LabelPlane> planes)
         planes_.emplace(key, std::move(plane));
     }
     if (!planes_.empty()) {
-        bumpPlane(planeStats().adopted, planes_.size());
-        bumpPlane(planeStats().bytes, adopted_bytes);
+        planeStats().adopted += planes_.size();
+        planeStats().bytes += adopted_bytes;
     }
 }
 
@@ -572,7 +567,7 @@ NextUseIndex::labelPlane(SeqNo window, SeqNo near_window,
         std::lock_guard<std::mutex> lock(planeMutex_);
         const auto it = planes_.find(key);
         if (it != planes_.end()) {
-            bumpPlane(planeStats().memoHits);
+            ++planeStats().memoHits;
             return it->second;
         }
     }
@@ -585,10 +580,10 @@ NextUseIndex::labelPlane(SeqNo window, SeqNo near_window,
     std::lock_guard<std::mutex> lock(planeMutex_);
     const auto [it, inserted] = planes_.emplace(key, std::move(plane));
     if (inserted) {
-        bumpPlane(planeStats().builds);
-        bumpPlane(planeStats().bytes, it->second.codes.size());
+        ++planeStats().builds;
+        planeStats().bytes += it->second.codes.size();
     } else {
-        bumpPlane(planeStats().memoHits);
+        ++planeStats().memoHits;
     }
     return it->second;
 }

@@ -1,11 +1,14 @@
 /**
  * @file
  * End-to-end tests for the casimd daemon over socketpairs: the wire
- * protocol ops, error replies, result decoding (byte-exact against a
- * local queue), concurrent clients against one daemon, and the drain
- * guarantee — buffered request lines are still answered after a stop.
+ * protocol ops (including the v2 hello negotiation and server-side
+ * sweep expansion), error replies with stable error codes, result
+ * decoding (byte-exact against a local queue), concurrent clients
+ * against one daemon, and the drain guarantee — buffered request lines
+ * and in-flight concurrent batches are still answered after a stop.
  */
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +19,7 @@
 #include <unistd.h>
 
 #include "common/json.hh"
+#include "common/stats.hh"
 #include "sim/daemon.hh"
 
 namespace casim {
@@ -153,11 +157,7 @@ TEST(Daemon, ExperimentMatchesLocalQueueByteForByte)
     EXPECT_EQ(bare.toRows(), direct.toRows());
 
     // The second round was served from the resident capture store.
-    const auto *memo = dynamic_cast<const stats::Counter *>(
-        harness.daemon().cache().stats().find(
-            "capture_cache.memo_hits"));
-    ASSERT_NE(memo, nullptr);
-    EXPECT_GE(memo->value(), 1u);
+    EXPECT_GE(harness.daemon().cache().counter("memo_hits"), 1u);
 }
 
 TEST(Daemon, BatchKeepsRequestOrderAndPerSlotErrors)
@@ -208,6 +208,189 @@ TEST(Daemon, MalformedLinesGetErrorDocuments)
     // And the connection survives for a real request afterwards.
     writeAll(harness.fd(), "{\"op\": \"ping\"}\n");
     EXPECT_NE(harness.readResponse().find("pong"), std::string::npos);
+}
+
+TEST(Daemon, HelloNegotiatesProtocol)
+{
+    DaemonHarness harness;
+
+    // A bare hello negotiates the newest protocol.
+    writeAll(harness.fd(), "{\"op\": \"hello\"}\n");
+    std::string line = harness.readResponse();
+    EXPECT_EQ(line.find("\"error\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"hello\""), std::string::npos) << line;
+    EXPECT_NE(line.find("[\"protocol\", \"2\"]"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("[\"min_protocol\", \"1\"]"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("[\"max_protocol\", \"2\"]"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("[\"server\", \"casimd\"]"), std::string::npos)
+        << line;
+
+    // An explicit supported version is echoed back.
+    writeAll(harness.fd(), "{\"op\": \"hello\", \"protocol\": 1}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("[\"protocol\", \"1\"]"), std::string::npos)
+        << line;
+
+    // Out-of-range versions get the stable protocol_mismatch code.
+    writeAll(harness.fd(), "{\"op\": \"hello\", \"protocol\": 99}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("unsupported protocol 99 (supported: 1..2)"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"error_code\": \"protocol_mismatch\""),
+              std::string::npos)
+        << line;
+
+    // A non-integer version is a malformed request, not a mismatch.
+    writeAll(harness.fd(), "{\"op\": \"hello\", \"protocol\": 1.5}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("\"error_code\": \"bad_request\""),
+              std::string::npos)
+        << line;
+}
+
+TEST(Daemon, ErrorRepliesCarryStableCodes)
+{
+    DaemonHarness harness;
+
+    writeAll(harness.fd(), "{nope\n");
+    std::string line = harness.readResponse();
+    EXPECT_NE(line.find("\"error_code\": \"bad_request\""),
+              std::string::npos)
+        << line;
+
+    writeAll(harness.fd(), "{\"op\": \"flush\"}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("\"error_code\": \"unknown_op\""),
+              std::string::npos)
+        << line;
+
+    // Per-slot validation errors keep the validate() message and add
+    // the field-specific code.
+    ExperimentRequest bad;
+    bad.workload = "canneal";
+    bad.config = testConfig();
+    bad.policy = "lru2";
+    writeAll(harness.fd(),
+             "{\"op\": \"batch\", \"requests\": [" + bad.toJson() +
+                 "]}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("invalid experiment request: unknown policy "
+                        "'lru2'"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"error_code\": \"unknown_policy\""),
+              std::string::npos)
+        << line;
+
+    bad.policy = "lru";
+    bad.workload = "cannealx";
+    writeAll(harness.fd(), bad.toJson() + "\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("\"error_code\": \"unknown_workload\""),
+              std::string::npos)
+        << line;
+}
+
+TEST(Daemon, SweepExpandsCrossProductInOrder)
+{
+    ExperimentRequest base;
+    base.workload = "canneal";
+    base.config = testConfig();
+
+    DaemonHarness harness;
+    // The equivalent explicit batch, for byte-exact comparison.
+    ExperimentRequest lru = base;
+    ExperimentRequest srrip = base;
+    srrip.policy = "srrip";
+    writeAll(harness.fd(),
+             "{\"op\": \"batch\", \"requests\": [" + lru.toJson() +
+                 ", " + srrip.toJson() + "]}\n");
+    const std::string batch_first = harness.readResponse();
+    const std::string batch_second = harness.readResponse();
+
+    writeAll(harness.fd(),
+             "{\"op\": \"sweep\", \"base\": " + base.toJson() +
+                 ", \"policies\": [\"lru\", \"srrip\"]}\n");
+    const std::string header = harness.readResponse();
+    EXPECT_EQ(header.find("\"error\""), std::string::npos) << header;
+    EXPECT_NE(header.find("[\"cells\", \"2\"]"), std::string::npos)
+        << header;
+    EXPECT_NE(header.find(
+                  "[\"order\", \"workloads, policies, llc_bytes\"]"),
+              std::string::npos)
+        << header;
+    // One result line per cell, policies in request order, identical
+    // to the explicit batch byte for byte.
+    EXPECT_EQ(harness.readResponse(), batch_first);
+    EXPECT_EQ(harness.readResponse(), batch_second);
+}
+
+TEST(Daemon, SweepRejectsBadAxesAndOverCapExpansions)
+{
+    DaemonHarness harness;
+    ExperimentRequest base;
+    base.workload = "canneal";
+    base.config = testConfig();
+
+    writeAll(harness.fd(), "{\"op\": \"sweep\"}\n");
+    std::string line = harness.readResponse();
+    EXPECT_NE(line.find("op 'sweep' needs a 'base' request object"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"error_code\": \"bad_request\""),
+              std::string::npos)
+        << line;
+
+    writeAll(harness.fd(),
+             "{\"op\": \"sweep\", \"base\": " + base.toJson() +
+                 ", \"polices\": [\"lru\"]}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("unknown sweep field 'polices'"),
+              std::string::npos)
+        << line;
+
+    // Axis diagnostics name the axis, the index and the known values.
+    writeAll(harness.fd(),
+             "{\"op\": \"sweep\", \"base\": " + base.toJson() +
+                 ", \"policies\": [\"lru\", \"lru2\"]}\n");
+    line = harness.readResponse();
+    EXPECT_NE(line.find("sweep axis 'policies'[1]: unknown policy "
+                        "'lru2'"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"error_code\": \"unknown_policy\""),
+              std::string::npos)
+        << line;
+
+    writeAll(harness.fd(),
+             "{\"op\": \"sweep\", \"base\": " + base.toJson() +
+                 ", \"workloads\": []}\n");
+    line = harness.readResponse();
+    EXPECT_NE(
+        line.find("sweep axis 'workloads' must be a non-empty array"),
+        std::string::npos)
+        << line;
+
+    // An expansion beyond the cap is refused before any cell runs.
+    std::string llc_bytes = "[";
+    for (int i = 0; i < 1025; ++i)
+        llc_bytes += (i ? ", " : "") + std::to_string(65536 + i * 64);
+    llc_bytes += "]";
+    writeAll(harness.fd(),
+             "{\"op\": \"sweep\", \"base\": " + base.toJson() +
+                 ", \"llc_bytes\": " + llc_bytes + "}\n");
+    line = harness.readResponse();
+    EXPECT_NE(
+        line.find("sweep expands to 1 x 1 x 1025 cells (cap 1024)"),
+        std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"error_code\": \"capacity\""),
+              std::string::npos)
+        << line;
 }
 
 TEST(Daemon, ConcurrentClientsShareTheResidentCache)
@@ -267,10 +450,7 @@ TEST(Daemon, ConcurrentClientsShareTheResidentCache)
 
     // One capture identity: every client after the first resolved it
     // from the resident store.
-    const auto *memo = dynamic_cast<const stats::Counter *>(
-        daemon.cache().stats().find("capture_cache.memo_hits"));
-    ASSERT_NE(memo, nullptr);
-    EXPECT_EQ(memo->value(), kClients - 1u);
+    EXPECT_EQ(daemon.cache().counter("memo_hits"), kClients - 1u);
 }
 
 TEST(Daemon, ShutdownOpDrainsBufferedRequests)
@@ -296,6 +476,83 @@ TEST(Daemon, ShutdownOpDrainsBufferedRequests)
     EXPECT_TRUE(harness.daemon().stopping());
     // EOF follows the drained responses.
     EXPECT_EQ(harness.readResponse(), "");
+}
+
+TEST(Daemon, ShutdownDrainsConcurrentBatches)
+{
+    ExperimentRequest canneal;
+    canneal.workload = "canneal";
+    canneal.config = testConfig();
+    ExperimentRequest dedup;
+    dedup.workload = "dedup";
+    dedup.config = testConfig();
+
+    ExperimentDaemon daemon(testConfig(), 2);
+    constexpr int kClients = 3;
+    int client_fds[kClients];
+    std::vector<std::thread> servers;
+    for (int c = 0; c < kClients; ++c) {
+        int sv[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        client_fds[c] = sv[0];
+        const int server = sv[1];
+        servers.emplace_back([&daemon, server] {
+            daemon.serveConnection(server, server);
+            ::shutdown(server, SHUT_RDWR);
+        });
+    }
+
+    // Clients 1 and 2 submit two-cell batches with overlapping and
+    // disjoint capture identities.
+    writeAll(client_fds[1],
+             "{\"op\": \"batch\", \"requests\": [" + canneal.toJson() +
+                 ", " + dedup.toJson() + "]}\n");
+    writeAll(client_fds[2],
+             "{\"op\": \"batch\", \"requests\": [" + dedup.toJson() +
+                 ", " + canneal.toJson() + "]}\n");
+
+    // Wait until both batches are actually in the queue — the atomic
+    // counters are readable mid-batch — so the shutdown below lands
+    // while work is in flight.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const auto submitted = stats::counterValue(
+            daemon.queue().stats().find("queue.submitted"));
+        if (submitted.value_or(0) >= 4)
+            break;
+        std::this_thread::yield();
+    }
+
+    // Client 0 buffers a request and the shutdown in one write: its
+    // request and both in-flight batches must all be answered with
+    // complete documents before the connections close.
+    writeAll(client_fds[0],
+             canneal.toJson() + "\n{\"op\": \"shutdown\"}\n");
+
+    std::string pending0, pending1, pending2;
+    const std::string own = readLine(client_fds[0], pending0);
+    EXPECT_GT(decodeResponseDocument(own).misses, 0u);
+    EXPECT_NE(readLine(client_fds[0], pending0).find("shutting down"),
+              std::string::npos);
+
+    const std::string one_a = readLine(client_fds[1], pending1);
+    const std::string one_b = readLine(client_fds[1], pending1);
+    const std::string two_a = readLine(client_fds[2], pending2);
+    const std::string two_b = readLine(client_fds[2], pending2);
+    EXPECT_GT(decodeResponseDocument(one_a).misses, 0u);
+    EXPECT_GT(decodeResponseDocument(two_b).misses, 0u);
+    // The mirrored batches resolve to the same cells.
+    EXPECT_EQ(decodeResponseDocument(one_a).toRows(),
+              decodeResponseDocument(two_b).toRows());
+    EXPECT_EQ(decodeResponseDocument(one_b).toRows(),
+              decodeResponseDocument(two_a).toRows());
+
+    EXPECT_TRUE(daemon.stopping());
+    for (auto &thread : servers)
+        thread.join();
+    for (int c = 0; c < kClients; ++c)
+        ::close(client_fds[c]);
 }
 
 TEST(Daemon, DecodeResponseDocumentIsFatalOnErrorReply)

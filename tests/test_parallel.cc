@@ -168,6 +168,49 @@ TEST(ParallelRunner, NestedRunPropagatesExceptions)
     EXPECT_EQ(out.back(), 3);
 }
 
+TEST(ParallelRunner, ConcurrentTopLevelRunsShareThePool)
+{
+    // Several threads submitting batches to one runner at the same
+    // time (concurrent daemon batches do this): every batch completes
+    // with every task executed exactly once.
+    ParallelRunner runner(4);
+    std::atomic<int> total{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t)
+        submitters.emplace_back([&] {
+            for (int round = 0; round < 8; ++round)
+                runner.run(16, [&](std::size_t) { ++total; });
+        });
+    for (auto &thread : submitters)
+        thread.join();
+    EXPECT_EQ(total.load(), 3 * 8 * 16);
+}
+
+TEST(ParallelRunner, ConcurrentRunsKeepErrorsPerBatch)
+{
+    // A throwing batch from one submitter must not poison another
+    // submitter's concurrent batches: errors belong to the batch that
+    // raised them.
+    ParallelRunner runner(4);
+    std::thread thrower([&] {
+        for (int round = 0; round < 16; ++round)
+            EXPECT_THROW(runner.run(8,
+                                    [](std::size_t i) {
+                                        if (i == 3)
+                                            throw std::runtime_error(
+                                                "poisoned batch");
+                                    }),
+                         std::runtime_error);
+    });
+    for (int round = 0; round < 16; ++round) {
+        const auto out = runner.map<int>(
+            8, [](std::size_t i) { return static_cast<int>(i); });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<int>(i));
+    }
+    thrower.join();
+}
+
 TEST(ParallelRunner, RunnerIsReusableAcrossBatches)
 {
     ParallelRunner runner(3);

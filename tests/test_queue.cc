@@ -2,9 +2,15 @@
  * @file
  * Tests for the ExperimentQueue: batches must dedupe identical cells,
  * produce the same numbers as direct cell execution, warm each capture
- * identity exactly once per batch, and reject invalid requests with the
- * clean validate() diagnostics.
+ * identity exactly once under its lease, overlap concurrent batches
+ * without changing a single result byte, and reject invalid requests
+ * with the clean validate() diagnostics.
  */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -18,10 +24,9 @@ namespace {
 std::uint64_t
 counterValue(const stats::StatGroup &group, const std::string &name)
 {
-    const auto *counter =
-        dynamic_cast<const stats::Counter *>(group.find(name));
-    EXPECT_NE(counter, nullptr) << name;
-    return counter != nullptr ? counter->value() : 0;
+    const auto value = stats::counterValue(group.find(name));
+    EXPECT_TRUE(value.has_value()) << name;
+    return value.value_or(0);
 }
 
 /** A fast study configuration for queue tests. */
@@ -115,12 +120,16 @@ TEST(Queue, BatchCapturesEachIdentityOnce)
     EXPECT_EQ(counterValue(cache.stats(), "capture_cache.memo_hits"),
               0u);
     EXPECT_EQ(counterValue(queue.stats(), "queue.executed"), 4u);
+    // One cold warm per identity, and both are resident.
+    EXPECT_EQ(counterValue(queue.stats(), "queue.lease_warms"), 2u);
+    EXPECT_EQ(cache.residentCounter("entries"), 2u);
 
     // A second batch over the same identities resolves both from the
-    // resident store.
+    // resident store — no further cold warms.
     queue.runBatch({lru, srrip2});
     EXPECT_EQ(counterValue(cache.stats(), "capture_cache.memo_hits"),
               2u);
+    EXPECT_EQ(counterValue(queue.stats(), "queue.lease_warms"), 2u);
 }
 
 TEST(Queue, SequentialBatchesAreDeterministic)
@@ -137,6 +146,114 @@ TEST(Queue, SequentialBatchesAreDeterministic)
     const auto first = queue.runBatch({request});
     const auto second = queue.runBatch({request});
     EXPECT_EQ(first[0].toRows(), second[0].toRows());
+}
+
+TEST(Queue, ConcurrentBatchesMatchSerialExecution)
+{
+    // Three submitters with overlapping (canneal) and disjoint (dedup)
+    // capture identities.  Concurrent batches must produce the exact
+    // rows serial execution does, warm each identity exactly once
+    // across all of them, and actually overlap (the queue no longer
+    // serializes whole batches behind one mutex).
+    ExperimentRequest canneal;
+    canneal.workload = "canneal";
+    canneal.config = testConfig();
+    ExperimentRequest canneal_srrip = canneal;
+    canneal_srrip.policy = "srrip";
+    ExperimentRequest dedup;
+    dedup.workload = "dedup";
+    dedup.config = testConfig();
+
+    const std::vector<std::vector<ExperimentRequest>> batches = {
+        {canneal, canneal_srrip}, // identity A
+        {canneal_srrip, canneal}, // identity A again (lease shared)
+        {dedup},                  // identity B (disjoint)
+    };
+    constexpr int kRounds = 4;
+
+    // Serial reference rows, one queue, one batch at a time.
+    std::vector<std::vector<std::vector<std::string>>> expected;
+    {
+        CaptureCache cache;
+        ParallelRunner runner(4);
+        ExperimentQueue queue(cache, runner);
+        for (const auto &batch : batches)
+            for (const auto &result : queue.runBatch(batch))
+                expected.push_back(result.toRows());
+    }
+
+    // A few attempts guard against a pathological schedule where the
+    // submitters never overlap; real capture work makes one attempt
+    // all but certain to.
+    std::uint64_t concurrent = 0;
+    for (int attempt = 0; attempt < 5 && concurrent == 0; ++attempt) {
+        CaptureCache cache;
+        ParallelRunner runner(4);
+        ExperimentQueue queue(cache, runner);
+
+        std::atomic<int> ready{0};
+        std::vector<std::thread> submitters;
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            submitters.emplace_back([&, b] {
+                ++ready;
+                while (ready.load() < 3) // start together
+                    std::this_thread::yield();
+                for (int round = 0; round < kRounds; ++round) {
+                    const auto results = queue.runBatch(batches[b]);
+                    std::size_t slot = 0;
+                    for (std::size_t i = 0; i < b; ++i)
+                        slot += batches[i].size();
+                    ASSERT_EQ(results.size(), batches[b].size());
+                    for (std::size_t i = 0; i < results.size(); ++i)
+                        EXPECT_EQ(results[i].toRows(),
+                                  expected[slot + i])
+                            << "batch " << b << " slot " << i;
+                }
+            });
+        }
+        for (auto &thread : submitters)
+            thread.join();
+
+        EXPECT_EQ(counterValue(queue.stats(), "queue.batches"),
+                  batches.size() * kRounds);
+        // Exactly one cold warm per capture identity, ever: the lease
+        // makes later holders wait instead of re-capturing.
+        EXPECT_EQ(counterValue(queue.stats(), "queue.lease_warms"), 2u);
+        EXPECT_EQ(cache.residentCounter("entries"), 2u);
+        EXPECT_EQ(cache.residentCounter("evictions"), 0u);
+        EXPECT_GE(counterValue(queue.stats(), "queue.lease_holders_max"),
+                  1u);
+        concurrent =
+            counterValue(queue.stats(), "queue.concurrent_batches");
+    }
+    EXPECT_GT(concurrent, 0u);
+}
+
+TEST(Queue, QuiesceBlocksNewBatchesUntilReleased)
+{
+    CaptureCache cache;
+    ParallelRunner runner(2);
+    ExperimentQueue queue(cache, runner);
+
+    ExperimentRequest request;
+    request.workload = "canneal";
+    request.config = testConfig();
+    const auto expected = queue.runBatch({request})[0].toRows();
+
+    std::atomic<bool> finished{false};
+    std::thread submitter;
+    {
+        const auto drained = queue.quiesce();
+        submitter = std::thread([&] {
+            EXPECT_EQ(queue.runBatch({request})[0].toRows(), expected);
+            finished.store(true);
+        });
+        // The batch must not complete while the queue is quiesced.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        EXPECT_FALSE(finished.load());
+    }
+    submitter.join();
+    EXPECT_TRUE(finished.load());
 }
 
 TEST(Queue, InvalidRequestIsFatalWithTheFieldName)

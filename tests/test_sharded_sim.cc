@@ -314,10 +314,9 @@ TEST(ShardedSim, ReplaySpecDispatchMatchesSerial)
 TEST(ShardedSim, GlobalStatePolicyFallsBackToSerial)
 {
     const auto fallbacks_before = [] {
-        const auto *counter = dynamic_cast<const stats::Counter *>(
-            shardedReplayStats().find(
-                "sharded_replay.serial_fallbacks"));
-        return counter != nullptr ? counter->value() : 0;
+        const auto value = stats::counterValue(shardedReplayStats().find(
+            "sharded_replay.serial_fallbacks"));
+        return value.value_or(0);
     };
     const std::uint64_t before = fallbacks_before();
 
